@@ -1,0 +1,103 @@
+//! On-chip BRAM capacity accounting.
+//!
+//! The accelerator stores the current row's ToF-corrected input, all network weights and
+//! the intermediate activations in block RAM (Fig. 5). The ZCU104's BRAM blocks hold
+//! 36 kbit each; the number of blocks a given configuration needs depends on the data
+//! word lengths selected by the quantization scheme, which is why Table VI's BRAM column
+//! drops from 161.5 blocks (float) to 110 (Hybrid-2).
+
+use quantize::QuantScheme;
+use tiny_vbf::config::TinyVbfConfig;
+
+/// Capacity of one BRAM block in bits (36 kbit on UltraScale+ devices).
+pub const BRAM_BLOCK_BITS: u64 = 36 * 1024;
+
+/// Storage requirement breakdown for one accelerator configuration, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    /// Bits needed for the network weights.
+    pub weight_bits: u64,
+    /// Bits needed for one row of ToF-corrected input samples.
+    pub input_bits: u64,
+    /// Bits needed for intermediate activations (double-buffered token matrices).
+    pub intermediate_bits: u64,
+}
+
+impl MemoryBudget {
+    /// Computes the storage needed by a Tiny-VBF configuration under a quantization
+    /// scheme.
+    pub fn for_model(config: &TinyVbfConfig, scheme: &QuantScheme) -> Self {
+        let weight_count = tiny_vbf_weight_count(config) as u64;
+        let weight_bits = weight_count * scheme.weight_bits() as u64;
+        let input_bits = (config.tokens * config.channels) as u64 * scheme.datapath_bits() as u64;
+        // Two ping-pong buffers of (tokens x model_dim) plus one (tokens x tokens)
+        // attention-score buffer at the softmax width.
+        let intermediate_bits = 2 * (config.tokens * config.model_dim) as u64 * scheme.datapath_bits() as u64
+            + (config.tokens * config.tokens) as u64 * scheme.softmax_bits() as u64;
+        Self { weight_bits, input_bits, intermediate_bits }
+    }
+
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.weight_bits + self.input_bits + self.intermediate_bits
+    }
+
+    /// Equivalent number of 36 kbit BRAM blocks (fractional, as Vivado reports).
+    pub fn bram_blocks(&self) -> f64 {
+        self.total_bits() as f64 / BRAM_BLOCK_BITS as f64
+    }
+}
+
+/// Number of trainable scalar weights of a Tiny-VBF configuration (matches
+/// `TinyVbf::num_weights` without instantiating the model).
+pub fn tiny_vbf_weight_count(config: &TinyVbfConfig) -> usize {
+    let d = config.model_dim;
+    let mut count = config.channels * d + d; // encoder
+    if config.positional_embedding {
+        count += config.tokens * d;
+    }
+    for _ in 0..config.num_blocks {
+        count += 2 * d; // norm1
+        count += 4 * d * d; // attention projections
+        count += 2 * d; // norm2
+        count += d * config.mlp_dim + config.mlp_dim; // mlp in
+        count += config.mlp_dim * d + d; // mlp out
+    }
+    count += d * config.decoder_dim + config.decoder_dim;
+    count += config.decoder_dim * 2 + 2;
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiny_vbf::model::TinyVbf;
+
+    #[test]
+    fn weight_count_matches_the_real_model() {
+        for config in [TinyVbfConfig::tiny_test(), TinyVbfConfig::small(), TinyVbfConfig::paper()] {
+            let model = TinyVbf::new(&config).unwrap();
+            assert_eq!(tiny_vbf_weight_count(&config), model.num_weights(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn quantization_shrinks_the_memory_budget() {
+        let config = TinyVbfConfig::paper();
+        let float = MemoryBudget::for_model(&config, &QuantScheme::float());
+        let hybrid2 = MemoryBudget::for_model(&config, &QuantScheme::hybrid2());
+        assert!(hybrid2.total_bits() < float.total_bits());
+        assert!(hybrid2.weight_bits * 3 < float.weight_bits, "8-bit weights should be 4x smaller than float");
+        assert!(hybrid2.bram_blocks() < float.bram_blocks());
+    }
+
+    #[test]
+    fn bram_blocks_are_positive_and_reasonable() {
+        let config = TinyVbfConfig::paper();
+        for scheme in QuantScheme::all() {
+            let budget = MemoryBudget::for_model(&config, &scheme);
+            let blocks = budget.bram_blocks();
+            assert!(blocks > 0.5 && blocks < 400.0, "{}: {blocks}", scheme.name);
+        }
+    }
+}

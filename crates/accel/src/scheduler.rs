@@ -1,0 +1,203 @@
+//! Scheduling of the Tiny-VBF operations onto the four processing elements.
+//!
+//! The accelerator computes every matrix product as a set of independent dot products
+//! (one per output element) distributed round-robin over the 4 PEs (Figs. 6–8): the
+//! Q/K/V projections, the attention scores `Q·Kᵀ`, the attention output `A·V`, the
+//! output projection and every dense layer all reduce to this primitive. Non-linear
+//! steps (softmax, LayerNorm, ReLU, tanh) run on the dedicated units while the PEs
+//! stream the next tile.
+
+use crate::pe::{NonLinearUnit, ProcessingElement};
+use crate::NUM_PES;
+use quantize::QuantScheme;
+use tiny_vbf::config::TinyVbfConfig;
+
+/// Cycle cost of one operation group, as scheduled on the accelerator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpCycles {
+    /// Human-readable operation label.
+    pub name: String,
+    /// Cycles spent on the PEs.
+    pub pe_cycles: u64,
+    /// Cycles spent on the non-linear units (not overlapped, conservatively).
+    pub nonlinear_cycles: u64,
+}
+
+impl OpCycles {
+    /// Total cycles for this group.
+    pub fn total(&self) -> u64 {
+        self.pe_cycles + self.nonlinear_cycles
+    }
+}
+
+/// The accelerator's operation scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduler {
+    pe: ProcessingElement,
+    nonlinear: NonLinearUnit,
+    num_pes: usize,
+}
+
+impl Scheduler {
+    /// The paper's configuration: 4 PEs × 16 MACs plus the non-linear units.
+    pub fn paper() -> Self {
+        Self { pe: ProcessingElement::paper(), nonlinear: NonLinearUnit::paper(), num_pes: NUM_PES }
+    }
+
+    /// Creates a scheduler with a custom PE count (used for the design-space ablation).
+    pub fn with_pes(num_pes: usize) -> Self {
+        Self { num_pes: num_pes.max(1), ..Self::paper() }
+    }
+
+    /// Number of PEs being scheduled.
+    pub fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+
+    /// Cycles for a matrix product producing `out_rows × out_cols` dot products of
+    /// length `inner`, distributed across the PEs.
+    pub fn matmul_cycles(&self, out_rows: usize, out_cols: usize, inner: usize) -> u64 {
+        let outputs = out_rows * out_cols;
+        if outputs == 0 || inner == 0 {
+            return 0;
+        }
+        let per_pe = outputs.div_ceil(self.num_pes);
+        self.pe.batched_dot_product_cycles(per_pe, inner)
+    }
+
+    /// Non-linear work is spread over one non-linear unit per PE (Fig. 5 places the
+    /// ReLU/softmax/div/sqrt units alongside the PEs), so the serial cycle count is
+    /// divided by the PE count.
+    fn nonlinear_parallel(&self, cycles: u64) -> u64 {
+        cycles.div_ceil(self.num_pes as u64)
+    }
+
+    /// Schedule of one full Tiny-VBF depth row under the given quantization scheme.
+    ///
+    /// The word length only affects whether a multiplier fits in one DSP slice (the
+    /// resource model's concern); cycle counts are width-independent in this
+    /// architecture, matching the paper (latency is the same across schemes).
+    pub fn row_schedule(&self, config: &TinyVbfConfig, _scheme: &QuantScheme) -> Vec<OpCycles> {
+        let tokens = config.tokens;
+        let d = config.model_dim;
+        let heads = config.num_heads;
+        let head_dim = d / heads.max(1);
+        let mut ops = Vec::new();
+
+        ops.push(OpCycles {
+            name: "encoder projection".into(),
+            pe_cycles: self.matmul_cycles(tokens, d, config.channels),
+            nonlinear_cycles: 0,
+        });
+
+        for block in 0..config.num_blocks {
+            ops.push(OpCycles {
+                name: format!("block {block}: layer norm 1"),
+                pe_cycles: 0,
+                nonlinear_cycles: self.nonlinear_parallel(tokens as u64 * self.nonlinear.layernorm_cycles(d)),
+            });
+            ops.push(OpCycles {
+                name: format!("block {block}: Q/K/V projections"),
+                pe_cycles: 3 * self.matmul_cycles(tokens, d, d),
+                nonlinear_cycles: 0,
+            });
+            ops.push(OpCycles {
+                name: format!("block {block}: attention scores"),
+                pe_cycles: heads as u64 * self.matmul_cycles(tokens, tokens, head_dim),
+                nonlinear_cycles: 0,
+            });
+            ops.push(OpCycles {
+                name: format!("block {block}: softmax"),
+                pe_cycles: 0,
+                nonlinear_cycles: self.nonlinear_parallel((tokens * heads) as u64 * self.nonlinear.softmax_cycles(tokens)),
+            });
+            ops.push(OpCycles {
+                name: format!("block {block}: attention output"),
+                pe_cycles: heads as u64 * self.matmul_cycles(tokens, head_dim, tokens)
+                    + self.matmul_cycles(tokens, d, d),
+                nonlinear_cycles: 0,
+            });
+            ops.push(OpCycles {
+                name: format!("block {block}: layer norm 2 + MLP"),
+                pe_cycles: self.matmul_cycles(tokens, config.mlp_dim, d) + self.matmul_cycles(tokens, d, config.mlp_dim),
+                nonlinear_cycles: self.nonlinear_parallel(
+                    tokens as u64 * self.nonlinear.layernorm_cycles(d)
+                        + (tokens * config.mlp_dim) as u64 * self.nonlinear.relu,
+                ),
+            });
+        }
+
+        ops.push(OpCycles {
+            name: "decoder".into(),
+            pe_cycles: self.matmul_cycles(tokens, config.decoder_dim, d) + self.matmul_cycles(tokens, 2, config.decoder_dim),
+            nonlinear_cycles: self.nonlinear_parallel(
+                (tokens * config.decoder_dim) as u64 * self.nonlinear.relu + (tokens * 2) as u64 * self.nonlinear.div,
+            ),
+        });
+        ops
+    }
+
+    /// Total cycles for one depth row.
+    pub fn row_cycles(&self, config: &TinyVbfConfig, scheme: &QuantScheme) -> u64 {
+        self.row_schedule(config, scheme).iter().map(OpCycles::total).sum()
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_cycles_scale_with_work_and_pes() {
+        let four = Scheduler::paper();
+        let one = Scheduler::with_pes(1);
+        let small = four.matmul_cycles(16, 8, 32);
+        let big = four.matmul_cycles(128, 8, 128);
+        assert!(big > small);
+        assert!(one.matmul_cycles(128, 8, 128) > four.matmul_cycles(128, 8, 128));
+        assert_eq!(four.matmul_cycles(0, 8, 8), 0);
+        assert_eq!(four.num_pes(), 4);
+        assert_eq!(Scheduler::with_pes(0).num_pes(), 1);
+    }
+
+    #[test]
+    fn row_schedule_covers_all_stages() {
+        let scheduler = Scheduler::paper();
+        let config = TinyVbfConfig::paper();
+        let schedule = scheduler.row_schedule(&config, &QuantScheme::hybrid2());
+        // encoder + 6 groups per block * 2 blocks + decoder
+        assert_eq!(schedule.len(), 1 + 6 * config.num_blocks + 1);
+        assert!(schedule.iter().all(|op| op.total() > 0));
+        let names: Vec<&str> = schedule.iter().map(|op| op.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.contains("softmax")));
+        assert!(names.iter().any(|n| n.contains("Q/K/V")));
+    }
+
+    #[test]
+    fn cycle_count_is_scheme_independent_but_config_dependent() {
+        let scheduler = Scheduler::paper();
+        let config = TinyVbfConfig::paper();
+        let a = scheduler.row_cycles(&config, &QuantScheme::float());
+        let b = scheduler.row_cycles(&config, &QuantScheme::hybrid2());
+        assert_eq!(a, b);
+        let smaller = scheduler.row_cycles(&TinyVbfConfig::small(), &QuantScheme::float());
+        assert!(smaller < a);
+    }
+
+    #[test]
+    fn more_pes_reduce_row_latency() {
+        let config = TinyVbfConfig::paper();
+        let scheme = QuantScheme::hybrid1();
+        let pe2 = Scheduler::with_pes(2).row_cycles(&config, &scheme);
+        let pe4 = Scheduler::with_pes(4).row_cycles(&config, &scheme);
+        let pe8 = Scheduler::with_pes(8).row_cycles(&config, &scheme);
+        assert!(pe4 < pe2);
+        assert!(pe8 < pe4);
+    }
+}

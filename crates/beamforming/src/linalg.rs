@@ -1,0 +1,248 @@
+//! Small complex-Hermitian linear algebra for MVDR.
+//!
+//! MVDR needs, per pixel, the solution of `R w = a` where `R` is a subaperture
+//! covariance matrix (Hermitian positive semi-definite after diagonal loading) of
+//! dimension equal to the subaperture length (≤ 64). A dense complex matrix type with a
+//! Cholesky solver is all that is required; no external linear-algebra crate is used.
+
+use crate::{BeamformError, BeamformResult};
+use usdsp::Complex32;
+
+/// A dense, square, column-agnostic (row-major) complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexMatrix {
+    data: Vec<Complex32>,
+    dim: usize,
+}
+
+impl ComplexMatrix {
+    /// Creates a zero matrix of dimension `dim × dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0`.
+    pub fn zeros(dim: usize) -> Self {
+        assert!(dim > 0, "ComplexMatrix: dimension must be nonzero");
+        Self { data: vec![Complex32::ZERO; dim * dim], dim }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(dim: usize) -> Self {
+        let mut m = Self::zeros(dim);
+        for i in 0..dim {
+            *m.at_mut(i, i) = Complex32::ONE;
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Element `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> Complex32 {
+        self.data[row * self.dim + col]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, row: usize, col: usize) -> &mut Complex32 {
+        &mut self.data[row * self.dim + col]
+    }
+
+    /// Adds `value` to every diagonal entry (diagonal loading).
+    pub fn add_diagonal(&mut self, value: f32) {
+        for i in 0..self.dim {
+            let d = self.at(i, i);
+            *self.at_mut(i, i) = d + Complex32::from_real(value);
+        }
+    }
+
+    /// Trace (sum of diagonal entries).
+    pub fn trace(&self) -> Complex32 {
+        (0..self.dim).map(|i| self.at(i, i)).sum()
+    }
+
+    /// Accumulates the outer product `x xᴴ` scaled by `weight` into the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != dim`.
+    pub fn accumulate_outer(&mut self, x: &[Complex32], weight: f32) {
+        assert_eq!(x.len(), self.dim, "outer product dimension mismatch");
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                let prod = x[i] * x[j].conj();
+                let cur = self.at(i, j);
+                *self.at_mut(i, j) = cur + prod.scale(weight);
+            }
+        }
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != dim`.
+    pub fn mul_vec(&self, x: &[Complex32]) -> Vec<Complex32> {
+        assert_eq!(x.len(), self.dim, "matrix-vector dimension mismatch");
+        (0..self.dim)
+            .map(|i| (0..self.dim).map(|j| self.at(i, j) * x[j]).sum())
+            .collect()
+    }
+
+    /// Solves `A x = b` for Hermitian positive-definite `A` via Cholesky decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeamformError::SingularMatrix`] when the matrix is not positive
+    /// definite (a pivot is non-positive or not finite).
+    pub fn solve_hermitian(&self, b: &[Complex32]) -> BeamformResult<Vec<Complex32>> {
+        if b.len() != self.dim {
+            return Err(BeamformError::ShapeMismatch {
+                expected: format!("rhs of length {}", self.dim),
+                actual: format!("length {}", b.len()),
+            });
+        }
+        let n = self.dim;
+        // Cholesky factorization A = L Lᴴ with L lower-triangular.
+        let mut l = vec![Complex32::ZERO; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.at(i, j);
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k].conj();
+                }
+                if i == j {
+                    let pivot = sum.re;
+                    if !(pivot.is_finite()) || pivot <= 0.0 {
+                        return Err(BeamformError::SingularMatrix);
+                    }
+                    l[i * n + j] = Complex32::from_real(pivot.sqrt());
+                } else {
+                    let diag = l[j * n + j];
+                    l[i * n + j] = sum / diag;
+                }
+            }
+        }
+        // Forward substitution L y = b.
+        let mut y = vec![Complex32::ZERO; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[i * n + k] * y[k];
+            }
+            y[i] = sum / l[i * n + i];
+        }
+        // Back substitution Lᴴ x = y.
+        let mut x = vec![Complex32::ZERO; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= l[k * n + i].conj() * x[k];
+            }
+            x[i] = sum / l[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+/// Hermitian inner product `aᴴ b`.
+///
+/// # Panics
+///
+/// Panics when the vectors have different lengths.
+pub fn hermitian_dot(a: &[Complex32], b: &[Complex32]) -> Complex32 {
+    assert_eq!(a.len(), b.len(), "hermitian_dot: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x.conj() * *y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex32, b: Complex32, tol: f32) -> bool {
+        (a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let m = ComplexMatrix::identity(4);
+        let b: Vec<Complex32> = (0..4).map(|i| Complex32::new(i as f32, -(i as f32))).collect();
+        let x = m.solve_hermitian(&b).unwrap();
+        for (xi, bi) in x.iter().zip(b.iter()) {
+            assert!(close(*xi, *bi, 1e-6));
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        // Build A = B Bᴴ + I (positive definite), pick x, compute b = A x, solve.
+        let n = 6;
+        let mut a = ComplexMatrix::identity(n);
+        for k in 0..3 {
+            let v: Vec<Complex32> = (0..n)
+                .map(|i| Complex32::new(((i + k) as f32 * 0.7).sin(), ((i * k) as f32 * 0.3).cos()))
+                .collect();
+            a.accumulate_outer(&v, 1.0);
+        }
+        let x_true: Vec<Complex32> = (0..n).map(|i| Complex32::new(i as f32 + 0.5, 1.0 - i as f32 * 0.2)).collect();
+        let b = a.mul_vec(&x_true);
+        let x = a.solve_hermitian(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!(close(*xi, *ti, 1e-3), "{xi:?} vs {ti:?}");
+        }
+    }
+
+    #[test]
+    fn outer_product_accumulation_is_hermitian() {
+        let mut m = ComplexMatrix::zeros(3);
+        let v = vec![Complex32::new(1.0, 2.0), Complex32::new(-0.5, 0.3), Complex32::new(0.0, 1.0)];
+        m.accumulate_outer(&v, 2.0);
+        for i in 0..3 {
+            for j in 0..3 {
+                let a = m.at(i, j);
+                let b = m.at(j, i).conj();
+                assert!(close(a, b, 1e-6));
+            }
+            // Diagonal is real and non-negative.
+            assert!(m.at(i, i).im.abs() < 1e-6);
+            assert!(m.at(i, i).re >= 0.0);
+        }
+    }
+
+    #[test]
+    fn diagonal_loading_and_trace() {
+        let mut m = ComplexMatrix::zeros(3);
+        m.add_diagonal(2.5);
+        assert!(close(m.trace(), Complex32::from_real(7.5), 1e-6));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let m = ComplexMatrix::zeros(3);
+        let b = vec![Complex32::ONE; 3];
+        assert_eq!(m.solve_hermitian(&b).unwrap_err(), BeamformError::SingularMatrix);
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_rejected() {
+        let m = ComplexMatrix::identity(3);
+        assert!(matches!(m.solve_hermitian(&[Complex32::ONE; 2]), Err(BeamformError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn hermitian_dot_of_self_is_norm() {
+        let v = vec![Complex32::new(3.0, 4.0), Complex32::new(0.0, 2.0)];
+        let d = hermitian_dot(&v, &v);
+        assert!(close(d, Complex32::from_real(29.0), 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be nonzero")]
+    fn zero_dimension_panics() {
+        let _ = ComplexMatrix::zeros(0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Minimum Variance Distortionless Response (MVDR / Capon) beamforming.
+//!
+//! MVDR is the paper's image-quality benchmark **and** its training target: Tiny-VBF is
+//! trained to regress the MVDR-beamformed IQ image from ToF-corrected channel data.
+//! The implementation follows the standard medical-ultrasound recipe
+//! (Synnevåg et al., 2009): per-pixel aligned complex (analytic) channel vectors,
+//! subaperture (spatial) smoothing, optional forward–backward averaging, diagonal
+//! loading proportional to the trace, and the distortionless weight
+//! `w = R⁻¹a / (aᴴR⁻¹a)` with a unit steering vector.
+//!
+//! Its per-pixel matrix solve is why MVDR costs ~98.78 GOPs per 368 × 128 frame and runs
+//! in minutes on a CPU — the motivation for the learned beamformers.
+
+use crate::grid::ImagingGrid;
+use crate::iq::IqImage;
+use crate::linalg::{hermitian_dot, ComplexMatrix};
+use crate::{BeamformError, BeamformResult};
+use ultrasound::{ChannelData, LinearArray, PlaneWave};
+use usdsp::hilbert::analytic_signal;
+use usdsp::interp::{sample_at_complex, InterpMethod};
+use usdsp::Complex32;
+
+/// MVDR beamformer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mvdr {
+    /// Subaperture length `L` used for spatial smoothing. `0` selects `M/2` (a common
+    /// default), where `M` is the number of channels.
+    pub subaperture: usize,
+    /// Diagonal loading factor Δ: the loading added to the covariance diagonal is
+    /// `Δ · trace(R) / L`.
+    pub diagonal_loading: f32,
+    /// Enables forward–backward averaging of the smoothed covariance.
+    pub forward_backward: bool,
+    /// Plane-wave transmit description.
+    pub transmit: PlaneWave,
+    /// Fractional-delay interpolation used when sampling the analytic channel signals.
+    pub interpolation: InterpMethod,
+}
+
+impl Default for Mvdr {
+    fn default() -> Self {
+        Self {
+            subaperture: 0,
+            diagonal_loading: 0.05,
+            forward_backward: true,
+            transmit: PlaneWave::zero_angle(),
+            interpolation: InterpMethod::Linear,
+        }
+    }
+}
+
+impl Mvdr {
+    /// A cheaper configuration (quarter-aperture smoothing) for tests and quick runs.
+    pub fn fast() -> Self {
+        Self { subaperture: 8, ..Self::default() }
+    }
+
+    /// Effective subaperture length for `channels` receive channels.
+    pub fn effective_subaperture(&self, channels: usize) -> usize {
+        let l = if self.subaperture == 0 { channels / 2 } else { self.subaperture };
+        l.clamp(1, channels)
+    }
+
+    /// Beamforms an IQ image from raw channel data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeamformError::ShapeMismatch`] when the channel count disagrees with
+    /// the probe, [`BeamformError::InvalidParameter`] for invalid settings, and
+    /// [`BeamformError::SingularMatrix`] if a covariance solve fails even after
+    /// diagonal loading.
+    pub fn beamform_iq(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<IqImage> {
+        if sound_speed <= 0.0 {
+            return Err(BeamformError::InvalidParameter { name: "sound_speed", reason: "must be positive".into() });
+        }
+        if self.diagonal_loading < 0.0 {
+            return Err(BeamformError::InvalidParameter { name: "diagonal_loading", reason: "must be non-negative".into() });
+        }
+        if data.num_channels() != array.num_elements() {
+            return Err(BeamformError::ShapeMismatch {
+                expected: format!("{} channels", array.num_elements()),
+                actual: format!("{}", data.num_channels()),
+            });
+        }
+        let channels = data.num_channels();
+        let l = self.effective_subaperture(channels);
+        let rows = grid.num_rows();
+        let cols = grid.num_cols();
+        let fs = data.sampling_frequency();
+        let start_time = data.start_time();
+        let element_xs = array.element_positions();
+
+        // Analytic (complex) signal per channel, computed once.
+        let analytic: Vec<Vec<Complex32>> = (0..channels)
+            .map(|ch| analytic_signal(&data.channel(ch)).unwrap_or_default())
+            .collect();
+
+        let steering = vec![Complex32::ONE; l];
+        let mut image = IqImage::zeros(grid.clone());
+        let num_subapertures = channels - l + 1;
+
+        let mut aligned = vec![Complex32::ZERO; channels];
+        for row in 0..rows {
+            let z = grid.z(row);
+            for col in 0..cols {
+                let x = grid.x(col);
+                let t_tx = self.transmit.transmit_delay(x, z, sound_speed);
+                for ch in 0..channels {
+                    let dx = x - element_xs[ch];
+                    let t_rx = (dx * dx + z * z).sqrt() / sound_speed;
+                    let idx = (t_tx + t_rx - start_time) * fs;
+                    aligned[ch] = sample_at_complex(&analytic[ch], idx, self.interpolation);
+                }
+                *image.value_mut(row, col) = self.pixel_value(&aligned, l, num_subapertures, &steering)?;
+            }
+        }
+        Ok(image)
+    }
+
+    fn pixel_value(
+        &self,
+        aligned: &[Complex32],
+        l: usize,
+        num_subapertures: usize,
+        steering: &[Complex32],
+    ) -> BeamformResult<Complex32> {
+        // Spatially smoothed covariance.
+        let mut covariance = ComplexMatrix::zeros(l);
+        let weight = 1.0 / num_subapertures as f32;
+        for p in 0..num_subapertures {
+            covariance.accumulate_outer(&aligned[p..p + l], weight);
+        }
+        if self.forward_backward {
+            // Forward-backward averaging: R <- (R + J R* J) / 2, where J is the exchange
+            // matrix. Implemented by averaging with the flipped-conjugated covariance.
+            let mut fb = ComplexMatrix::zeros(l);
+            for i in 0..l {
+                for j in 0..l {
+                    let v = covariance.at(l - 1 - i, l - 1 - j).conj();
+                    *fb.at_mut(i, j) = (covariance.at(i, j) + v).scale(0.5);
+                }
+            }
+            covariance = fb;
+        }
+        let trace = covariance.trace().re;
+        if trace <= 0.0 {
+            // Fully silent pixel: MVDR reduces to plain averaging, which is zero here.
+            return Ok(Complex32::ZERO);
+        }
+        covariance.add_diagonal((self.diagonal_loading * trace / l as f32).max(1e-12 * trace));
+
+        let r_inv_a = match covariance.solve_hermitian(steering) {
+            Ok(v) => v,
+            Err(BeamformError::SingularMatrix) => {
+                // Retry with much heavier loading before giving up.
+                let mut heavy = covariance.clone();
+                heavy.add_diagonal(0.5 * trace / l as f32);
+                heavy.solve_hermitian(steering)?
+            }
+            Err(e) => return Err(e),
+        };
+        let denom = hermitian_dot(steering, &r_inv_a);
+        if denom.abs() <= 1e-20 {
+            return Err(BeamformError::SingularMatrix);
+        }
+        // Output: average of wᴴ x_p over subapertures with w = R⁻¹a / (aᴴR⁻¹a).
+        let mut acc = Complex32::ZERO;
+        for p in 0..num_subapertures {
+            let wx = hermitian_dot(&r_inv_a, &aligned[p..p + l]);
+            acc += wx;
+        }
+        Ok(acc / denom * Complex32::from_real(1.0 / num_subapertures as f32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmode::BModeImage;
+    use crate::das::DelayAndSum;
+    use ultrasound::{Medium, Phantom, PlaneWaveSimulator};
+
+    fn simulate(phantom: &Phantom, array: &LinearArray, depth: f32) -> ChannelData {
+        let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), depth);
+        sim.simulate(phantom, PlaneWave::zero_angle()).unwrap()
+    }
+
+    #[test]
+    fn effective_subaperture_defaults_to_half() {
+        let mvdr = Mvdr::default();
+        assert_eq!(mvdr.effective_subaperture(128), 64);
+        assert_eq!(Mvdr::fast().effective_subaperture(32), 8);
+        assert_eq!(Mvdr { subaperture: 1000, ..Mvdr::default() }.effective_subaperture(32), 32);
+    }
+
+    #[test]
+    fn mvdr_focuses_point_target() {
+        let array = LinearArray::small_test_array();
+        let phantom = Phantom::builder(0.01, 0.03).add_point_target(0.0, 0.02, 1.0).build();
+        let rf = simulate(&phantom, &array, 0.03);
+        let grid = ImagingGrid::for_array(&array, 0.016, 0.008, 40, 16);
+        let image = Mvdr::fast().beamform_iq(&rf, &array, &grid, 1540.0).unwrap();
+        let envelope = image.envelope();
+        let (peak_idx, _) = envelope.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+        let peak_row = peak_idx / grid.num_cols();
+        let peak_col = peak_idx % grid.num_cols();
+        assert!((peak_row as i64 - grid.nearest_row(0.02) as i64).abs() <= 2);
+        assert!((peak_col as i64 - grid.nearest_col(0.0) as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn mvdr_mainlobe_is_narrower_than_das() {
+        // Lateral -6 dB width at the target depth should be smaller for MVDR.
+        let array = LinearArray::small_test_array();
+        let phantom = Phantom::builder(0.012, 0.03).add_point_target(0.0, 0.02, 1.0).build();
+        let rf = simulate(&phantom, &array, 0.03);
+        let grid = ImagingGrid::for_array(&array, 0.0196, 0.0008, 5, 48);
+        let das_img = DelayAndSum::default().beamform_iq(&rf, &array, &grid, 1540.0).unwrap();
+        let mvdr_img = Mvdr::fast().beamform_iq(&rf, &array, &grid, 1540.0).unwrap();
+        let width = |img: &IqImage| {
+            let row = grid.nearest_row(0.02);
+            let profile: Vec<f32> = (0..grid.num_cols()).map(|c| img.value(row, c).abs()).collect();
+            let peak = profile.iter().cloned().fold(0.0f32, f32::max);
+            profile.iter().filter(|&&v| v > 0.5 * peak).count()
+        };
+        let das_width = width(&das_img);
+        let mvdr_width = width(&mvdr_img);
+        assert!(mvdr_width <= das_width, "mvdr {mvdr_width} das {das_width}");
+    }
+
+    #[test]
+    fn silent_input_produces_zero_image() {
+        let array = LinearArray::small_test_array();
+        let silent = ChannelData::zeros(512, array.num_elements(), array.sampling_frequency());
+        let grid = ImagingGrid::for_array(&array, 0.01, 0.005, 8, 8);
+        let image = Mvdr::fast().beamform_iq(&silent, &array, &grid, 1540.0).unwrap();
+        assert_eq!(image.peak(), 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let array = LinearArray::small_test_array();
+        let data = ChannelData::zeros(128, array.num_elements(), array.sampling_frequency());
+        let grid = ImagingGrid::for_array(&array, 0.01, 0.005, 4, 4);
+        assert!(Mvdr { diagonal_loading: -0.1, ..Mvdr::default() }
+            .beamform_iq(&data, &array, &grid, 1540.0)
+            .is_err());
+        assert!(Mvdr::default().beamform_iq(&data, &array, &grid, 0.0).is_err());
+        let wrong = ChannelData::zeros(128, 8, array.sampling_frequency());
+        assert!(Mvdr::default().beamform_iq(&wrong, &array, &grid, 1540.0).is_err());
+    }
+
+    #[test]
+    fn mvdr_resolves_two_close_targets() {
+        // Two point targets 4 mm apart at the same depth: the MVDR image should show a
+        // clear dip between them (both remain detectable as separate maxima).
+        let array = LinearArray::small_test_array();
+        let phantom = Phantom::builder(0.014, 0.03)
+            .add_point_target(-0.002, 0.02, 1.0)
+            .add_point_target(0.002, 0.02, 1.0)
+            .build();
+        let rf = simulate(&phantom, &array, 0.03);
+        let grid = ImagingGrid::for_array(&array, 0.0194, 0.0012, 7, 40);
+        let mvdr_img = Mvdr::fast().beamform_iq(&rf, &array, &grid, 1540.0).unwrap();
+        let row = grid.nearest_row(0.02);
+        let left = mvdr_img.value(row, grid.nearest_col(-0.002)).abs();
+        let right = mvdr_img.value(row, grid.nearest_col(0.002)).abs();
+        let middle = mvdr_img.value(row, grid.nearest_col(0.0)).abs();
+        assert!(left > middle && right > middle, "left {left} middle {middle} right {right}");
+        let bmode = BModeImage::from_iq(&mvdr_img, 60.0).unwrap();
+        assert_eq!(bmode.num_rows(), 7);
+    }
+}

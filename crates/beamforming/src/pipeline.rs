@@ -1,0 +1,107 @@
+//! A uniform interface over the classical beamformers plus end-to-end helpers.
+
+pub use crate::das::DelayAndSum;
+pub use crate::mvdr::Mvdr;
+
+use crate::bmode::BModeImage;
+use crate::grid::ImagingGrid;
+use crate::iq::IqImage;
+use crate::BeamformResult;
+use ultrasound::{ChannelData, LinearArray};
+
+/// Anything that turns raw channel data into an IQ image on a grid.
+///
+/// The `tiny-vbf` crate implements this trait for its learned beamformers so the
+/// evaluation harness can score DAS, MVDR, Tiny-CNN and Tiny-VBF through one interface.
+pub trait Beamformer {
+    /// Short human-readable name used in tables ("DAS", "MVDR", "Tiny-VBF", …).
+    fn name(&self) -> &str;
+
+    /// Beamforms one acquisition into an IQ image.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a [`crate::BeamformError`] when the inputs are
+    /// inconsistent with the probe/grid or a numerical step fails.
+    fn beamform(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<IqImage>;
+
+    /// Convenience: beamform and log-compress to a B-mode image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates beamforming and compression errors.
+    fn beamform_bmode(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        dynamic_range: f32,
+    ) -> BeamformResult<BModeImage> {
+        let iq = self.beamform(data, array, grid, sound_speed)?;
+        BModeImage::from_iq(&iq, dynamic_range)
+    }
+}
+
+impl Beamformer for DelayAndSum {
+    fn name(&self) -> &str {
+        "DAS"
+    }
+
+    fn beamform(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<IqImage> {
+        self.beamform_iq(data, array, grid, sound_speed)
+    }
+}
+
+impl Beamformer for Mvdr {
+    fn name(&self) -> &str {
+        "MVDR"
+    }
+
+    fn beamform(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<IqImage> {
+        self.beamform_iq(data, array, grid, sound_speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ultrasound::{Medium, Phantom, PlaneWave, PlaneWaveSimulator};
+
+    #[test]
+    fn trait_objects_cover_both_classical_beamformers() {
+        let array = LinearArray::small_test_array();
+        let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), 0.03);
+        let phantom = Phantom::builder(0.01, 0.03).add_point_target(0.0, 0.02, 1.0).build();
+        let rf = sim.simulate(&phantom, PlaneWave::zero_angle()).unwrap();
+        let grid = ImagingGrid::for_array(&array, 0.018, 0.004, 12, 8);
+
+        let beamformers: Vec<Box<dyn Beamformer>> = vec![Box::new(DelayAndSum::default()), Box::new(Mvdr::fast())];
+        for bf in &beamformers {
+            let iq = bf.beamform(&rf, &array, &grid, 1540.0).unwrap();
+            assert_eq!(iq.num_pixels(), grid.num_pixels(), "{}", bf.name());
+            let bmode = bf.beamform_bmode(&rf, &array, &grid, 1540.0, 60.0).unwrap();
+            assert_eq!(bmode.num_rows(), grid.num_rows());
+        }
+        assert_eq!(beamformers[0].name(), "DAS");
+        assert_eq!(beamformers[1].name(), "MVDR");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the beamforming substrate.
+
+use beamforming::grid::{linspace, ImagingGrid};
+use beamforming::linalg::{hermitian_dot, ComplexMatrix};
+use beamforming::tof::round_trip_delay;
+use proptest::prelude::*;
+use ultrasound::{LinearArray, PlaneWave};
+use usdsp::Complex32;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn round_trip_delay_is_minimal_at_the_closest_element(
+        x in -0.01f32..0.01,
+        z in 0.005f32..0.04,
+    ) {
+        // For a 0-degree plane wave the element directly above the pixel has the
+        // smallest round-trip delay.
+        let array = LinearArray::l11_5v();
+        let tx = PlaneWave::zero_angle();
+        let closest = array
+            .element_positions()
+            .iter()
+            .copied()
+            .min_by(|a, b| (a - x).abs().partial_cmp(&(b - x).abs()).unwrap())
+            .unwrap();
+        let d_closest = round_trip_delay(tx, x, z, closest, 1540.0);
+        for ch in (0..array.num_elements()).step_by(13) {
+            let d = round_trip_delay(tx, x, z, array.element_x(ch), 1540.0);
+            prop_assert!(d + 1e-12 >= d_closest);
+        }
+    }
+
+    #[test]
+    fn round_trip_delay_exceeds_two_way_depth_travel(x in -0.015f32..0.015, z in 0.003f32..0.045, e in -0.019f32..0.019) {
+        let tx = PlaneWave::zero_angle();
+        let d = round_trip_delay(tx, x, z, e, 1540.0);
+        prop_assert!(d >= 2.0 * z / 1540.0 - 1e-9);
+    }
+
+    #[test]
+    fn grid_positions_are_monotone_and_within_bounds(rows in 2usize..64, cols in 2usize..64, depth in 0.005f32..0.05) {
+        let array = LinearArray::l11_5v();
+        let grid = ImagingGrid::for_array(&array, 0.004, depth, rows, cols);
+        prop_assert_eq!(grid.num_pixels(), rows * cols);
+        for r in 1..rows {
+            prop_assert!(grid.z(r) > grid.z(r - 1));
+        }
+        for c in 1..cols {
+            prop_assert!(grid.x(c) > grid.x(c - 1));
+        }
+        prop_assert!((grid.z(rows - 1) - (0.004 + depth)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nearest_row_returns_the_closest_row(rows in 2usize..64, t in 0.0f32..1.0) {
+        let array = LinearArray::l11_5v();
+        let grid = ImagingGrid::for_array(&array, 0.005, 0.04, rows, 4);
+        let z = 0.005 + t * 0.04;
+        let row = grid.nearest_row(z);
+        for r in 0..rows {
+            prop_assert!((grid.z(row) - z).abs() <= (grid.z(r) - z).abs() + 1e-7);
+        }
+    }
+
+    #[test]
+    fn linspace_is_uniform(n in 2usize..200, a in -1.0f32..1.0, len in 0.001f32..2.0) {
+        let v = linspace(a, a + len, n);
+        prop_assert_eq!(v.len(), n);
+        let step = (v[n - 1] - v[0]) / (n - 1) as f32;
+        for w in v.windows(2) {
+            prop_assert!(((w[1] - w[0]) - step).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_random_hermitian_systems(seed in 0u64..500, dim in 2usize..10) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Build A = sum of outer products + I (positive definite).
+        let mut a = ComplexMatrix::identity(dim);
+        for _ in 0..dim {
+            let v: Vec<Complex32> = (0..dim)
+                .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            a.accumulate_outer(&v, 1.0);
+        }
+        let x_true: Vec<Complex32> = (0..dim)
+            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let b = a.mul_vec(&x_true);
+        let x = a.solve_hermitian(&b).unwrap();
+        for (xs, xt) in x.iter().zip(x_true.iter()) {
+            prop_assert!((xs.re - xt.re).abs() < 1e-2 && (xs.im - xt.im).abs() < 1e-2);
+        }
+        // Hermitian quadratic form x^H A x is real and positive.
+        let ax = a.mul_vec(&x_true);
+        let quad = hermitian_dot(&x_true, &ax);
+        prop_assert!(quad.re > 0.0);
+        prop_assert!(quad.im.abs() < 1e-2 * quad.re.abs().max(1.0));
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion benchmark: accelerator-model evaluation cost (Table VI / latency reports)
+//! and the underlying scheduler, across quantization schemes and PE counts.
+
+use accel::accelerator::Accelerator;
+use accel::resources::analytical_estimate;
+use accel::scheduler::Scheduler;
+use criterion::{criterion_group, criterion_main, Criterion};
+use quantize::QuantScheme;
+use tiny_vbf::config::TinyVbfConfig;
+
+fn bench_accelerator(c: &mut Criterion) {
+    let config = TinyVbfConfig::paper();
+
+    c.bench_function("frame_report_368x128_hybrid2", |b| {
+        let accel = Accelerator::new(config, QuantScheme::hybrid2());
+        b.iter(|| accel.frame_report(368, 128))
+    });
+
+    c.bench_function("all_schemes_report", |b| b.iter(|| Accelerator::all_schemes_report(config, 368, 128)));
+
+    c.bench_function("analytical_resource_estimate", |b| {
+        b.iter(|| analytical_estimate(&config, &QuantScheme::hybrid1()))
+    });
+
+    let mut group = c.benchmark_group("scheduler_row_cycles_by_pes");
+    for pes in [1usize, 2, 4, 8] {
+        group.bench_function(format!("{pes}_pes"), |b| {
+            let scheduler = Scheduler::with_pes(pes);
+            b.iter(|| scheduler.row_cycles(&config, &QuantScheme::hybrid2()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accelerator);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benchmark: classical beamformer throughput (DAS vs MVDR) on a reduced
+//! frame. Supports the paper's computational-cost argument (Table-free, Section IV).
+
+use beamforming::grid::ImagingGrid;
+use beamforming::pipeline::{Beamformer, DelayAndSum, Mvdr};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ultrasound::picmus::{PicmusDataset, PicmusKind};
+
+fn bench_beamformers(c: &mut Criterion) {
+    let frame = PicmusDataset::resolution(PicmusKind::InSilico)
+        .with_scale(0.15)
+        .with_max_depth(0.025)
+        .build(1)
+        .expect("frame");
+    let grid = ImagingGrid::for_array(&frame.array, 0.010, 0.012, 48, 24);
+
+    let mut group = c.benchmark_group("classical_beamformers");
+    group.sample_size(10);
+    group.bench_function("das_48x24", |b| {
+        b.iter(|| DelayAndSum::default().beamform(&frame.channel_data, &frame.array, &grid, 1540.0).unwrap())
+    });
+    group.bench_function("mvdr_48x24", |b| {
+        b.iter(|| Mvdr::fast().beamform(&frame.channel_data, &frame.array, &grid, 1540.0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_beamformers);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmark backing Table I: end-to-end contrast evaluation (simulate,
+//! beamform, score) of the classical beamformers on a reduced cyst frame.
+
+use beamforming::pipeline::{Beamformer, DelayAndSum, Mvdr};
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiny_vbf::evaluation::EvaluationConfig;
+use ultrasound::picmus::PicmusKind;
+use usmetrics::contrast_metrics;
+use usmetrics::region::CircularRoi;
+
+fn bench_contrast(c: &mut Criterion) {
+    let config = EvaluationConfig::test_size();
+    let frame = config.contrast_frame(PicmusKind::InSilico).expect("frame");
+    let grid = config.grid();
+    let cyst = frame.cysts()[0];
+    let roi = CircularRoi::new(cyst.cx, cyst.cz, cyst.radius);
+
+    let mut group = c.benchmark_group("table1_contrast_pipeline");
+    group.sample_size(10);
+    group.bench_function("das_beamform_and_score", |b| {
+        b.iter(|| {
+            let iq = DelayAndSum::default().beamform(&frame.channel_data, &frame.array, &grid, 1540.0).unwrap();
+            contrast_metrics(&iq.envelope(), &grid, roi).unwrap()
+        })
+    });
+    group.bench_function("mvdr_beamform_and_score", |b| {
+        b.iter(|| {
+            let iq = Mvdr::fast().beamform(&frame.channel_data, &frame.array, &grid, 1540.0).unwrap();
+            contrast_metrics(&iq.envelope(), &grid, roi).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_contrast);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmark: quantized Tiny-VBF row inference across the paper's schemes
+//! (Tables III-V support), plus tensor quantization throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neural::init::normal;
+use quantize::fixed::FixedFormat;
+use quantize::quantizer::quantize_tensor;
+use quantize::QuantScheme;
+use tiny_vbf::config::TinyVbfConfig;
+use tiny_vbf::model::TinyVbf;
+use tiny_vbf::quantized::QuantizedTinyVbf;
+
+fn bench_quantization(c: &mut Criterion) {
+    let config = TinyVbfConfig::small();
+    let model = TinyVbf::new(&config).expect("model");
+    let row = normal(&[config.tokens, config.channels], 0.3, 3);
+
+    let mut group = c.benchmark_group("quantized_row_inference");
+    group.sample_size(20);
+    for scheme in [QuantScheme::float(), QuantScheme::w24(), QuantScheme::w16(), QuantScheme::hybrid2()] {
+        let quantized = QuantizedTinyVbf::from_model(&model, scheme);
+        group.bench_function(scheme.name, |b| b.iter(|| quantized.infer_row(&row)));
+    }
+    group.finish();
+
+    let tensor = normal(&[368, 128], 0.5, 9);
+    let format = FixedFormat::new(16, 10);
+    c.bench_function("quantize_tensor_368x128_to_16bit", |b| b.iter(|| quantize_tensor(&tensor, format)));
+}
+
+criterion_group!(benches, bench_quantization);
+criterion_main!(benches);

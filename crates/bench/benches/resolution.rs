@@ -1,0 +1,35 @@
+//! Criterion benchmark backing Table II and Figs. 12/14: resolution evaluation
+//! (beamform a point-target frame and measure FWHM / lateral PSFs).
+
+use beamforming::pipeline::{Beamformer, DelayAndSum};
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiny_vbf::evaluation::EvaluationConfig;
+use ultrasound::picmus::PicmusKind;
+use usmetrics::psf::LateralPsf;
+use usmetrics::resolution_metrics;
+
+fn bench_resolution(c: &mut Criterion) {
+    let config = EvaluationConfig::test_size();
+    let frame = config.resolution_frame(PicmusKind::InSilico).expect("frame");
+    let grid = config.grid();
+    let target = frame.point_targets().iter().find(|p| p.x.abs() < 1e-4).copied().expect("central target");
+
+    let das_iq = DelayAndSum::default().beamform(&frame.channel_data, &frame.array, &grid, 1540.0).unwrap();
+    let envelope = das_iq.envelope();
+
+    let mut group = c.benchmark_group("table2_resolution_pipeline");
+    group.sample_size(10);
+    group.bench_function("das_beamform", |b| {
+        b.iter(|| DelayAndSum::default().beamform(&frame.channel_data, &frame.array, &grid, 1540.0).unwrap())
+    });
+    group.bench_function("fwhm_measurement", |b| {
+        b.iter(|| resolution_metrics(&envelope, &grid, target.x, target.z).unwrap())
+    });
+    group.bench_function("lateral_psf_extraction", |b| {
+        b.iter(|| LateralPsf::from_envelope(&envelope, &grid, target.z))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolution);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates Figs. 1(a), 9(a) and 10: B-mode images of the cyst (contrast) datasets
+//! for every beamformer, rendered as ASCII intensity maps plus per-cyst contrast values.
+
+use bench::evaluation_config_from_env;
+use tiny_vbf::evaluation::{beamformer_suite, bmode_gallery, contrast_table, train_models};
+use ultrasound::picmus::PicmusKind;
+
+fn main() {
+    let config = evaluation_config_from_env();
+    eprintln!("training models…");
+    let models = train_models(&config).expect("training failed");
+    let beamformers = beamformer_suite(&models, &config);
+
+    for (kind, label) in [(PicmusKind::InSilico, "Fig. 9(a) — in-silico cysts (13/25/37 mm)"), (PicmusKind::InVitro, "Fig. 10 — in-vitro cysts (15/35 mm)")] {
+        println!("=== {label} ===");
+        let gallery = bmode_gallery(&beamformers, &config, kind, true).expect("gallery failed");
+        for (name, bmode) in &gallery {
+            println!("--- {name} ({} dB dynamic range) ---", bmode.dynamic_range());
+            println!("{}", bmode.to_ascii(64));
+        }
+        let table = contrast_table(&beamformers, &config, kind).expect("metrics failed");
+        for row in table {
+            println!("{:<10} CR {:.2} dB  CNR {:.2}  GCNR {:.2}", row.beamformer, row.metrics.cr_db, row.metrics.cnr, row.metrics.gcnr);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figs. 11 and 13: B-mode images of the resolution-distortion datasets
+//! (point targets at two depths) for every beamformer.
+
+use bench::evaluation_config_from_env;
+use tiny_vbf::evaluation::{beamformer_suite, bmode_gallery, resolution_table, train_models};
+use ultrasound::picmus::PicmusKind;
+
+fn main() {
+    let config = evaluation_config_from_env();
+    eprintln!("training models…");
+    let models = train_models(&config).expect("training failed");
+    let beamformers = beamformer_suite(&models, &config);
+
+    for (kind, label) in [
+        (PicmusKind::InSilico, "Fig. 11 — in-silico point targets (15.12 / 35.15 mm)"),
+        (PicmusKind::InVitro, "Fig. 13 — in-vitro point targets (14.01 / 32.79 mm)"),
+    ] {
+        println!("=== {label} ===");
+        let gallery = bmode_gallery(&beamformers, &config, kind, false).expect("gallery failed");
+        for (name, bmode) in &gallery {
+            println!("--- {name} ---");
+            println!("{}", bmode.to_ascii(64));
+        }
+        let table = resolution_table(&beamformers, &config, kind).expect("metrics failed");
+        for row in table {
+            println!("{:<10} axial {:.3} mm   lateral {:.3} mm", row.beamformer, row.metrics.axial_mm, row.metrics.lateral_mm);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table I: contrast metrics (CR / CNR / GCNR) of DAS, MVDR, Tiny-CNN,
+//! Tiny-VBF (and FCNN) on the in-silico and in-vitro contrast datasets.
+
+use bench::{evaluation_config_from_env, format_contrast_table, paper_table1_phantom, paper_table1_simulation};
+use tiny_vbf::evaluation::{beamformer_suite, contrast_table, train_models};
+use ultrasound::picmus::PicmusKind;
+
+fn main() {
+    let config = evaluation_config_from_env();
+    eprintln!("training models at reduced scale ({} channels, {}x{} grid)…", config.array().num_elements(), config.grid_rows, config.grid_cols);
+    let models = train_models(&config).expect("training failed");
+    let beamformers = beamformer_suite(&models, &config);
+
+    let simulation = contrast_table(&beamformers, &config, PicmusKind::InSilico).expect("in-silico evaluation failed");
+    println!("{}", format_contrast_table("Table I — Simulation (in-silico) contrast metrics [measured | paper]", &simulation, &paper_table1_simulation()));
+
+    let phantom = contrast_table(&beamformers, &config, PicmusKind::InVitro).expect("in-vitro evaluation failed");
+    println!("{}", format_contrast_table("Table I — Phantom (in-vitro) contrast metrics [measured | paper]", &phantom, &paper_table1_phantom()));
+}

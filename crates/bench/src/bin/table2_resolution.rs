@@ -1,0 +1,19 @@
+//! Regenerates Table II: axial and lateral resolution of DAS, MVDR, Tiny-CNN, Tiny-VBF
+//! (and FCNN) on the in-silico and in-vitro resolution-distortion datasets.
+
+use bench::{evaluation_config_from_env, format_resolution_table, paper_table2_phantom, paper_table2_simulation};
+use tiny_vbf::evaluation::{beamformer_suite, resolution_table, train_models};
+use ultrasound::picmus::PicmusKind;
+
+fn main() {
+    let config = evaluation_config_from_env();
+    eprintln!("training models…");
+    let models = train_models(&config).expect("training failed");
+    let beamformers = beamformer_suite(&models, &config);
+
+    let simulation = resolution_table(&beamformers, &config, PicmusKind::InSilico).expect("in-silico evaluation failed");
+    println!("{}", format_resolution_table("Table II — Simulation (in-silico) resolution [measured | paper]", &simulation, &paper_table2_simulation()));
+
+    let phantom = resolution_table(&beamformers, &config, PicmusKind::InVitro).expect("in-vitro evaluation failed");
+    println!("{}", format_resolution_table("Table II — Phantom (in-vitro) resolution [measured | paper]", &phantom, &paper_table2_phantom()));
+}

@@ -1,0 +1,27 @@
+//! Prints Table III: the bit-width assignment of every quantization scheme.
+
+use quantize::{QuantScheme, TensorRole};
+
+fn main() {
+    println!("Table III — Quantization scheme bit widths");
+    println!(
+        "{:<10} | {:>8} | {:>8} | {:>12} | {:>13}",
+        "Scheme", "Weights", "Softmax", "Mul/Add ops", "Intermediates"
+    );
+    println!("{}", "-".repeat(62));
+    for scheme in QuantScheme::all() {
+        let bits = |role: TensorRole| {
+            scheme
+                .format_for(role)
+                .map_or("float".to_string(), |f| format!("{} bits", f.word_bits()))
+        };
+        println!(
+            "{:<10} | {:>8} | {:>8} | {:>12} | {:>13}",
+            scheme.name,
+            bits(TensorRole::Weight),
+            bits(TensorRole::Softmax),
+            bits(TensorRole::MacResult),
+            bits(TensorRole::Intermediate)
+        );
+    }
+}

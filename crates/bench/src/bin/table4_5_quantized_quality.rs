@@ -1,0 +1,21 @@
+//! Regenerates Tables IV and V: resolution and contrast of the quantized Tiny-VBF under
+//! every scheme (Float / 24 / 20 / 16 bits / Hybrid-1 / Hybrid-2), for both datasets.
+
+use bench::{evaluation_config_from_env, format_quantized_quality};
+use tiny_vbf::evaluation::{quantized_quality_table, train_models};
+use ultrasound::picmus::PicmusKind;
+
+fn main() {
+    let config = evaluation_config_from_env();
+    eprintln!("training Tiny-VBF…");
+    let models = train_models(&config).expect("training failed");
+
+    let simulation = quantized_quality_table(&models.tiny_vbf, &config, PicmusKind::InSilico).expect("in-silico evaluation failed");
+    println!("{}", format_quantized_quality("Tables IV & V — Simulation (in-silico), quality vs quantization", &simulation));
+
+    let phantom = quantized_quality_table(&models.tiny_vbf, &config, PicmusKind::InVitro).expect("in-vitro evaluation failed");
+    println!("{}", format_quantized_quality("Tables IV & V — Phantom (in-vitro), quality vs quantization", &phantom));
+
+    println!("Paper reference (Table IV, simulation): Float/24-bit 0.303/0.45 mm; 20-bit 0.310/0.45; hybrids 0.309/0.45");
+    println!("Paper reference (Table V, simulation): Float 14.89/1.75/0.74; Hybrid-2 13.26/1.75/0.72");
+}

@@ -1,0 +1,52 @@
+//! Regenerates Table VI and Fig. 1(b): FPGA resource utilization and power per
+//! quantization scheme, from both the calibrated and the analytical resource models,
+//! plus the accelerator latency at 100 MHz.
+
+use accel::accelerator::Accelerator;
+use accel::resources::{analytical_estimate, paper_table_vi};
+use quantize::QuantScheme;
+use tiny_vbf::config::TinyVbfConfig;
+
+fn main() {
+    let config = TinyVbfConfig::paper();
+    println!("Table VI — Resource utilization (paper measurement vs analytical model)");
+    println!(
+        "{:<10} | {:>9} {:>9} {:>7} {:>6} {:>8} {:>7} | {:>9} {:>9} {:>7} {:>6} {:>8} {:>7}",
+        "Scheme", "LUT", "FF", "BRAM", "DSP", "LUTRAM", "P(W)", "~LUT", "~FF", "~BRAM", "~DSP", "~LUTRAM", "~P(W)"
+    );
+    println!("{}", "-".repeat(130));
+    for scheme in QuantScheme::all() {
+        let paper = paper_table_vi(&scheme).expect("known scheme");
+        let model = analytical_estimate(&config, &scheme);
+        println!(
+            "{:<10} | {:>9.0} {:>9.0} {:>7.1} {:>6.0} {:>8.0} {:>7.3} | {:>9.0} {:>9.0} {:>7.1} {:>6.0} {:>8.0} {:>7.3}",
+            scheme.name, paper.lut, paper.ff, paper.bram, paper.dsp, paper.lutram, paper.power_w,
+            model.lut, model.ff, model.bram, model.dsp, model.lutram, model.power_w
+        );
+    }
+
+    println!();
+    println!("Fig. 1(b) — Hybrid-2 vs Float relative utilization (calibrated numbers)");
+    let float = paper_table_vi(&QuantScheme::float()).unwrap();
+    let hybrid2 = paper_table_vi(&QuantScheme::hybrid2()).unwrap();
+    println!(
+        "LUT {:.0}% | FF {:.0}% | BRAM {:.0}% | LUTRAM {:.0}% | overall {:.0}% of the float implementation",
+        100.0 * hybrid2.lut / float.lut,
+        100.0 * hybrid2.ff / float.ff,
+        100.0 * hybrid2.bram / float.bram,
+        100.0 * hybrid2.lutram / float.lutram,
+        100.0 * hybrid2.relative_utilization(&float),
+    );
+
+    println!();
+    println!("Accelerator latency at 100 MHz (368x128 frame):");
+    for report in Accelerator::all_schemes_report(config, 368, 128) {
+        println!(
+            "  {:<10} {:>12} cycles/frame  {:>8.1} ms/frame  {:>7.1} frames/s",
+            report.scheme,
+            report.cycles_per_frame,
+            report.latency_seconds * 1e3,
+            report.frames_per_second
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared infrastructure for the table/figure regeneration binaries and the Criterion
+//! benchmarks.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1_contrast` | Table I (contrast, simulation + phantom) |
+//! | `table2_resolution` | Table II (axial/lateral resolution) |
+//! | `table3_schemes` | Table III (hybrid quantization bit widths) |
+//! | `table4_5_quantized_quality` | Tables IV and V (quality vs quantization) |
+//! | `table6_resources` | Table VI + Fig. 1(b) (FPGA resource utilization) |
+//! | `gops_inference_time` | Section IV GOPs/frame and CPU inference-time comparison |
+//! | `fig09_contrast_images` | Figs. 1(a), 9(a), 10 (B-mode cyst images) |
+//! | `fig09b_lateral_profile` | Fig. 9(b) (lateral variation across a cyst) |
+//! | `fig11_resolution_images` | Figs. 11 and 13 (B-mode point-target images) |
+//! | `fig12_psf_insilico` | Fig. 12 (lateral PSFs, in-silico) |
+//! | `fig14_psf_invitro` | Fig. 14 (lateral PSFs, in-vitro) |
+//! | `fig15_quantized_images` | Fig. 15 (B-mode under quantization) |
+//!
+//! Each binary honours the `TINY_VBF_EVAL` environment variable: `test` selects the
+//! seconds-scale smoke configuration, anything else (or unset) the reduced evaluation
+//! configuration described in `DESIGN.md`.
+
+pub mod report;
+
+pub use report::*;

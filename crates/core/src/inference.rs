@@ -1,0 +1,224 @@
+//! [`Beamformer`] adapters for the learned models.
+//!
+//! Wrapping the trained networks in the same [`Beamformer`] trait as DAS and MVDR lets
+//! the evaluation harness (and downstream users) swap beamformers freely.
+
+use crate::baselines::{Fcnn, TinyCnn};
+use crate::model::TinyVbf;
+use crate::training::cube_row;
+use crate::TinyVbfResult;
+use beamforming::grid::ImagingGrid;
+use beamforming::iq::{rf_to_iq, IqImage};
+use beamforming::pipeline::Beamformer;
+use beamforming::tof::{tof_correct, TofCube};
+use beamforming::{BeamformError, BeamformResult};
+use ultrasound::{ChannelData, LinearArray, PlaneWave};
+use usdsp::Complex32;
+
+fn normalized_cube(
+    data: &ChannelData,
+    array: &LinearArray,
+    grid: &ImagingGrid,
+    sound_speed: f32,
+) -> BeamformResult<TofCube> {
+    let mut cube = tof_correct(data, array, grid, PlaneWave::zero_angle(), sound_speed)?;
+    cube.normalize();
+    Ok(cube)
+}
+
+/// Tiny-VBF as a drop-in beamformer.
+#[derive(Debug, Clone)]
+pub struct TinyVbfBeamformer {
+    model: TinyVbf,
+}
+
+impl TinyVbfBeamformer {
+    /// Wraps a (typically trained) Tiny-VBF model.
+    pub fn new(model: TinyVbf) -> Self {
+        Self { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &TinyVbf {
+        &self.model
+    }
+
+    /// Runs the model over every row of a (already normalized) ToF cube.
+    ///
+    /// # Errors
+    ///
+    /// Propagates row shape errors from the model.
+    pub fn beamform_cube(&self, cube: &TofCube, grid: &ImagingGrid) -> TinyVbfResult<IqImage> {
+        let mut model = self.model.clone();
+        let mut data = Vec::with_capacity(grid.num_pixels());
+        for row in 0..cube.rows() {
+            let input = cube_row(cube, row);
+            let out = model.infer_row(&input)?;
+            for col in 0..out.rows() {
+                data.push(Complex32::new(out.at(col, 0), out.at(col, 1)));
+            }
+        }
+        Ok(IqImage::from_data(data, grid.clone())?)
+    }
+}
+
+impl Beamformer for TinyVbfBeamformer {
+    fn name(&self) -> &str {
+        "Tiny-VBF"
+    }
+
+    fn beamform(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<IqImage> {
+        let cube = normalized_cube(data, array, grid, sound_speed)?;
+        self.beamform_cube(&cube, grid)
+            .map_err(|e| BeamformError::InvalidParameter { name: "tiny_vbf", reason: e.to_string() })
+    }
+}
+
+/// Tiny-CNN baseline as a drop-in beamformer.
+#[derive(Debug, Clone)]
+pub struct TinyCnnBeamformer {
+    model: TinyCnn,
+}
+
+impl TinyCnnBeamformer {
+    /// Wraps a trained Tiny-CNN model.
+    pub fn new(model: TinyCnn) -> Self {
+        Self { model }
+    }
+
+    fn beamform_rf(&self, cube: &TofCube) -> TinyVbfResult<Vec<f32>> {
+        let mut model = self.model.clone();
+        let mut rf = Vec::with_capacity(cube.rows() * cube.cols());
+        for row in 0..cube.rows() {
+            let input = cube_row(cube, row);
+            let out = model.infer_row(&input)?;
+            for col in 0..out.rows() {
+                rf.push(out.at(col, 0));
+            }
+        }
+        Ok(rf)
+    }
+}
+
+impl Beamformer for TinyCnnBeamformer {
+    fn name(&self) -> &str {
+        "Tiny-CNN"
+    }
+
+    fn beamform(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<IqImage> {
+        let cube = normalized_cube(data, array, grid, sound_speed)?;
+        let rf = self
+            .beamform_rf(&cube)
+            .map_err(|e| BeamformError::InvalidParameter { name: "tiny_cnn", reason: e.to_string() })?;
+        rf_to_iq(&rf, grid)
+    }
+}
+
+/// FCNN baseline as a drop-in beamformer.
+#[derive(Debug, Clone)]
+pub struct FcnnBeamformer {
+    model: Fcnn,
+}
+
+impl FcnnBeamformer {
+    /// Wraps a trained FCNN model.
+    pub fn new(model: Fcnn) -> Self {
+        Self { model }
+    }
+
+    fn beamform_rf(&self, cube: &TofCube) -> TinyVbfResult<Vec<f32>> {
+        let mut model = self.model.clone();
+        let mut rf = Vec::with_capacity(cube.rows() * cube.cols());
+        for row in 0..cube.rows() {
+            let input = cube_row(cube, row);
+            let out = model.infer_row(&input)?;
+            for col in 0..out.rows() {
+                rf.push(out.at(col, 0));
+            }
+        }
+        Ok(rf)
+    }
+}
+
+impl Beamformer for FcnnBeamformer {
+    fn name(&self) -> &str {
+        "FCNN"
+    }
+
+    fn beamform(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<IqImage> {
+        let cube = normalized_cube(data, array, grid, sound_speed)?;
+        let rf = self
+            .beamform_rf(&cube)
+            .map_err(|e| BeamformError::InvalidParameter { name: "fcnn", reason: e.to_string() })?;
+        rf_to_iq(&rf, grid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TinyVbfConfig;
+    use ultrasound::{Medium, Phantom, PlaneWaveSimulator};
+
+    fn small_frame() -> (ChannelData, LinearArray, ImagingGrid) {
+        let array = LinearArray::small_test_array();
+        let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), 0.025);
+        let phantom = Phantom::builder(0.01, 0.025).add_point_target(0.0, 0.018, 1.0).build();
+        let rf = sim.simulate(&phantom, PlaneWave::zero_angle()).unwrap();
+        let grid = ImagingGrid::for_array(&array, 0.014, 0.008, 20, 16);
+        (rf, array, grid)
+    }
+
+    #[test]
+    fn tiny_vbf_beamformer_produces_grid_shaped_iq() {
+        let (rf, array, grid) = small_frame();
+        let config = TinyVbfConfig::small().for_frame(array.num_elements(), grid.num_cols());
+        let model = TinyVbf::new(&config).unwrap();
+        let beamformer = TinyVbfBeamformer::new(model);
+        assert_eq!(beamformer.name(), "Tiny-VBF");
+        let iq = beamformer.beamform(&rf, &array, &grid, 1540.0).unwrap();
+        assert_eq!(iq.num_pixels(), grid.num_pixels());
+        assert!(iq.peak() <= (2.0f32).sqrt() + 1e-5); // tanh bounds both components
+        assert!(beamformer.model().num_weights() > 0);
+    }
+
+    #[test]
+    fn baseline_beamformers_produce_grid_shaped_iq() {
+        let (rf, array, grid) = small_frame();
+        let cnn = TinyCnnBeamformer::new(TinyCnn::new(array.num_elements(), 3, 1).unwrap());
+        let fcnn = FcnnBeamformer::new(Fcnn::new(array.num_elements(), 16, 1).unwrap());
+        assert_eq!(cnn.name(), "Tiny-CNN");
+        assert_eq!(fcnn.name(), "FCNN");
+        for beamformer in [&cnn as &dyn Beamformer, &fcnn as &dyn Beamformer] {
+            let iq = beamformer.beamform(&rf, &array, &grid, 1540.0).unwrap();
+            assert_eq!(iq.num_pixels(), grid.num_pixels());
+        }
+    }
+
+    #[test]
+    fn wrong_channel_count_is_reported() {
+        let (rf, array, grid) = small_frame();
+        // Model configured for a different channel count.
+        let config = TinyVbfConfig::small().for_frame(16, grid.num_cols());
+        let beamformer = TinyVbfBeamformer::new(TinyVbf::new(&config).unwrap());
+        assert!(beamformer.beamform(&rf, &array, &grid, 1540.0).is_err());
+    }
+}

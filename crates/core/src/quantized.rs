@@ -1,0 +1,291 @@
+//! Fixed-point (quantized) Tiny-VBF inference.
+//!
+//! The FPGA deployment runs the network in fixed point. This module replays the exact
+//! operation sequence of [`crate::model::TinyVbf`] on exported weights, but rounds
+//! every value class onto its scheme-assigned grid: weights once up front, every
+//! multiply-accumulate result, every softmax, and every intermediate activation
+//! (Table III). Evaluating the resulting images against the float model reproduces
+//! Tables IV and V and Fig. 15.
+
+use crate::model::{TinyVbf, TinyVbfWeights, TransformerBlockWeights};
+use crate::training::cube_row;
+use crate::TinyVbfResult;
+use beamforming::grid::ImagingGrid;
+use beamforming::iq::IqImage;
+use beamforming::pipeline::Beamformer;
+use beamforming::tof::{tof_correct, TofCube};
+use beamforming::{BeamformError, BeamformResult};
+use neural::activation::softmax_rows;
+use neural::tensor::Tensor;
+use quantize::quantizer::quantize_for_role;
+use quantize::{QuantScheme, TensorRole};
+use ultrasound::{ChannelData, LinearArray, PlaneWave};
+use usdsp::Complex32;
+
+/// A Tiny-VBF model with weights and datapath quantized according to a scheme.
+#[derive(Debug, Clone)]
+pub struct QuantizedTinyVbf {
+    weights: TinyVbfWeights,
+    scheme: QuantScheme,
+}
+
+impl QuantizedTinyVbf {
+    /// Quantizes a trained model's weights according to `scheme`.
+    pub fn from_model(model: &TinyVbf, scheme: QuantScheme) -> Self {
+        let mut weights = model.export_weights();
+        let q = |t: &Tensor| quantize_for_role(t, &scheme, TensorRole::Weight);
+        weights.encoder_weight = q(&weights.encoder_weight);
+        weights.encoder_bias = q(&weights.encoder_bias);
+        if let Some(pos) = weights.positional.as_ref() {
+            weights.positional = Some(q(pos));
+        }
+        for block in weights.blocks.iter_mut() {
+            *block = TransformerBlockWeights {
+                norm1_gamma: q(&block.norm1_gamma),
+                norm1_beta: q(&block.norm1_beta),
+                wq: q(&block.wq),
+                wk: q(&block.wk),
+                wv: q(&block.wv),
+                wo: q(&block.wo),
+                norm2_gamma: q(&block.norm2_gamma),
+                norm2_beta: q(&block.norm2_beta),
+                mlp_in_weight: q(&block.mlp_in_weight),
+                mlp_in_bias: q(&block.mlp_in_bias),
+                mlp_out_weight: q(&block.mlp_out_weight),
+                mlp_out_bias: q(&block.mlp_out_bias),
+            };
+        }
+        weights.decoder_in_weight = q(&weights.decoder_in_weight);
+        weights.decoder_in_bias = q(&weights.decoder_in_bias);
+        weights.decoder_out_weight = q(&weights.decoder_out_weight);
+        weights.decoder_out_bias = q(&weights.decoder_out_bias);
+        Self { weights, scheme }
+    }
+
+    /// The quantization scheme in use.
+    pub fn scheme(&self) -> &QuantScheme {
+        &self.scheme
+    }
+
+    /// The (already weight-quantized) exported weights.
+    pub fn weights(&self) -> &TinyVbfWeights {
+        &self.weights
+    }
+
+    fn q_mac(&self, t: Tensor) -> Tensor {
+        quantize_for_role(&t, &self.scheme, TensorRole::MacResult)
+    }
+
+    fn q_inter(&self, t: Tensor) -> Tensor {
+        quantize_for_role(&t, &self.scheme, TensorRole::Intermediate)
+    }
+
+    fn q_softmax(&self, t: Tensor) -> Tensor {
+        quantize_for_role(&t, &self.scheme, TensorRole::Softmax)
+    }
+
+    fn dense(&self, input: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
+        self.q_mac(input.matmul(weight).add_row_broadcast(bias))
+    }
+
+    fn layer_norm(&self, input: &Tensor, gamma: &Tensor, beta: &Tensor) -> Tensor {
+        let (rows, cols) = (input.rows(), input.cols());
+        let mut out = Tensor::zeros(&[rows, cols]);
+        for r in 0..rows {
+            let mean: f32 = (0..cols).map(|c| input.at(r, c)).sum::<f32>() / cols as f32;
+            let var: f32 = (0..cols).map(|c| (input.at(r, c) - mean).powi(2)).sum::<f32>() / cols as f32;
+            let inv_std = 1.0 / (var + 1e-5).sqrt();
+            for c in 0..cols {
+                *out.at_mut(r, c) = (input.at(r, c) - mean) * inv_std * gamma.at(0, c) + beta.at(0, c);
+            }
+        }
+        self.q_inter(out)
+    }
+
+    fn attention(&self, input: &Tensor, block: &TransformerBlockWeights) -> Tensor {
+        let config = &self.weights.config;
+        let head_dim = config.model_dim / config.num_heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let q = self.q_mac(input.matmul(&block.wq));
+        let k = self.q_mac(input.matmul(&block.wk));
+        let v = self.q_mac(input.matmul(&block.wv));
+        let tokens = input.rows();
+        let mut concat = Tensor::zeros(&[tokens, config.model_dim]);
+        for h in 0..config.num_heads {
+            let start = h * head_dim;
+            let qh = q.slice_cols(start, head_dim);
+            let kh = k.slice_cols(start, head_dim);
+            let vh = v.slice_cols(start, head_dim);
+            let scores = self.q_mac(qh.matmul(&kh.transpose()).scale(scale));
+            let attention = self.q_softmax(softmax_rows(&scores));
+            let oh = self.q_mac(attention.matmul(&vh));
+            concat.set_cols(start, &oh);
+        }
+        self.q_mac(concat.matmul(&block.wo))
+    }
+
+    /// Runs quantized inference on one `(tokens, channels)` depth row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width does not match the configured channel count.
+    pub fn infer_row(&self, row: &Tensor) -> Tensor {
+        let config = &self.weights.config;
+        assert_eq!(row.cols(), config.channels, "quantized inference: channel mismatch");
+        let quant_input = self.q_inter(row.clone());
+        let mut x = self.dense(&quant_input, &self.weights.encoder_weight, &self.weights.encoder_bias);
+        if let Some(pos) = self.weights.positional.as_ref() {
+            let rows = x.rows();
+            for r in 0..rows {
+                let pr = r.min(pos.rows() - 1);
+                for c in 0..x.cols() {
+                    *x.at_mut(r, c) += pos.at(pr, c);
+                }
+            }
+            x = self.q_inter(x);
+        }
+        for block in &self.weights.blocks {
+            let normed = self.layer_norm(&x, &block.norm1_gamma, &block.norm1_beta);
+            let attended = self.attention(&normed, block);
+            let after_attention = self.q_inter(x.add(&attended));
+            let normed2 = self.layer_norm(&after_attention, &block.norm2_gamma, &block.norm2_beta);
+            let hidden = self
+                .dense(&normed2, &block.mlp_in_weight, &block.mlp_in_bias)
+                .map(|v| v.max(0.0));
+            let mlp = self.dense(&hidden, &block.mlp_out_weight, &block.mlp_out_bias);
+            x = self.q_inter(after_attention.add(&mlp));
+        }
+        let hidden = self
+            .dense(&x, &self.weights.decoder_in_weight, &self.weights.decoder_in_bias)
+            .map(|v| v.max(0.0));
+        let out = self.dense(&hidden, &self.weights.decoder_out_weight, &self.weights.decoder_out_bias);
+        self.q_inter(out.map(|v| v.tanh()))
+    }
+
+    /// Runs quantized inference over every row of a normalized ToF cube.
+    ///
+    /// # Errors
+    ///
+    /// Propagates image-assembly errors.
+    pub fn beamform_cube(&self, cube: &TofCube, grid: &ImagingGrid) -> TinyVbfResult<IqImage> {
+        let mut data = Vec::with_capacity(grid.num_pixels());
+        for row in 0..cube.rows() {
+            let input = cube_row(cube, row);
+            let out = self.infer_row(&input);
+            for col in 0..out.rows() {
+                data.push(Complex32::new(out.at(col, 0), out.at(col, 1)));
+            }
+        }
+        Ok(IqImage::from_data(data, grid.clone())?)
+    }
+}
+
+impl Beamformer for QuantizedTinyVbf {
+    fn name(&self) -> &str {
+        self.scheme.name
+    }
+
+    fn beamform(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<IqImage> {
+        let mut cube = tof_correct(data, array, grid, PlaneWave::zero_angle(), sound_speed)?;
+        cube.normalize();
+        self.beamform_cube(&cube, grid)
+            .map_err(|e| BeamformError::InvalidParameter { name: "quantized_tiny_vbf", reason: e.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TinyVbfConfig;
+    use neural::init::normal;
+
+    fn model_and_row() -> (TinyVbf, Tensor) {
+        let config = TinyVbfConfig::tiny_test();
+        let model = TinyVbf::new(&config).unwrap();
+        let row = normal(&[config.tokens, config.channels], 0.4, 17).map(|v| v.clamp(-1.0, 1.0));
+        (model, row)
+    }
+
+    #[test]
+    fn float_scheme_matches_float_model_closely() {
+        let (mut model, row) = model_and_row();
+        let float_out = model.infer_row(&row).unwrap();
+        let quantized = QuantizedTinyVbf::from_model(&model, QuantScheme::float());
+        let q_out = quantized.infer_row(&row);
+        for (a, b) in float_out.as_slice().iter().zip(q_out.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert_eq!(quantized.name(), "Float");
+    }
+
+    #[test]
+    fn quantization_error_grows_as_bits_shrink() {
+        let (mut model, row) = model_and_row();
+        let reference = model.infer_row(&row).unwrap();
+        let error = |scheme: QuantScheme| {
+            let q = QuantizedTinyVbf::from_model(&model, scheme);
+            let out = q.infer_row(&row);
+            reference
+                .as_slice()
+                .iter()
+                .zip(out.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max)
+        };
+        let e24 = error(QuantScheme::w24());
+        let e16 = error(QuantScheme::w16());
+        assert!(e24 <= e16 + 1e-6, "e24 {e24} e16 {e16}");
+        // 24-bit inference should stay very close to float.
+        assert!(e24 < 0.05, "e24 {e24}");
+    }
+
+    #[test]
+    fn hybrid_schemes_sit_between_float_and_16_bit() {
+        let (mut model, row) = model_and_row();
+        let reference = model.infer_row(&row).unwrap();
+        let max_err = |scheme: QuantScheme| {
+            let q = QuantizedTinyVbf::from_model(&model, scheme);
+            let out = q.infer_row(&row);
+            reference
+                .as_slice()
+                .iter()
+                .zip(out.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max)
+        };
+        let h1 = max_err(QuantScheme::hybrid1());
+        let h2 = max_err(QuantScheme::hybrid2());
+        // Both hybrids keep the output usable (bounded error) …
+        assert!(h1 < 0.5 && h2 < 0.5, "h1 {h1} h2 {h2}");
+        // … and Hybrid-1 (wider datapath) is at least as accurate as Hybrid-2.
+        assert!(h1 <= h2 + 0.05, "h1 {h1} h2 {h2}");
+    }
+
+    #[test]
+    fn weights_are_quantized_once_up_front() {
+        let (model, _) = model_and_row();
+        let q = QuantizedTinyVbf::from_model(&model, QuantScheme::hybrid2());
+        let format = QuantScheme::hybrid2().weights.unwrap();
+        for &v in q.weights().encoder_weight.as_slice() {
+            assert_eq!(v, format.quantize(v));
+        }
+        assert_eq!(q.scheme(), &QuantScheme::hybrid2());
+    }
+
+    #[test]
+    fn output_stays_bounded_under_all_schemes() {
+        let (model, row) = model_and_row();
+        for scheme in QuantScheme::all() {
+            let q = QuantizedTinyVbf::from_model(&model, scheme);
+            let out = q.infer_row(&row);
+            assert!(out.is_finite(), "{}", scheme.name);
+            assert!(out.max_abs() <= 1.01, "{}: {}", scheme.name, out.max_abs());
+        }
+    }
+}

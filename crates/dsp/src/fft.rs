@@ -1,0 +1,325 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! The transforms here are used by the [Hilbert transform](crate::hilbert) (envelope
+//! detection of beamformed RF) and by the FIR design routines. Signals whose length is
+//! not a power of two are handled by zero-padding helpers ([`next_pow2`], [`fft_padded`]).
+
+use crate::complex::Complex32;
+use crate::{DspError, DspResult};
+use std::f32::consts::PI;
+
+/// Returns the smallest power of two that is `>= n` (and at least 1).
+///
+/// ```
+/// assert_eq!(usdsp::fft::next_pow2(0), 1);
+/// assert_eq!(usdsp::fft::next_pow2(5), 8);
+/// assert_eq!(usdsp::fft::next_pow2(8), 8);
+/// ```
+pub fn next_pow2(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    let mut p = 1usize;
+    while p < n {
+        p <<= 1;
+    }
+    p
+}
+
+/// Returns `true` when `n` is a power of two (and nonzero).
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+fn bit_reverse_permute(data: &mut [Complex32]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidLength`] when the length is not a power of two, and
+/// [`DspError::EmptyInput`] when it is empty.
+pub fn fft_in_place(data: &mut [Complex32], inverse: bool) -> DspResult<()> {
+    let n = data.len();
+    if n == 0 {
+        return Err(DspError::EmptyInput);
+    }
+    if !is_pow2(n) {
+        return Err(DspError::InvalidLength { actual: n, requirement: "FFT length must be a power of two" });
+    }
+    if n == 1 {
+        return Ok(());
+    }
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f32;
+        let wlen = Complex32::cis(ang);
+        let half = len / 2;
+        let mut start = 0usize;
+        while start < n {
+            let mut w = Complex32::ONE;
+            for k in 0..half {
+                let u = data[start + k];
+                let v = data[start + k + half] * w;
+                data[start + k] = u + v;
+                data[start + k + half] = u - v;
+                w *= wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f32;
+        for x in data.iter_mut() {
+            *x = x.scale(inv_n);
+        }
+    }
+    Ok(())
+}
+
+/// Forward FFT of a power-of-two-length complex signal.
+///
+/// # Panics
+///
+/// Panics when the input length is zero or not a power of two; use [`fft_padded`] for
+/// arbitrary lengths.
+pub fn fft(input: &[Complex32]) -> Vec<Complex32> {
+    let mut data = input.to_vec();
+    fft_in_place(&mut data, false).expect("fft: input length must be a nonzero power of two");
+    data
+}
+
+/// Inverse FFT of a power-of-two-length spectrum (includes the `1/N` normalisation).
+///
+/// # Panics
+///
+/// Panics when the input length is zero or not a power of two.
+pub fn ifft(input: &[Complex32]) -> Vec<Complex32> {
+    let mut data = input.to_vec();
+    fft_in_place(&mut data, true).expect("ifft: input length must be a nonzero power of two");
+    data
+}
+
+/// Forward FFT of an arbitrary-length signal, zero-padded to the next power of two.
+///
+/// Returns the padded spectrum together with the padded length.
+pub fn fft_padded(input: &[Complex32]) -> DspResult<Vec<Complex32>> {
+    if input.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let n = next_pow2(input.len());
+    let mut data = Vec::with_capacity(n);
+    data.extend_from_slice(input);
+    data.resize(n, Complex32::ZERO);
+    fft_in_place(&mut data, false)?;
+    Ok(data)
+}
+
+/// Forward FFT of a real signal (converted to complex, zero-padded to a power of two).
+pub fn rfft(input: &[f32]) -> DspResult<Vec<Complex32>> {
+    if input.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let complex: Vec<Complex32> = input.iter().map(|&x| Complex32::from_real(x)).collect();
+    fft_padded(&complex)
+}
+
+/// Frequency (in cycles/sample) associated with FFT bin `k` of an `n`-point transform.
+///
+/// Bins above `n/2` map to negative frequencies, matching the usual `fftfreq` layout.
+pub fn bin_frequency(k: usize, n: usize) -> f32 {
+    assert!(n > 0, "bin_frequency: n must be nonzero");
+    let k = k % n;
+    if k <= n / 2 {
+        k as f32 / n as f32
+    } else {
+        (k as f32 - n as f32) / n as f32
+    }
+}
+
+/// Circular convolution of two equal-length power-of-two sequences via the FFT.
+///
+/// # Errors
+///
+/// Returns an error when the lengths differ, are empty, or are not powers of two.
+pub fn circular_convolve(a: &[Complex32], b: &[Complex32]) -> DspResult<Vec<Complex32>> {
+    if a.is_empty() || b.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if a.len() != b.len() {
+        return Err(DspError::InvalidLength { actual: b.len(), requirement: "circular convolution requires equal lengths" });
+    }
+    if !is_pow2(a.len()) {
+        return Err(DspError::InvalidLength { actual: a.len(), requirement: "circular convolution requires a power-of-two length" });
+    }
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    fft_in_place(&mut fa, false)?;
+    fft_in_place(&mut fb, false)?;
+    for (x, y) in fa.iter_mut().zip(fb.iter()) {
+        *x *= *y;
+    }
+    fft_in_place(&mut fa, true)?;
+    Ok(fa)
+}
+
+/// Power spectrum (squared magnitude per bin) of a real signal.
+pub fn power_spectrum(input: &[f32]) -> DspResult<Vec<f32>> {
+    Ok(rfft(input)?.iter().map(|c| c.norm_sqr()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex32, b: Complex32, tol: f32) {
+        assert!((a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol, "{a:?} != {b:?}");
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex32::ZERO; 16];
+        x[0] = Complex32::ONE;
+        let spec = fft(&x);
+        for bin in spec {
+            assert_close(bin, Complex32::ONE, 1e-5);
+        }
+    }
+
+    #[test]
+    fn fft_of_dc_concentrates_in_bin_zero() {
+        let x = vec![Complex32::ONE; 32];
+        let spec = fft(&x);
+        assert_close(spec[0], Complex32::from_real(32.0), 1e-4);
+        for bin in &spec[1..] {
+            assert!(bin.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_expected_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::cis(2.0 * PI * k0 as f32 * i as f32 / n as f32))
+            .collect();
+        let spec = fft(&x);
+        let (max_bin, _) = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap();
+        assert_eq!(max_bin, k0);
+        assert!((spec[k0].abs() - n as f32).abs() < 1e-2);
+    }
+
+    #[test]
+    fn ifft_round_trip() {
+        let x: Vec<Complex32> = (0..128)
+            .map(|i| Complex32::new((i as f32 * 0.3).sin(), (i as f32 * 0.17).cos()))
+            .collect();
+        let spec = fft(&x);
+        let back = ifft(&spec);
+        for (a, b) in x.iter().zip(back.iter()) {
+            assert_close(*a, *b, 1e-4);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Complex32> = (0..256)
+            .map(|i| Complex32::new((i as f32 * 0.05).sin(), 0.0))
+            .collect();
+        let spec = fft(&x);
+        let time_energy: f32 = x.iter().map(|c| c.norm_sqr()).sum();
+        let freq_energy: f32 = spec.iter().map(|c| c.norm_sqr()).sum::<f32>() / x.len() as f32;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-4);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Complex32::ZERO; 12];
+        let err = fft_in_place(&mut x, false).unwrap_err();
+        assert!(matches!(err, DspError::InvalidLength { actual: 12, .. }));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut x: Vec<Complex32> = vec![];
+        assert_eq!(fft_in_place(&mut x, false).unwrap_err(), DspError::EmptyInput);
+        assert_eq!(rfft(&[]).unwrap_err(), DspError::EmptyInput);
+    }
+
+    #[test]
+    fn padded_fft_handles_arbitrary_length() {
+        let x: Vec<Complex32> = (0..100).map(|i| Complex32::from_real(i as f32)).collect();
+        let spec = fft_padded(&x).unwrap();
+        assert_eq!(spec.len(), 128);
+    }
+
+    #[test]
+    fn bin_frequency_layout() {
+        assert_eq!(bin_frequency(0, 8), 0.0);
+        assert_eq!(bin_frequency(1, 8), 0.125);
+        assert_eq!(bin_frequency(4, 8), 0.5);
+        assert_eq!(bin_frequency(5, 8), -0.375);
+        assert_eq!(bin_frequency(7, 8), -0.125);
+    }
+
+    #[test]
+    fn circular_convolution_with_impulse_is_identity() {
+        let x: Vec<Complex32> = (0..16).map(|i| Complex32::from_real(i as f32)).collect();
+        let mut delta = vec![Complex32::ZERO; 16];
+        delta[0] = Complex32::ONE;
+        let y = circular_convolve(&x, &delta).unwrap();
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert_close(*a, *b, 1e-3);
+        }
+    }
+
+    #[test]
+    fn circular_convolution_shift() {
+        // Convolving with a shifted impulse rotates the sequence.
+        let x: Vec<Complex32> = (0..8).map(|i| Complex32::from_real(i as f32)).collect();
+        let mut delta = vec![Complex32::ZERO; 8];
+        delta[1] = Complex32::ONE;
+        let y = circular_convolve(&x, &delta).unwrap();
+        assert_close(y[0], Complex32::from_real(7.0), 1e-3);
+        assert_close(y[1], Complex32::from_real(0.0), 1e-3);
+        assert_close(y[7], Complex32::from_real(6.0), 1e-3);
+    }
+
+    #[test]
+    fn power_spectrum_is_nonnegative() {
+        let x: Vec<f32> = (0..50).map(|i| (i as f32 * 0.2).sin()).collect();
+        for p in power_spectrum(&x).unwrap() {
+            assert!(p >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! FIR filter design and application.
+//!
+//! The ultrasound receive chain band-limits the RF channel data and the IQ demodulator
+//! low-pass filters the mixed-down signal. Both use windowed-sinc FIR filters designed
+//! here.
+
+use crate::window::Window;
+use crate::{DspError, DspResult};
+use std::f32::consts::PI;
+
+/// Normalized sinc function `sin(pi x) / (pi x)`.
+pub fn sinc(x: f32) -> f32 {
+    if x.abs() < 1e-6 {
+        1.0
+    } else {
+        (PI * x).sin() / (PI * x)
+    }
+}
+
+/// Designs a low-pass windowed-sinc FIR filter.
+///
+/// * `cutoff` — cut-off frequency in cycles/sample, in `(0, 0.5)`.
+/// * `taps` — number of coefficients (forced to be odd so the filter has a symmetric,
+///   linear-phase impulse response centred on an integer delay).
+/// * `window` — tapering window applied to the sinc.
+///
+/// The coefficients are normalized to unit DC gain.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] when `cutoff` is outside `(0, 0.5)` or
+/// `taps == 0`.
+pub fn design_lowpass(cutoff: f32, taps: usize, window: Window) -> DspResult<Vec<f32>> {
+    if !(cutoff > 0.0 && cutoff < 0.5) {
+        return Err(DspError::InvalidParameter { name: "cutoff", reason: "must lie in (0, 0.5) cycles/sample" });
+    }
+    if taps == 0 {
+        return Err(DspError::InvalidParameter { name: "taps", reason: "must be nonzero" });
+    }
+    let taps = if taps % 2 == 0 { taps + 1 } else { taps };
+    let mid = (taps / 2) as f32;
+    let win = window.coefficients(taps);
+    let mut h: Vec<f32> = (0..taps)
+        .map(|i| 2.0 * cutoff * sinc(2.0 * cutoff * (i as f32 - mid)) * win[i])
+        .collect();
+    let gain: f32 = h.iter().sum();
+    if gain.abs() > 1e-12 {
+        for c in h.iter_mut() {
+            *c /= gain;
+        }
+    }
+    Ok(h)
+}
+
+/// Designs a band-pass windowed-sinc FIR filter from two low-pass prototypes.
+///
+/// * `low`, `high` — band edges in cycles/sample with `0 < low < high < 0.5`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] when the band edges are invalid.
+pub fn design_bandpass(low: f32, high: f32, taps: usize, window: Window) -> DspResult<Vec<f32>> {
+    if !(low > 0.0 && high < 0.5 && low < high) {
+        return Err(DspError::InvalidParameter { name: "band", reason: "need 0 < low < high < 0.5" });
+    }
+    let hp_of_low = design_lowpass(low, taps, window)?;
+    let lp_of_high = design_lowpass(high, taps, window)?;
+    // band-pass = lowpass(high) - lowpass(low)
+    Ok(lp_of_high.iter().zip(hp_of_low.iter()).map(|(a, b)| a - b).collect())
+}
+
+/// Full linear convolution of `signal` with `kernel` (output length `n + m - 1`).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when either input is empty.
+pub fn convolve(signal: &[f32], kernel: &[f32]) -> DspResult<Vec<f32>> {
+    if signal.is_empty() || kernel.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let n = signal.len();
+    let m = kernel.len();
+    let mut out = vec![0.0f32; n + m - 1];
+    for (i, &s) in signal.iter().enumerate() {
+        if s == 0.0 {
+            continue;
+        }
+        for (j, &k) in kernel.iter().enumerate() {
+            out[i + j] += s * k;
+        }
+    }
+    Ok(out)
+}
+
+/// "Same"-length filtering: convolves and returns the centre `signal.len()` samples,
+/// compensating for the filter's group delay.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when either input is empty.
+pub fn filter_same(signal: &[f32], kernel: &[f32]) -> DspResult<Vec<f32>> {
+    let full = convolve(signal, kernel)?;
+    let start = (kernel.len() - 1) / 2;
+    Ok(full[start..start + signal.len()].to_vec())
+}
+
+/// Zero-phase filtering (forward-backward application of the kernel).
+///
+/// Doubles the magnitude response in dB but cancels the phase delay; useful for
+/// envelope smoothing where phase distortion is undesirable.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when either input is empty.
+pub fn filtfilt(signal: &[f32], kernel: &[f32]) -> DspResult<Vec<f32>> {
+    let forward = filter_same(signal, kernel)?;
+    let mut reversed: Vec<f32> = forward.into_iter().rev().collect();
+    reversed = filter_same(&reversed, kernel)?;
+    reversed.reverse();
+    Ok(reversed)
+}
+
+/// Frequency response magnitude of an FIR filter at a normalized frequency
+/// (cycles/sample).
+pub fn frequency_response(kernel: &[f32], f: f32) -> f32 {
+    let mut re = 0.0f32;
+    let mut im = 0.0f32;
+    for (n, &h) in kernel.iter().enumerate() {
+        let phase = -2.0 * PI * f * n as f32;
+        re += h * phase.cos();
+        im += h * phase.sin();
+    }
+    (re * re + im * im).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sinc_values() {
+        assert_eq!(sinc(0.0), 1.0);
+        assert!(sinc(1.0).abs() < 1e-6);
+        assert!(sinc(2.0).abs() < 1e-6);
+        assert!((sinc(0.5) - 2.0 / PI).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lowpass_has_unit_dc_gain() {
+        let h = design_lowpass(0.2, 31, Window::Hamming).unwrap();
+        let dc: f32 = h.iter().sum();
+        assert!((dc - 1.0).abs() < 1e-5);
+        assert_eq!(h.len(), 31);
+    }
+
+    #[test]
+    fn lowpass_passes_low_and_stops_high() {
+        let h = design_lowpass(0.1, 63, Window::Hamming).unwrap();
+        assert!((frequency_response(&h, 0.01) - 1.0).abs() < 0.05);
+        assert!(frequency_response(&h, 0.3) < 0.01);
+    }
+
+    #[test]
+    fn lowpass_forces_odd_taps() {
+        let h = design_lowpass(0.25, 10, Window::Hann).unwrap();
+        assert_eq!(h.len(), 11);
+    }
+
+    #[test]
+    fn lowpass_rejects_bad_cutoff() {
+        assert!(design_lowpass(0.0, 11, Window::Hann).is_err());
+        assert!(design_lowpass(0.5, 11, Window::Hann).is_err());
+        assert!(design_lowpass(0.2, 0, Window::Hann).is_err());
+    }
+
+    #[test]
+    fn bandpass_passes_centre_and_rejects_edges() {
+        let h = design_bandpass(0.15, 0.35, 101, Window::Hamming).unwrap();
+        assert!(frequency_response(&h, 0.25) > 0.9);
+        assert!(frequency_response(&h, 0.02) < 0.05);
+        assert!(frequency_response(&h, 0.48) < 0.05);
+    }
+
+    #[test]
+    fn bandpass_rejects_inverted_edges() {
+        assert!(design_bandpass(0.3, 0.2, 31, Window::Hann).is_err());
+    }
+
+    #[test]
+    fn convolution_with_delta_is_identity() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = convolve(&x, &[1.0]).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn convolution_length_and_values() {
+        let y = convolve(&[1.0, 2.0], &[3.0, 4.0]).unwrap();
+        assert_eq!(y, vec![3.0, 10.0, 8.0]);
+    }
+
+    #[test]
+    fn convolution_rejects_empty() {
+        assert!(convolve(&[], &[1.0]).is_err());
+        assert!(convolve(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn filter_same_preserves_length_and_dc() {
+        let x = vec![1.0f32; 64];
+        let h = design_lowpass(0.2, 21, Window::Hamming).unwrap();
+        let y = filter_same(&x, &h).unwrap();
+        assert_eq!(y.len(), 64);
+        // In the interior the DC signal should pass unchanged.
+        assert!((y[32] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn filtfilt_has_no_phase_shift() {
+        // A slow sine filtered by a lowpass with plenty of margin should come out nearly
+        // identical (no delay) with filtfilt.
+        let n = 256;
+        let x: Vec<f32> = (0..n).map(|i| (2.0 * PI * 4.0 * i as f32 / n as f32).sin()).collect();
+        let h = design_lowpass(0.2, 31, Window::Hamming).unwrap();
+        let y = filtfilt(&x, &h).unwrap();
+        for i in 40..n - 40 {
+            assert!((x[i] - y[i]).abs() < 0.02, "sample {i}");
+        }
+    }
+}

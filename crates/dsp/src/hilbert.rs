@@ -1,0 +1,250 @@
+//! Analytic-signal computation (Hilbert transform) and envelope detection.
+//!
+//! The Tiny-CNN baseline and the classical DAS/MVDR beamformers produce beamformed RF
+//! lines; the B-mode image is the log-compressed *envelope* of those lines. The paper's
+//! pipeline (and ours) obtains the envelope from the analytic signal
+//! `x_a(t) = x(t) + i * H{x}(t)`, computed here with the FFT method.
+
+use crate::complex::Complex32;
+use crate::fft::{fft_in_place, next_pow2};
+use crate::{DspError, DspResult};
+
+/// Computes the analytic signal of a real-valued sequence using the FFT method.
+///
+/// The output has the same length as the input: the signal is zero-padded to a power of
+/// two internally and truncated after the inverse transform.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when `signal` is empty.
+///
+/// ```
+/// use usdsp::hilbert::analytic_signal;
+/// let t: Vec<f32> = (0..256).map(|i| i as f32 * 0.1).collect();
+/// let x: Vec<f32> = t.iter().map(|t| t.cos()).collect();
+/// let a = analytic_signal(&x)?;
+/// // The envelope of a unit-amplitude cosine is ~1 away from the edges.
+/// assert!((a[128].abs() - 1.0).abs() < 0.05);
+/// # Ok::<(), usdsp::DspError>(())
+/// ```
+pub fn analytic_signal(signal: &[f32]) -> DspResult<Vec<Complex32>> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let n_orig = signal.len();
+    let n = next_pow2(n_orig);
+    let mut data: Vec<Complex32> = Vec::with_capacity(n);
+    data.extend(signal.iter().map(|&x| Complex32::from_real(x)));
+    data.resize(n, Complex32::ZERO);
+    fft_in_place(&mut data, false)?;
+
+    // One-sided spectrum weighting: keep DC and Nyquist, double positive frequencies,
+    // zero negative frequencies.
+    let half = n / 2;
+    for (k, value) in data.iter_mut().enumerate() {
+        if k == 0 || (n % 2 == 0 && k == half) {
+            // unchanged
+        } else if k < half || (n % 2 == 1 && k == half) {
+            *value = value.scale(2.0);
+        } else {
+            *value = Complex32::ZERO;
+        }
+    }
+    fft_in_place(&mut data, true)?;
+    data.truncate(n_orig);
+    Ok(data)
+}
+
+/// Hilbert transform of a real sequence (the imaginary part of the analytic signal).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when `signal` is empty.
+pub fn hilbert(signal: &[f32]) -> DspResult<Vec<f32>> {
+    Ok(analytic_signal(signal)?.into_iter().map(|c| c.im).collect())
+}
+
+/// Envelope (instantaneous amplitude) of a real RF sequence.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when `signal` is empty.
+pub fn envelope(signal: &[f32]) -> DspResult<Vec<f32>> {
+    Ok(analytic_signal(signal)?.into_iter().map(|c| c.abs()).collect())
+}
+
+/// Envelope of an already-complex IQ sequence (simple magnitude).
+pub fn envelope_iq(signal: &[Complex32]) -> Vec<f32> {
+    signal.iter().map(|c| c.abs()).collect()
+}
+
+/// Instantaneous phase of a real RF sequence, in radians.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when `signal` is empty.
+pub fn instantaneous_phase(signal: &[f32]) -> DspResult<Vec<f32>> {
+    Ok(analytic_signal(signal)?.into_iter().map(|c| c.arg()).collect())
+}
+
+/// Demodulates a real RF sequence to complex baseband IQ.
+///
+/// Multiplies by `exp(-i 2π f0 t)` and low-pass filters with a moving-average of
+/// `smooth_len` samples (a cheap but adequate stand-in for the paper's IQ demodulation,
+/// which happens before the MSE loss / log compression).
+///
+/// * `f0_normalized` — demodulation frequency in cycles per sample (`f0 / fs`).
+/// * `smooth_len` — moving-average length; `0` or `1` disables smoothing.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when `signal` is empty and
+/// [`DspError::InvalidParameter`] when the normalized frequency is outside `[0, 0.5]`.
+pub fn demodulate_iq(signal: &[f32], f0_normalized: f32, smooth_len: usize) -> DspResult<Vec<Complex32>> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if !(0.0..=0.5).contains(&f0_normalized) {
+        return Err(DspError::InvalidParameter {
+            name: "f0_normalized",
+            reason: "must lie in [0, 0.5] cycles/sample",
+        });
+    }
+    let analytic = analytic_signal(signal)?;
+    let mut mixed: Vec<Complex32> = analytic
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| a * Complex32::cis(-2.0 * std::f32::consts::PI * f0_normalized * i as f32))
+        .collect();
+    if smooth_len > 1 {
+        mixed = moving_average_complex(&mixed, smooth_len);
+    }
+    Ok(mixed)
+}
+
+fn moving_average_complex(x: &[Complex32], len: usize) -> Vec<Complex32> {
+    let n = x.len();
+    let mut out = Vec::with_capacity(n);
+    let half = len / 2;
+    for i in 0..n {
+        let start = i.saturating_sub(half);
+        let end = (i + half + 1).min(n);
+        let sum: Complex32 = x[start..end].iter().sum();
+        out.push(sum / (end - start) as f32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::PI;
+
+    #[test]
+    fn envelope_of_modulated_tone_tracks_carrier_amplitude() {
+        // 5 MHz tone sampled at 31.25 MHz with a slowly varying Gaussian amplitude.
+        let fs = 31.25e6;
+        let f0 = 5.0e6;
+        let n = 512;
+        let sigma = 60.0;
+        let x: Vec<f32> = (0..n)
+            .map(|i| {
+                let t = i as f32;
+                let amp = (-((t - 256.0) / sigma).powi(2)).exp();
+                amp * (2.0 * PI * f0 / fs * t).sin()
+            })
+            .collect();
+        let env = envelope(&x).unwrap();
+        // Peak of the envelope should be near the Gaussian centre with amplitude ~1.
+        let (imax, &vmax) = env
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!((imax as i64 - 256).abs() < 8, "peak at {imax}");
+        assert!((vmax - 1.0).abs() < 0.05, "peak {vmax}");
+        // Far from the pulse the envelope should be tiny.
+        assert!(env[10] < 0.02);
+    }
+
+    #[test]
+    fn hilbert_of_cosine_is_sine() {
+        let n = 256;
+        let x: Vec<f32> = (0..n).map(|i| (2.0 * PI * 16.0 * i as f32 / n as f32).cos()).collect();
+        let h = hilbert(&x).unwrap();
+        let expected: Vec<f32> = (0..n).map(|i| (2.0 * PI * 16.0 * i as f32 / n as f32).sin()).collect();
+        // Interior samples (skip edges where the periodic assumption matters least here
+        // because the tone is exactly periodic, so compare everywhere).
+        for i in 0..n {
+            assert!((h[i] - expected[i]).abs() < 1e-2, "sample {i}: {} vs {}", h[i], expected[i]);
+        }
+    }
+
+    #[test]
+    fn analytic_signal_preserves_real_part() {
+        let x: Vec<f32> = (0..100).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        let a = analytic_signal(&x).unwrap();
+        assert_eq!(a.len(), x.len());
+        for (orig, anal) in x.iter().zip(a.iter()) {
+            assert!((orig - anal.re).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(analytic_signal(&[]).unwrap_err(), DspError::EmptyInput);
+        assert_eq!(envelope(&[]).unwrap_err(), DspError::EmptyInput);
+        assert_eq!(hilbert(&[]).unwrap_err(), DspError::EmptyInput);
+    }
+
+    #[test]
+    fn envelope_is_nonnegative_and_bounds_signal() {
+        let x: Vec<f32> = (0..300).map(|i| (i as f32 * 0.37).sin() * (i as f32 * 0.011).cos()).collect();
+        let env = envelope(&x).unwrap();
+        for (e, s) in env.iter().zip(x.iter()) {
+            assert!(*e >= 0.0);
+            // The envelope should dominate the instantaneous signal value up to FFT edge
+            // effects.
+            assert!(*e + 5e-2 >= s.abs());
+        }
+    }
+
+    #[test]
+    fn demodulation_produces_near_dc_baseband() {
+        let fs = 31.25e6_f32;
+        let f0 = 7.6e6_f32;
+        let n = 1024;
+        let x: Vec<f32> = (0..n).map(|i| (2.0 * PI * f0 / fs * i as f32).cos()).collect();
+        let iq = demodulate_iq(&x, f0 / fs, 8).unwrap();
+        // After mixing down, the phase should rotate very slowly: successive samples stay
+        // close to each other.
+        let mut max_step = 0.0f32;
+        for w in iq[100..900].windows(2) {
+            max_step = max_step.max((w[1] - w[0]).abs());
+        }
+        assert!(max_step < 0.05, "max step {max_step}");
+    }
+
+    #[test]
+    fn demodulation_rejects_bad_frequency() {
+        let x = vec![0.0f32; 16];
+        assert!(matches!(
+            demodulate_iq(&x, 0.7, 4).unwrap_err(),
+            DspError::InvalidParameter { name: "f0_normalized", .. }
+        ));
+    }
+
+    #[test]
+    fn envelope_iq_is_magnitude() {
+        let iq = vec![Complex32::new(3.0, 4.0), Complex32::ZERO];
+        assert_eq!(envelope_iq(&iq), vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn instantaneous_phase_is_bounded() {
+        let x: Vec<f32> = (0..128).map(|i| (i as f32 * 0.3).sin()).collect();
+        for p in instantaneous_phase(&x).unwrap() {
+            assert!(p <= PI && p >= -PI);
+        }
+    }
+}

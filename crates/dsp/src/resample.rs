@@ -1,0 +1,164 @@
+//! Integer-factor resampling.
+//!
+//! The simulator produces finely sampled waveforms that are decimated down to the
+//! acquisition sampling rate (31.25 MHz for the L11-5v setup); image post-processing
+//! occasionally upsamples envelope profiles for display.
+
+use crate::filter::{design_lowpass, filter_same};
+use crate::interp::{sample_at, InterpMethod};
+use crate::window::Window;
+use crate::{DspError, DspResult};
+
+/// Decimates a signal by an integer factor after anti-alias low-pass filtering.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] when `factor == 0` and
+/// [`DspError::EmptyInput`] when the signal is empty.
+pub fn decimate(signal: &[f32], factor: usize) -> DspResult<Vec<f32>> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if factor == 0 {
+        return Err(DspError::InvalidParameter { name: "factor", reason: "must be nonzero" });
+    }
+    if factor == 1 {
+        return Ok(signal.to_vec());
+    }
+    let cutoff = 0.45 / factor as f32;
+    let taps = (8 * factor + 1).min(129);
+    let h = design_lowpass(cutoff, taps, Window::Hamming)?;
+    let filtered = filter_same(signal, &h)?;
+    Ok(filtered.iter().step_by(factor).copied().collect())
+}
+
+/// Upsamples a signal by an integer factor using linear interpolation.
+///
+/// The output has `(len - 1) * factor + 1` samples so the original samples are preserved
+/// at multiples of `factor`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] when `factor == 0` and
+/// [`DspError::EmptyInput`] when the signal is empty.
+pub fn upsample_linear(signal: &[f32], factor: usize) -> DspResult<Vec<f32>> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if factor == 0 {
+        return Err(DspError::InvalidParameter { name: "factor", reason: "must be nonzero" });
+    }
+    if factor == 1 || signal.len() == 1 {
+        return Ok(signal.to_vec());
+    }
+    let out_len = (signal.len() - 1) * factor + 1;
+    Ok((0..out_len)
+        .map(|i| sample_at(signal, i as f32 / factor as f32, InterpMethod::Linear))
+        .collect())
+}
+
+/// Resamples a signal to an arbitrary new length with linear interpolation.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal and
+/// [`DspError::InvalidParameter`] when `new_len == 0`.
+pub fn resample_to(signal: &[f32], new_len: usize) -> DspResult<Vec<f32>> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if new_len == 0 {
+        return Err(DspError::InvalidParameter { name: "new_len", reason: "must be nonzero" });
+    }
+    if signal.len() == 1 {
+        return Ok(vec![signal[0]; new_len]);
+    }
+    let scale = (signal.len() - 1) as f32 / (new_len - 1).max(1) as f32;
+    Ok((0..new_len)
+        .map(|i| sample_at(signal, i as f32 * scale, InterpMethod::Linear))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimate_by_one_is_identity() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(decimate(&x, 1).unwrap(), x);
+    }
+
+    #[test]
+    fn decimate_reduces_length() {
+        let x: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let y = decimate(&x, 4).unwrap();
+        assert_eq!(y.len(), 25);
+    }
+
+    #[test]
+    fn decimate_preserves_slow_content() {
+        // A very slow ramp should survive decimation nearly unchanged (away from edges).
+        let x: Vec<f32> = (0..400).map(|i| i as f32 / 400.0).collect();
+        let y = decimate(&x, 4).unwrap();
+        for k in 20..80 {
+            let expected = (k * 4) as f32 / 400.0;
+            assert!((y[k] - expected).abs() < 0.01, "k={k} {} vs {}", y[k], expected);
+        }
+    }
+
+    #[test]
+    fn decimate_attenuates_high_frequency() {
+        // A tone right at the original Nyquist should mostly vanish after decimate-by-2.
+        let x: Vec<f32> = (0..512).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y = decimate(&x, 2).unwrap();
+        let rms: f32 = (y[50..200].iter().map(|v| v * v).sum::<f32>() / 150.0).sqrt();
+        assert!(rms < 0.05, "rms {rms}");
+    }
+
+    #[test]
+    fn decimate_rejects_bad_input() {
+        assert!(decimate(&[], 2).is_err());
+        assert!(decimate(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn upsample_preserves_original_samples() {
+        let x = vec![0.0, 1.0, 4.0];
+        let y = upsample_linear(&x, 4).unwrap();
+        assert_eq!(y.len(), 9);
+        assert_eq!(y[0], 0.0);
+        assert_eq!(y[4], 1.0);
+        assert_eq!(y[8], 4.0);
+        assert_eq!(y[2], 0.5);
+    }
+
+    #[test]
+    fn upsample_degenerate_cases() {
+        assert_eq!(upsample_linear(&[5.0], 3).unwrap(), vec![5.0]);
+        assert!(upsample_linear(&[], 2).is_err());
+        assert!(upsample_linear(&[1.0, 2.0], 0).is_err());
+    }
+
+    #[test]
+    fn resample_to_exact_lengths() {
+        let x = vec![0.0, 1.0, 2.0, 3.0];
+        assert_eq!(resample_to(&x, 4).unwrap(), x);
+        let y = resample_to(&x, 7).unwrap();
+        assert_eq!(y.len(), 7);
+        assert_eq!(y[0], 0.0);
+        assert_eq!(y[6], 3.0);
+        assert!((y[3] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resample_single_sample_repeats() {
+        assert_eq!(resample_to(&[2.5], 3).unwrap(), vec![2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn resample_rejects_bad_input() {
+        assert!(resample_to(&[], 4).is_err());
+        assert!(resample_to(&[1.0], 0).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Image-to-image comparison metrics (PSNR, NRMSE).
+//!
+//! Used to quantify the degradation introduced by quantization (Fig. 15 / Tables IV-V
+//! support material) and to compare learned beamformer outputs against their MVDR
+//! training targets.
+
+use crate::{MetricsError, MetricsResult};
+
+/// Root-mean-square error normalized by the reference dynamic range.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::Undefined`] when the slices are empty or differ in length.
+pub fn nrmse(reference: &[f32], test: &[f32]) -> MetricsResult<f32> {
+    if reference.is_empty() || reference.len() != test.len() {
+        return Err(MetricsError::Undefined { reason: "nrmse needs equal, non-empty inputs".into() });
+    }
+    let n = reference.len() as f32;
+    let mse: f32 = reference.iter().zip(test.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / n;
+    let lo = reference.iter().cloned().fold(f32::INFINITY, f32::min);
+    let hi = reference.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let range = (hi - lo).max(1e-12);
+    Ok(mse.sqrt() / range)
+}
+
+/// Peak signal-to-noise ratio in dB, using the reference peak as the signal level.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::Undefined`] when the slices are empty or differ in length.
+pub fn psnr_db(reference: &[f32], test: &[f32]) -> MetricsResult<f32> {
+    if reference.is_empty() || reference.len() != test.len() {
+        return Err(MetricsError::Undefined { reason: "psnr needs equal, non-empty inputs".into() });
+    }
+    let n = reference.len() as f32;
+    let mse: f32 = reference.iter().zip(test.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / n;
+    let peak = reference.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-12);
+    Ok(10.0 * (peak * peak / mse.max(1e-20)).log10())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_zero_nrmse_and_huge_psnr() {
+        let img = vec![0.1, 0.5, 0.9, 0.3];
+        assert_eq!(nrmse(&img, &img).unwrap(), 0.0);
+        assert!(psnr_db(&img, &img).unwrap() > 100.0);
+    }
+
+    #[test]
+    fn larger_error_lowers_psnr_and_raises_nrmse() {
+        let reference = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+        let small: Vec<f32> = reference.iter().map(|v| v + 0.01).collect();
+        let large: Vec<f32> = reference.iter().map(|v| v + 0.2).collect();
+        assert!(nrmse(&reference, &small).unwrap() < nrmse(&reference, &large).unwrap());
+        assert!(psnr_db(&reference, &small).unwrap() > psnr_db(&reference, &large).unwrap());
+    }
+
+    #[test]
+    fn known_values() {
+        let reference = vec![0.0, 1.0];
+        let test = vec![0.0, 0.9];
+        // mse = 0.005, rmse ~ 0.0707, range 1 -> nrmse ~ 0.0707
+        assert!((nrmse(&reference, &test).unwrap() - 0.0707).abs() < 1e-3);
+        // psnr = 10 log10(1 / 0.005) = 23.01 dB
+        assert!((psnr_db(&reference, &test).unwrap() - 23.01).abs() < 0.05);
+    }
+
+    #[test]
+    fn mismatched_or_empty_inputs_error() {
+        assert!(nrmse(&[], &[]).is_err());
+        assert!(nrmse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(psnr_db(&[], &[]).is_err());
+        assert!(psnr_db(&[1.0, 2.0], &[1.0]).is_err());
+    }
+}

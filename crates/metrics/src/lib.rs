@@ -1,0 +1,76 @@
+//! Ultrasound image-quality metrics.
+//!
+//! The paper scores every beamformer with the standard PICMUS metrics:
+//!
+//! * contrast of anechoic cysts — Contrast Ratio (CR), Contrast-to-Noise Ratio (CNR)
+//!   and Generalized CNR (GCNR) — Tables I and V,
+//! * axial and lateral resolution of point targets — full width at half maximum of the
+//!   point-spread function — Tables II and IV,
+//! * lateral PSF profiles — Figures 12 and 14.
+//!
+//! All metrics operate on [`beamforming::BModeImage`] / [`beamforming::IqImage`] values
+//! plus the phantom geometry (cyst centres, point-target positions).
+//!
+//! # Example
+//!
+//! ```
+//! use usmetrics::region::CircularRoi;
+//! let roi = CircularRoi::new(0.0, 0.02, 0.003);
+//! assert!(roi.contains(0.0, 0.02));
+//! assert!(!roi.contains(0.01, 0.02));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod compare;
+pub mod contrast;
+pub mod psf;
+pub mod region;
+pub mod resolution;
+
+pub use contrast::{ContrastMetrics, contrast_metrics};
+pub use resolution::{ResolutionMetrics, resolution_metrics};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while computing image-quality metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricsError {
+    /// A region of interest contained no pixels.
+    EmptyRegion {
+        /// Which region was empty ("inside", "background", …).
+        which: &'static str,
+    },
+    /// The requested measurement could not be made (e.g. the profile never drops below
+    /// the half-maximum threshold, so a width is undefined).
+    Undefined {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::EmptyRegion { which } => write!(f, "region `{which}` contains no pixels"),
+            MetricsError::Undefined { reason } => write!(f, "metric undefined: {reason}"),
+        }
+    }
+}
+
+impl Error for MetricsError {}
+
+/// Convenience result alias.
+pub type MetricsResult<T> = Result<T, MetricsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        assert!(MetricsError::EmptyRegion { which: "inside" }.to_string().contains("inside"));
+        assert!(MetricsError::Undefined { reason: "no half crossing".into() }.to_string().contains("half"));
+    }
+}

@@ -1,0 +1,238 @@
+//! 2-D convolution (for the Tiny-CNN baseline).
+//!
+//! The Tiny-CNN beamformer [7] predicts per-pixel apodization weights from a ToF-corrected
+//! region with a small stack of convolutions. This layer implements "same"-padded,
+//! stride-1 2-D convolution over a single `(height, width, in_channels)` sample stored
+//! as a 3-D [`Tensor`].
+
+use crate::init::he_uniform;
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// A stride-1, zero-padded ("same") 2-D convolution.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with a square `kernel × kernel` filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero or the kernel size is even (odd kernels keep
+    /// the "same" padding symmetric).
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0, "Conv2d dimensions must be nonzero");
+        assert!(kernel % 2 == 1, "Conv2d kernel size must be odd");
+        let fan_in = in_channels * kernel * kernel;
+        let weight = he_uniform(fan_in, out_channels, seed);
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[1, out_channels])),
+            cached_input: None,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel side length.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel
+    }
+
+    #[inline]
+    fn weight_at(&self, ky: usize, kx: usize, ci: usize, co: usize) -> f32 {
+        let row = (ky * self.kernel + kx) * self.in_channels + ci;
+        self.weight.value.at(row, co)
+    }
+
+    fn compute(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        let (h, w, c) = (shape[0], shape[1], shape[2]);
+        assert_eq!(c, self.in_channels, "Conv2d input channel mismatch");
+        let pad = (self.kernel / 2) as isize;
+        let mut out = Tensor::zeros(&[h, w, self.out_channels]);
+        let in_data = input.as_slice();
+        let out_data = out.as_mut_slice();
+        for y in 0..h {
+            for x in 0..w {
+                for co in 0..self.out_channels {
+                    let mut acc = self.bias.value.at(0, co);
+                    for ky in 0..self.kernel {
+                        let iy = y as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..self.kernel {
+                            let ix = x as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let base = ((iy as usize) * w + ix as usize) * c;
+                            for ci in 0..c {
+                                acc += in_data[base + ci] * self.weight_at(ky, kx, ci, co);
+                            }
+                        }
+                    }
+                    out_data[(y * w + x) * self.out_channels + co] = acc;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "Conv2d expects a (h, w, c) tensor");
+        self.cached_input = Some(input.clone());
+        self.compute(input)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("Conv2d::backward called before forward");
+        let shape = input.shape();
+        let (h, w, c) = (shape[0], shape[1], shape[2]);
+        assert_eq!(grad_output.shape(), &[h, w, self.out_channels], "Conv2d backward shape mismatch");
+        let pad = (self.kernel / 2) as isize;
+
+        let mut grad_weight = Tensor::zeros(self.weight.value.shape());
+        let mut grad_bias = Tensor::zeros(&[1, self.out_channels]);
+        let mut grad_input = Tensor::zeros(&[h, w, c]);
+        let in_data = input.as_slice();
+        let gout = grad_output.as_slice();
+
+        for y in 0..h {
+            for x in 0..w {
+                for co in 0..self.out_channels {
+                    let g = gout[(y * w + x) * self.out_channels + co];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    *grad_bias.at_mut(0, co) += g;
+                    for ky in 0..self.kernel {
+                        let iy = y as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..self.kernel {
+                            let ix = x as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let base = ((iy as usize) * w + ix as usize) * c;
+                            for ci in 0..c {
+                                let wrow = (ky * self.kernel + kx) * self.in_channels + ci;
+                                *grad_weight.at_mut(wrow, co) += g * in_data[base + ci];
+                                grad_input.as_mut_slice()[base + ci] += g * self.weight.value.at(wrow, co);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.weight.grad = self.weight.grad.add(&grad_weight);
+        self.bias.grad = self.bias.grad.add(&grad_bias);
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn infer(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "Conv2d expects a (h, w, c) tensor");
+        self.compute(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn output_shape_preserves_spatial_dims() {
+        let mut conv = Conv2d::new(3, 5, 3, 0);
+        let x = crate::init::normal(&[6, 4, 3], 1.0, 1);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[6, 4, 5]);
+        assert_eq!(conv.num_weights(), 3 * 3 * 3 * 5 + 5);
+        assert_eq!(conv.in_channels(), 3);
+        assert_eq!(conv.out_channels(), 5);
+        assert_eq!(conv.kernel_size(), 3);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with identity weights copies the single channel through.
+        let mut conv = Conv2d::new(1, 1, 1, 0);
+        {
+            let mut params = conv.params_mut();
+            params[0].value = Tensor::from_vec(vec![1.0], &[1, 1]).unwrap();
+            params[1].value = Tensor::zeros(&[1, 1]);
+        }
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2, 1]).unwrap();
+        let y = conv.forward(&x);
+        assert_eq!(y.as_slice(), x.as_slice());
+        assert_eq!(conv.infer(&x).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn averaging_kernel_smooths() {
+        let mut conv = Conv2d::new(1, 1, 3, 0);
+        {
+            let mut params = conv.params_mut();
+            params[0].value = Tensor::full(&[9, 1], 1.0 / 9.0);
+            params[1].value = Tensor::zeros(&[1, 1]);
+        }
+        // An impulse in the middle of a 3x3 image spreads to all 9 outputs.
+        let mut x = Tensor::zeros(&[3, 3, 1]);
+        x.as_mut_slice()[4] = 9.0;
+        let y = conv.forward(&x);
+        for &v in y.as_slice() {
+            assert!((v - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradients_match_numerical_estimates() {
+        let conv = Conv2d::new(2, 3, 3, 4);
+        let input = crate::init::normal(&[4, 3, 2], 0.7, 9);
+        check_layer_gradients(&mut { conv }, &input, 1e-2, 3e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel size must be odd")]
+    fn even_kernel_panics() {
+        let _ = Conv2d::new(1, 1, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a (h, w, c) tensor")]
+    fn wrong_rank_panics() {
+        let mut conv = Conv2d::new(1, 1, 3, 0);
+        let _ = conv.forward(&Tensor::zeros(&[4, 4]));
+    }
+}

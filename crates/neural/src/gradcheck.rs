@@ -1,0 +1,107 @@
+//! Numerical gradient checking.
+//!
+//! Every handwritten backward pass in this crate is validated against central finite
+//! differences. The checker uses the surrogate loss `L = ½‖f(x)‖²`, whose gradient with
+//! respect to the layer output is simply the output itself.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Central-difference gradient of a scalar function of a tensor.
+pub fn numerical_gradient<F: FnMut(&Tensor) -> f32>(input: &Tensor, mut f: F, epsilon: f32) -> Tensor {
+    let mut grad = Tensor::zeros(input.shape());
+    let mut probe = input.clone();
+    for i in 0..input.numel() {
+        let original = probe.as_slice()[i];
+        probe.as_mut_slice()[i] = original + epsilon;
+        let plus = f(&probe);
+        probe.as_mut_slice()[i] = original - epsilon;
+        let minus = f(&probe);
+        probe.as_mut_slice()[i] = original;
+        grad.as_mut_slice()[i] = (plus - minus) / (2.0 * epsilon);
+    }
+    grad
+}
+
+/// Checks a layer's input and parameter gradients against finite differences under the
+/// surrogate loss `L = ½‖forward(x)‖²`.
+///
+/// # Panics
+///
+/// Panics (failing the calling test) when any gradient component deviates from the
+/// numerical estimate by more than `tolerance` (absolute) and 5 % (relative).
+pub fn check_layer_gradients<L: Layer>(layer: &mut L, input: &Tensor, epsilon: f32, tolerance: f32) {
+    // Analytic gradients.
+    layer.zero_grads();
+    let output = layer.forward(input);
+    let grad_output = output.clone();
+    let analytic_input_grad = layer.backward(&grad_output);
+    let analytic_param_grads: Vec<Tensor> = layer.params().iter().map(|p| p.grad.clone()).collect();
+
+    // Numerical input gradient.
+    let numeric_input_grad = numerical_gradient(input, |x| 0.5 * layer_loss(layer, x), epsilon);
+    compare("input", &analytic_input_grad, &numeric_input_grad, tolerance);
+
+    // Numerical parameter gradients, one parameter tensor at a time.
+    for (param_idx, analytic) in analytic_param_grads.iter().enumerate() {
+        let numel = analytic.numel();
+        let mut numeric = Tensor::zeros(analytic.shape());
+        for i in 0..numel {
+            let plus = perturbed_loss(layer, input, param_idx, i, epsilon);
+            let minus = perturbed_loss(layer, input, param_idx, i, -epsilon);
+            numeric.as_mut_slice()[i] = (plus - minus) / (2.0 * epsilon);
+        }
+        compare(&format!("param {param_idx}"), analytic, &numeric, tolerance);
+    }
+}
+
+fn layer_loss<L: Layer>(layer: &mut L, input: &Tensor) -> f32 {
+    let out = layer.forward(input);
+    out.sum_squares()
+}
+
+fn perturbed_loss<L: Layer>(layer: &mut L, input: &Tensor, param_idx: usize, element: usize, delta: f32) -> f32 {
+    {
+        let mut params = layer.params_mut();
+        params[param_idx].value.as_mut_slice()[element] += delta;
+    }
+    let loss = 0.5 * layer_loss(layer, input);
+    {
+        let mut params = layer.params_mut();
+        params[param_idx].value.as_mut_slice()[element] -= delta;
+    }
+    loss
+}
+
+fn compare(label: &str, analytic: &Tensor, numeric: &Tensor, tolerance: f32) {
+    assert_eq!(analytic.shape(), numeric.shape(), "{label}: gradient shape mismatch");
+    for (i, (a, n)) in analytic.as_slice().iter().zip(numeric.as_slice()).enumerate() {
+        let abs_err = (a - n).abs();
+        let rel_err = abs_err / a.abs().max(n.abs()).max(1e-3);
+        assert!(
+            abs_err < tolerance || rel_err < 0.05,
+            "{label}[{i}]: analytic {a} vs numeric {n} (abs {abs_err}, rel {rel_err})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numerical_gradient_of_quadratic_is_linear() {
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
+        let grad = numerical_gradient(&x, |t| t.sum_squares(), 1e-3);
+        for (g, v) in grad.as_slice().iter().zip(x.as_slice()) {
+            assert!((g - 2.0 * v).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn numerical_gradient_of_constant_is_zero() {
+        let x = Tensor::from_vec(vec![0.5, 0.25], &[2]).unwrap();
+        let grad = numerical_gradient(&x, |_| 7.0, 1e-3);
+        assert!(grad.max_abs() < 1e-6);
+    }
+}

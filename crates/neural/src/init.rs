@@ -1,0 +1,82 @@
+//! Parameter initialisation.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Glorot (Xavier) uniform initialisation for a weight matrix of shape
+/// `[fan_in, fan_out]`.
+pub fn glorot_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(&[fan_in, fan_out], -limit, limit, seed)
+}
+
+/// He (Kaiming) uniform initialisation, appropriate before ReLU activations.
+pub fn he_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let limit = (6.0 / fan_in as f32).sqrt();
+    uniform(&[fan_in, fan_out], -limit, limit, seed)
+}
+
+/// Uniform random tensor in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics when `hi <= lo` or the shape is invalid.
+pub fn uniform(shape: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
+    assert!(hi > lo, "uniform: hi must exceed lo");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        *v = rng.gen_range(lo..hi);
+    }
+    t
+}
+
+/// Standard-normal random tensor scaled by `std`.
+pub fn normal(shape: &[usize], std: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        let u1: f32 = rng.gen_range(1e-9..1.0f32);
+        let u2: f32 = rng.gen_range(0.0..1.0f32);
+        *v = std * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_respects_limit_and_seed() {
+        let w = glorot_uniform(64, 32, 7);
+        let limit = (6.0f32 / 96.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+        assert_eq!(w, glorot_uniform(64, 32, 7));
+        assert_ne!(w, glorot_uniform(64, 32, 8));
+        assert_eq!(w.shape(), &[64, 32]);
+    }
+
+    #[test]
+    fn he_limit_is_larger_than_glorot_for_same_fan_in() {
+        let he_limit = (6.0f32 / 64.0).sqrt();
+        let w = he_uniform(64, 32, 3);
+        assert!(w.as_slice().iter().all(|v| v.abs() <= he_limit));
+    }
+
+    #[test]
+    fn normal_has_roughly_requested_std() {
+        let t = normal(&[5000], 2.0, 11);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 5000.0;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.15, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "hi must exceed lo")]
+    fn invalid_uniform_range_panics() {
+        let _ = uniform(&[2], 1.0, 1.0, 0);
+    }
+}

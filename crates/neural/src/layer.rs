@@ -1,0 +1,113 @@
+//! The [`Layer`] trait and trainable-parameter plumbing.
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter: its current value and the gradient accumulated by the most
+/// recent backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient of the loss with respect to the parameter.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { value, grad }
+    }
+
+    /// Number of scalar weights in the parameter.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.as_mut_slice() {
+            *g = 0.0;
+        }
+    }
+}
+
+/// A differentiable layer processing one sample at a time.
+///
+/// `forward` caches whatever it needs; `backward` consumes the cached state, accumulates
+/// parameter gradients and returns the gradient with respect to the layer input. Layers
+/// are stateful, so a `forward` must precede each `backward`.
+pub trait Layer {
+    /// Runs the forward pass and caches intermediate values needed by `backward`.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Runs the backward pass for the most recent `forward`, returning `dL/d(input)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when called before any `forward`.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Mutable access to the trainable parameters (empty for parameter-free layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Immutable access to the trainable parameters.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Total number of scalar trainable weights.
+    fn num_weights(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Zeroes every parameter gradient.
+    fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// A forward pass that does not need gradient bookkeeping. The default simply calls
+    /// [`forward`](Self::forward); layers with expensive caches may override it.
+    fn infer(&mut self, input: &Tensor) -> Tensor {
+        self.forward(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl Layer for Doubler {
+        fn forward(&mut self, input: &Tensor) -> Tensor {
+            input.scale(2.0)
+        }
+        fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+            grad_output.scale(2.0)
+        }
+    }
+
+    #[test]
+    fn param_bookkeeping() {
+        let mut p = Param::new(Tensor::full(&[2, 2], 1.0));
+        assert_eq!(p.numel(), 4);
+        p.grad = Tensor::full(&[2, 2], 3.0);
+        p.zero_grad();
+        assert_eq!(p.grad, Tensor::zeros(&[2, 2]));
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let mut layer = Doubler;
+        assert_eq!(layer.num_weights(), 0);
+        assert!(layer.params().is_empty());
+        layer.zero_grads();
+        let x = Tensor::full(&[2], 1.5);
+        assert_eq!(layer.infer(&x).as_slice(), &[3.0, 3.0]);
+        assert_eq!(layer.backward(&x).as_slice(), &[3.0, 3.0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Loss functions.
+//!
+//! The paper trains with mean squared error on the IQ-demodulated beamformed image
+//! *before* log compression; [`mse`] provides the value and gradient of that loss.
+
+use crate::tensor::Tensor;
+
+/// Mean squared error between a prediction and a target, plus the gradient with respect
+/// to the prediction.
+///
+/// # Panics
+///
+/// Panics when the shapes differ.
+pub fn mse(prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(prediction.shape(), target.shape(), "mse: shape mismatch");
+    let n = prediction.numel() as f32;
+    let diff = prediction.sub(target);
+    let loss = diff.sum_squares() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Mean absolute error (used in ablations), with gradient.
+///
+/// # Panics
+///
+/// Panics when the shapes differ.
+pub fn mae(prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(prediction.shape(), target.shape(), "mae: shape mismatch");
+    let n = prediction.numel() as f32;
+    let diff = prediction.sub(target);
+    let loss = diff.as_slice().iter().map(|v| v.abs()).sum::<f32>() / n;
+    let grad = diff.map(|v| v.signum() / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::numerical_gradient;
+
+    #[test]
+    fn mse_of_identical_tensors_is_zero() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
+        let (loss, grad) = mse(&a, &a);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn mse_value_matches_manual_computation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![0.0, 4.0], &[2]).unwrap();
+        let (loss, _) = mse(&a, &b);
+        assert!((loss - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_gradient_matches_numerical() {
+        let target = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.0], &[4]).unwrap();
+        let pred = Tensor::from_vec(vec![0.1, 0.3, -0.4, 1.2], &[4]).unwrap();
+        let (_, grad) = mse(&pred, &target);
+        let numeric = numerical_gradient(&pred, |p| mse(p, &target).0, 1e-3);
+        for (a, n) in grad.as_slice().iter().zip(numeric.as_slice()) {
+            assert!((a - n).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mae_value_and_gradient_signs() {
+        let pred = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        let target = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        let (loss, grad) = mae(&pred, &target);
+        assert!((loss - 1.0).abs() < 1e-6);
+        assert!(grad.at_vec(0) > 0.0 && grad.at_vec(1) < 0.0);
+    }
+
+    trait AtVec {
+        fn at_vec(&self, i: usize) -> f32;
+    }
+    impl AtVec for Tensor {
+        fn at_vec(&self, i: usize) -> f32 {
+            self.as_slice()[i]
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Dense row-major tensors.
+//!
+//! The layer library operates on small 2-D matrices (token × feature) and, for the
+//! convolutional baseline, 3-D `(height, width, channels)` volumes. [`Tensor`] stores
+//! the data flat with an explicit shape and provides exactly the operations the
+//! handwritten forward/backward passes need.
+
+use crate::{NeuralError, NeuralResult};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32` values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let numel = checked_numel(shape);
+        Self { data: vec![0.0; numel], shape: shape.to_vec() }
+    }
+
+    /// Creates a tensor filled with a constant value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape is empty or has a zero dimension.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let numel = checked_numel(shape);
+        Self { data: vec![value; numel], shape: shape.to_vec() }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] when the buffer length does not match the
+    /// shape product.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> NeuralResult<Self> {
+        let numel: usize = shape.iter().product();
+        if shape.is_empty() || numel != data.len() {
+            return Err(NeuralError::ShapeMismatch {
+                expected: format!("{numel} values for shape {shape:?}"),
+                actual: format!("{} values", data.len()),
+            });
+        }
+        Ok(Self { data, shape: shape.to_vec() })
+    }
+
+    /// Shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of rows of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "rows() requires a 2-D tensor");
+        self.shape[0]
+    }
+
+    /// Number of columns of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols() requires a 2-D tensor");
+        self.shape[1]
+    }
+
+    /// Immutable flat view of the data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// 2-D element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-2-D tensors or out-of-range indices.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[row * self.shape[1] + col]
+    }
+
+    /// Mutable 2-D element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-2-D tensors or out-of-range indices.
+    #[inline]
+    pub fn at_mut(&mut self, row: usize, col: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        &mut self.data[row * self.shape[1] + col]
+    }
+
+    /// Returns a reshaped copy sharing the same element order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::ShapeMismatch`] when the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> NeuralResult<Tensor> {
+        let numel: usize = shape.iter().product();
+        if numel != self.data.len() || shape.is_empty() {
+            return Err(NeuralError::ShapeMismatch {
+                expected: format!("{} elements", self.data.len()),
+                actual: format!("shape {shape:?} with {numel}"),
+            });
+        }
+        Ok(Tensor { data: self.data.clone(), shape: shape.to_vec() })
+    }
+
+    /// Matrix product of two 2-D tensors: `(n, k) × (k, m) → (n, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either tensor is not 2-D or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul: lhs must be 2-D");
+        assert_eq!(other.shape.len(), 2, "matmul: rhs must be 2-D");
+        let (n, k) = (self.shape[0], self.shape[1]);
+        let (k2, m) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul: inner dimensions must agree ({k} vs {k2})");
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..n {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row_other = &other.data[p * m..(p + 1) * m];
+                let row_out = &mut out.data[i * m..(i + 1) * m];
+                for (o, &b) in row_out.iter_mut().zip(row_other.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires a 2-D tensor");
+        let (n, m) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..n {
+            for j in 0..m {
+                out.data[j * n + i] = self.data[i * m + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum of two tensors of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "add: shape mismatch");
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a + b).collect();
+        Tensor { data, shape: self.shape.clone() }
+    }
+
+    /// Element-wise difference `self − other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "sub: shape mismatch");
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a - b).collect();
+        Tensor { data, shape: self.shape.clone() }
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "mul: shape mismatch");
+        let data = self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).collect();
+        Tensor { data, shape: self.shape.clone() }
+    }
+
+    /// Scales every element by `k`.
+    pub fn scale(&self, k: f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|v| v * k).collect(), shape: self.shape.clone() }
+    }
+
+    /// Adds a row vector to every row of a 2-D tensor (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bias` is not `[1, cols]`-shaped (or `[cols]`).
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "add_row_broadcast requires a 2-D tensor");
+        let cols = self.shape[1];
+        assert_eq!(bias.numel(), cols, "bias length must equal column count");
+        let mut out = self.clone();
+        for row in 0..self.shape[0] {
+            for col in 0..cols {
+                out.data[row * cols + col] += bias.data[col];
+            }
+        }
+        out
+    }
+
+    /// Sums a 2-D tensor over its rows, producing a `[1, cols]` tensor (bias gradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 2-D.
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "sum_rows requires a 2-D tensor");
+        let (n, m) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[1, m]);
+        for i in 0..n {
+            for j in 0..m {
+                out.data[j] += self.data[i * m + j];
+            }
+        }
+        out
+    }
+
+    /// Extracts columns `[start, start + len)` of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds.
+    pub fn slice_cols(&self, start: usize, len: usize) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "slice_cols requires a 2-D tensor");
+        let (n, m) = (self.shape[0], self.shape[1]);
+        assert!(start + len <= m, "column slice out of range");
+        let mut out = Tensor::zeros(&[n, len]);
+        for i in 0..n {
+            out.data[i * len..(i + 1) * len].copy_from_slice(&self.data[i * m + start..i * m + start + len]);
+        }
+        out
+    }
+
+    /// Writes `block` into columns `[start, start + block.cols())` of the tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes are incompatible.
+    pub fn set_cols(&mut self, start: usize, block: &Tensor) {
+        assert_eq!(self.shape.len(), 2, "set_cols requires a 2-D tensor");
+        assert_eq!(block.shape.len(), 2);
+        let (n, m) = (self.shape[0], self.shape[1]);
+        let (bn, bm) = (block.shape[0], block.shape[1]);
+        assert_eq!(n, bn, "row count mismatch");
+        assert!(start + bm <= m, "column block out of range");
+        for i in 0..n {
+            self.data[i * m + start..i * m + start + bm].copy_from_slice(&block.data[i * bm..(i + 1) * bm]);
+        }
+    }
+
+    /// Mean of all elements (0 for an empty tensor, which cannot be constructed).
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Largest absolute element value.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Sum of squared elements.
+    pub fn sum_squares(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Applies a function element-wise, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+    }
+
+    /// Returns `true` if all elements are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+fn checked_numel(shape: &[usize]) -> usize {
+    assert!(!shape.is_empty(), "Tensor shape must not be empty");
+    assert!(shape.iter().all(|&d| d > 0), "Tensor dimensions must be nonzero");
+    shape.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        let f = Tensor::full(&[2], 1.5);
+        assert_eq!(f.as_slice(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+        assert!(Tensor::from_vec(vec![], &[]).is_err());
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_with_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(a.matmul(&eye), a);
+        assert_eq!(eye.matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(0, 1), 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, -1.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).as_slice(), &[4.0, 1.0]);
+        assert_eq!(a.sub(&b).as_slice(), &[-2.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[3.0, -2.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!(a.map(|v| v * v).as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn broadcast_and_row_sum() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let bias = Tensor::from_vec(vec![10.0, 20.0], &[1, 2]).unwrap();
+        let y = x.add_row_broadcast(&bias);
+        assert_eq!(y.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+        let s = x.sum_rows();
+        assert_eq!(s.shape(), &[1, 2]);
+        assert_eq!(s.as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn column_slicing_and_setting() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let s = x.slice_cols(1, 2);
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[2.0, 3.0, 5.0, 6.0]);
+        let mut y = Tensor::zeros(&[2, 3]);
+        y.set_cols(1, &s);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 3.0, 0.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let r = x.reshape(&[4]).unwrap();
+        assert_eq!(r.shape(), &[4]);
+        assert_eq!(r.as_slice(), x.as_slice());
+        assert!(x.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn statistics() {
+        let x = Tensor::from_vec(vec![1.0, -3.0, 2.0, 0.0], &[4]).unwrap();
+        assert_eq!(x.mean(), 0.0);
+        assert_eq!(x.max_abs(), 3.0);
+        assert_eq!(x.sum_squares(), 14.0);
+        assert!(x.is_finite());
+        let bad = Tensor::from_vec(vec![f32::NAN], &[1]).unwrap();
+        assert!(!bad.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be nonzero")]
+    fn zero_dimension_panics() {
+        let _ = Tensor::zeros(&[2, 0]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Fixed-point quantization for the Tiny-VBF FPGA deployment.
+//!
+//! The paper deploys Tiny-VBF on a ZCU104 FPGA under several quantization levels
+//! (floating point, 24-bit, 20-bit and 16-bit fixed point) and two *hybrid* schemes that
+//! mix an 8-bit weight representation with wider softmax and accumulator widths
+//! (Table III). This crate provides:
+//!
+//! * [`fixed`] — a saturating signed fixed-point format and scalar/tensor rounding,
+//! * [`scheme`] — the named quantization schemes of the paper,
+//! * [`quantizer`] — tensor quantization helpers and SQNR error metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use quantize::fixed::FixedFormat;
+//! let q8 = FixedFormat::new(8, 6);
+//! // 8-bit two's complement with 6 fractional bits spans [-2, 2) in steps of 1/64.
+//! assert_eq!(q8.quantize(0.26), 0.265625);
+//! assert_eq!(q8.quantize(100.0), q8.max_value());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod fixed;
+pub mod quantizer;
+pub mod scheme;
+
+pub use fixed::FixedFormat;
+pub use scheme::{QuantScheme, TensorRole};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the quantization utilities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantizeError {
+    /// The fixed-point format parameters are invalid.
+    InvalidFormat {
+        /// Explanation of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantizeError::InvalidFormat { reason } => write!(f, "invalid fixed-point format: {reason}"),
+        }
+    }
+}
+
+impl Error for QuantizeError {}
+
+/// Convenience result alias.
+pub type QuantizeResult<T> = Result<T, QuantizeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_renders() {
+        let e = QuantizeError::InvalidFormat { reason: "word bits must be at least 2".into() };
+        assert!(e.to_string().contains("word bits"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Tensor quantization helpers and error metrics.
+
+use crate::fixed::FixedFormat;
+use crate::scheme::{QuantScheme, TensorRole};
+use neural::tensor::Tensor;
+
+/// Returns a copy of the tensor rounded onto the format's grid.
+pub fn quantize_tensor(tensor: &Tensor, format: FixedFormat) -> Tensor {
+    tensor.map(|v| format.quantize(v))
+}
+
+/// Quantizes a tensor according to the scheme's format for the given role (identity for
+/// float roles).
+pub fn quantize_for_role(tensor: &Tensor, scheme: &QuantScheme, role: TensorRole) -> Tensor {
+    match scheme.format_for(role) {
+        Some(format) => quantize_tensor(tensor, format),
+        None => tensor.clone(),
+    }
+}
+
+/// Signal-to-quantization-noise ratio in dB between an original tensor and its quantized
+/// version. Returns `f32::INFINITY` when the tensors are identical.
+///
+/// # Panics
+///
+/// Panics when the shapes differ.
+pub fn sqnr_db(original: &Tensor, quantized: &Tensor) -> f32 {
+    assert_eq!(original.shape(), quantized.shape(), "sqnr_db: shape mismatch");
+    let signal: f32 = original.sum_squares();
+    let noise: f32 = original
+        .as_slice()
+        .iter()
+        .zip(quantized.as_slice())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    if noise <= 0.0 {
+        return f32::INFINITY;
+    }
+    10.0 * (signal / noise).log10()
+}
+
+/// Fraction of elements that saturated (hit the format's min or max code).
+pub fn saturation_fraction(tensor: &Tensor, format: FixedFormat) -> f32 {
+    let max = format.max_value();
+    let min = format.min_value();
+    let saturated = tensor
+        .as_slice()
+        .iter()
+        .filter(|&&v| v >= max || v <= min)
+        .count();
+    saturated as f32 / tensor.numel() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neural::init::normal;
+
+    #[test]
+    fn quantize_tensor_rounds_every_element() {
+        let format = FixedFormat::new(8, 6);
+        let t = Tensor::from_vec(vec![0.013, -0.009, 3.0], &[3]).unwrap();
+        let q = quantize_tensor(&t, format);
+        assert_eq!(q.as_slice()[0], format.quantize(0.013));
+        assert_eq!(q.as_slice()[2], format.max_value());
+    }
+
+    #[test]
+    fn role_quantization_is_identity_for_float() {
+        let t = normal(&[4, 4], 1.0, 3);
+        let q = quantize_for_role(&t, &QuantScheme::float(), TensorRole::Weight);
+        assert_eq!(t, q);
+        let q2 = quantize_for_role(&t, &QuantScheme::hybrid2(), TensorRole::Weight);
+        assert_ne!(t, q2);
+    }
+
+    #[test]
+    fn sqnr_improves_with_word_length() {
+        let t = normal(&[64, 8], 0.4, 9);
+        let q8 = quantize_tensor(&t, FixedFormat::new(8, 6));
+        let q16 = quantize_tensor(&t, FixedFormat::new(16, 14));
+        let q24 = quantize_tensor(&t, FixedFormat::new(24, 22));
+        let s8 = sqnr_db(&t, &q8);
+        let s16 = sqnr_db(&t, &q16);
+        let s24 = sqnr_db(&t, &q24);
+        assert!(s16 > s8 + 20.0, "s8 {s8} s16 {s16}");
+        assert!(s24 > s16 + 20.0, "s16 {s16} s24 {s24}");
+    }
+
+    #[test]
+    fn sqnr_of_identical_tensors_is_infinite() {
+        let t = Tensor::full(&[4], 0.5);
+        assert!(sqnr_db(&t, &t).is_infinite());
+    }
+
+    #[test]
+    fn saturation_fraction_detects_clipping() {
+        let format = FixedFormat::new(8, 6); // range [-2, ~1.98]
+        let ok = Tensor::from_vec(vec![0.1, -0.5, 1.0, -1.5], &[4]).unwrap();
+        assert_eq!(saturation_fraction(&ok, format), 0.0);
+        let clipped = Tensor::from_vec(vec![5.0, -3.0, 0.0, 1.0], &[4]).unwrap();
+        assert_eq!(saturation_fraction(&clipped, format), 0.5);
+    }
+
+    #[test]
+    fn expected_sqnr_magnitude_for_8_bit_weights() {
+        // Rule of thumb: ~6 dB per bit. 8-bit quantization of unit-scale data should land
+        // in the 30-55 dB range.
+        let t = normal(&[256, 4], 0.5, 21);
+        let q = quantize_tensor(&t, FixedFormat::new(8, 6));
+        let s = sqnr_db(&t, &q);
+        assert!(s > 25.0 && s < 60.0, "sqnr {s}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the fixed-point quantization substrate.
+
+use proptest::prelude::*;
+use quantize::fixed::FixedFormat;
+use quantize::quantizer::{quantize_tensor, saturation_fraction, sqnr_db};
+use quantize::{QuantScheme, TensorRole};
+use neural::tensor::Tensor;
+
+fn valid_format() -> impl Strategy<Value = FixedFormat> {
+    (2u32..=32).prop_flat_map(|word| (Just(word), 0u32..word)).prop_map(|(word, frac)| FixedFormat::new(word, frac))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantization_is_idempotent(format in valid_format(), value in -1.0e4f32..1.0e4) {
+        let once = format.quantize(value);
+        let twice = format.quantize(once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn quantized_values_stay_in_range(format in valid_format(), value in -1.0e6f32..1.0e6) {
+        let q = format.quantize(value);
+        prop_assert!(q <= format.max_value() + 1e-6);
+        prop_assert!(q >= format.min_value() - 1e-6);
+    }
+
+    #[test]
+    fn in_range_error_is_bounded_by_half_a_step(format in valid_format(), unit in -0.95f32..0.95) {
+        // Pick a value safely inside the representable range.
+        let value = unit * format.max_value().min(1.0e6);
+        let q = format.quantize(value);
+        prop_assert!((q - value).abs() <= format.max_rounding_error() + format.resolution() * 1e-3,
+            "value {value} q {q} step {}", format.resolution());
+    }
+
+    #[test]
+    fn quantization_is_monotone(format in valid_format(), a in -100.0f32..100.0, b in -100.0f32..100.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(format.quantize(lo) <= format.quantize(hi) + 1e-6);
+    }
+
+    #[test]
+    fn raw_codes_round_trip(format in valid_format(), value in -1.0e3f32..1.0e3) {
+        let raw = format.to_raw(value);
+        prop_assert_eq!(format.from_raw(raw), format.quantize(value));
+    }
+
+    #[test]
+    fn wider_words_never_hurt_sqnr(values in prop::collection::vec(-1.0f32..1.0, 16..128)) {
+        let len = values.len();
+        let t = Tensor::from_vec(values, &[len]).unwrap();
+        let narrow = quantize_tensor(&t, FixedFormat::new(8, 6));
+        let wide = quantize_tensor(&t, FixedFormat::new(16, 14));
+        let s_narrow = sqnr_db(&t, &narrow);
+        let s_wide = sqnr_db(&t, &wide);
+        prop_assert!(s_wide >= s_narrow - 1e-3, "narrow {s_narrow} wide {s_wide}");
+    }
+
+    #[test]
+    fn float_scheme_never_saturates_or_changes_values(values in prop::collection::vec(-1.0e3f32..1.0e3, 1..64)) {
+        let len = values.len();
+        let t = Tensor::from_vec(values, &[len]).unwrap();
+        let scheme = QuantScheme::float();
+        for role in [TensorRole::Weight, TensorRole::Softmax, TensorRole::MacResult, TensorRole::Intermediate] {
+            prop_assert_eq!(scheme.format_for(role), None);
+            for &v in t.as_slice() {
+                prop_assert_eq!(scheme.quantize_value(v, role), v);
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_fraction_is_a_fraction(values in prop::collection::vec(-10.0f32..10.0, 1..64), format in valid_format()) {
+        let len = values.len();
+        let t = Tensor::from_vec(values, &[len]).unwrap();
+        let f = saturation_fraction(&t, format);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn every_paper_scheme_quantizes_weights_more_coarsely_than_softmax(value in -0.9f32..0.9) {
+        for scheme in [QuantScheme::hybrid1(), QuantScheme::hybrid2()] {
+            let weight_error = (scheme.quantize_value(value, TensorRole::Weight) - value).abs();
+            let softmax_error = (scheme.quantize_value(value, TensorRole::Softmax) - value).abs();
+            prop_assert!(softmax_error <= weight_error + 1e-7);
+        }
+    }
+}

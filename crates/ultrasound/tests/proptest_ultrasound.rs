@@ -1,0 +1,87 @@
+//! Property-based tests for the acquisition simulator substrate.
+
+use proptest::prelude::*;
+use ultrasound::phantom::{CircleRegion, Phantom};
+use ultrasound::{AcquisitionConfig, ChannelData, LinearArray, Medium, PlaneWave};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn element_positions_are_strictly_increasing_and_centred(n in 2usize..256) {
+        let array = LinearArray::l11_5v().with_num_elements(n);
+        let xs = array.element_positions();
+        prop_assert_eq!(xs.len(), n);
+        for w in xs.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        prop_assert!(mean.abs() < 1e-6);
+    }
+
+    #[test]
+    fn transmit_delay_is_monotone_in_depth(angle_deg in -20.0f32..20.0, x in -0.02f32..0.02, z1 in 0.005f32..0.04, dz in 0.001f32..0.01) {
+        let pw = PlaneWave::from_degrees(angle_deg);
+        let c = 1540.0;
+        prop_assert!(pw.transmit_delay(x, z1 + dz, c) > pw.transmit_delay(x, z1, c));
+    }
+
+    #[test]
+    fn cysts_never_contain_speckle(seed in 0u64..1000, cx in -0.005f32..0.005, cz in 0.01f32..0.03, r in 0.001f32..0.005) {
+        let cyst = CircleRegion::new(cx, cz, r);
+        let phantom = Phantom::builder(0.02, 0.04)
+            .seed(seed)
+            .speckle_density(200.0)
+            .add_cyst(cx, cz, r)
+            .build();
+        for s in phantom.scatterers() {
+            prop_assert!(!cyst.contains(s.x, s.z));
+        }
+    }
+
+    #[test]
+    fn phantom_generation_is_deterministic(seed in 0u64..500) {
+        let a = Phantom::builder(0.015, 0.03).seed(seed).speckle_density(100.0).build();
+        let b = Phantom::builder(0.015, 0.03).seed(seed).speckle_density(100.0).build();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn acquisition_config_time_mapping_is_inverse(fs in 1.0e6f32..60.0e6, k in 0usize..4000, start in 0.0f32..1e-5) {
+        let cfg = AcquisitionConfig { sampling_frequency: fs, num_samples: 4096, start_time: start };
+        let t = cfg.sample_time(k);
+        prop_assert!((cfg.time_to_sample(t) - k as f32).abs() < 1e-2);
+    }
+
+    #[test]
+    fn channel_data_round_trips_through_traces(
+        n_samples in 1usize..40,
+        n_channels in 1usize..12,
+        seed in 0u64..100,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let samples: Vec<f32> = (0..n_samples * n_channels).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data = ChannelData::from_vec(samples, n_samples, n_channels, 1.0e6).unwrap();
+        let rebuilt = ChannelData::from_channel_traces(&data.to_channel_traces(), 1.0e6).unwrap();
+        prop_assert_eq!(data, rebuilt);
+    }
+
+    #[test]
+    fn normalize_peak_bounds_samples(values in prop::collection::vec(-100.0f32..100.0, 4..64)) {
+        let len = values.len() - values.len() % 2;
+        if len < 2 { return Ok(()); }
+        let mut data = ChannelData::from_vec(values[..len].to_vec(), len / 2, 2, 1.0).unwrap();
+        data.normalize_peak();
+        for &v in data.as_slice() {
+            prop_assert!(v.abs() <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn attenuation_factor_is_in_unit_interval(f in 0.5e6f32..15.0e6, d in 0.0f32..0.1) {
+        let m = Medium::soft_tissue();
+        let a = m.attenuation_factor(f, d);
+        prop_assert!(a > 0.0 && a <= 1.0);
+    }
+}

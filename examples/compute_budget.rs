@@ -1,0 +1,27 @@
+//! Prints the computational-cost comparison that motivates Tiny-VBF (Section IV of the
+//! paper): GOPs per frame for DAS, MVDR, FCNN, Tiny-CNN and Tiny-VBF, and how the
+//! numbers scale with frame size.
+//!
+//! Run with `cargo run --release --example compute_budget`.
+
+use tiny_vbf::config::TinyVbfConfig;
+use tiny_vbf::gops::{das_gops, fcnn_gops, mvdr_gops, tiny_cnn_gops, tiny_vbf_gops};
+
+fn main() {
+    let config = TinyVbfConfig::paper();
+    println!("GOPs per frame as the frame grows (channels = 128):\n");
+    println!("{:>12} {:>10} {:>10} {:>10} {:>10} {:>10}", "frame", "DAS", "Tiny-VBF", "FCNN", "Tiny-CNN", "MVDR");
+    for (rows, cols) in [(92usize, 32usize), (184, 64), (368, 128), (736, 256)] {
+        println!(
+            "{:>7}x{:<4} {:>10.3} {:>10.3} {:>10.2} {:>10.2} {:>10.1}",
+            rows,
+            cols,
+            das_gops(rows, cols, 128).gops_per_frame,
+            tiny_vbf_gops(&config, rows, cols).gops_per_frame,
+            fcnn_gops(rows, cols, 128, 128).gops_per_frame,
+            tiny_cnn_gops(rows, cols, 128, 8).gops_per_frame,
+            mvdr_gops(rows, cols, 128).gops_per_frame,
+        );
+    }
+    println!("\nPaper reference at 368x128: Tiny-VBF 0.34, FCNN 1.4, Tiny-CNN 11.7, MVDR 98.78 GOPs/frame.");
+}

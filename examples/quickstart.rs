@@ -1,0 +1,54 @@
+//! Quickstart: simulate a tiny cyst-and-point phantom, acquire a single-angle plane
+//! wave, beamform it with DAS and MVDR, and print B-mode images plus quality metrics.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use tiny_vbf_repro::prelude::*;
+use usmetrics::region::CircularRoi;
+use usmetrics::{contrast_metrics, resolution_metrics};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 32-element version of the L11-5v probe keeps the example fast.
+    let array = LinearArray::small_test_array();
+    let medium = Medium::soft_tissue();
+
+    // Phantom: speckle background, one anechoic cyst at 20 mm and one bright point
+    // target at 28 mm.
+    let phantom = Phantom::builder(0.012, 0.032)
+        .seed(42)
+        .speckle_density(400.0)
+        .add_cyst(0.0, 0.020, 0.003)
+        .add_point_target(0.0, 0.028, 25.0)
+        .build();
+    println!("phantom: {} scatterers, {} cyst(s), {} point target(s)", phantom.len(), phantom.cysts().len(), phantom.point_targets().len());
+
+    // Acquire one 0-degree plane-wave frame.
+    let simulator = PlaneWaveSimulator::new(array.clone(), medium, 0.032);
+    let channel_data = simulator.simulate(&phantom, PlaneWave::zero_angle())?;
+    println!("channel data: {} samples x {} channels", channel_data.num_samples(), channel_data.num_channels());
+
+    // Reconstruct on a 96 x 32 grid from 8 mm to 32 mm.
+    let grid = ImagingGrid::for_array(&array, 0.008, 0.024, 96, 32);
+    let sound_speed = medium.sound_speed();
+
+    for beamformer in [&DelayAndSum::default() as &dyn Beamformer, &Mvdr::fast()] {
+        let bmode = beamformer.beamform_bmode(&channel_data, &array, &grid, sound_speed, 60.0)?;
+        println!("--- {} ---", beamformer.name());
+        println!("{}", bmode.to_ascii(32));
+
+        let iq = beamformer.beamform(&channel_data, &array, &grid, sound_speed)?;
+        let envelope = iq.envelope();
+        let contrast = contrast_metrics(&envelope, &grid, CircularRoi::new(0.0, 0.020, 0.003))?;
+        let resolution = resolution_metrics(&envelope, &grid, 0.0, 0.028)?;
+        println!(
+            "{}: CR {:.2} dB, CNR {:.2}, GCNR {:.2}; point target axial {:.2} mm, lateral {:.2} mm\n",
+            beamformer.name(),
+            contrast.cr_db,
+            contrast.cnr,
+            contrast.gcnr,
+            resolution.axial_mm,
+            resolution.lateral_mm
+        );
+    }
+    Ok(())
+}

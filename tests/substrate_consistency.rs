@@ -1,0 +1,101 @@
+//! Cross-crate consistency checks between the substrates (simulator, ToF correction,
+//! classical beamformers, metrics).
+
+use beamforming::das::DelayAndSum;
+use beamforming::pipeline::Beamformer;
+use beamforming::tof::{round_trip_delay, tof_correct};
+use tiny_vbf_repro::prelude::*;
+
+#[test]
+fn das_via_cube_equals_direct_das_with_uniform_weights() {
+    let array = LinearArray::small_test_array();
+    let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), 0.03);
+    let phantom = Phantom::builder(0.01, 0.03)
+        .seed(3)
+        .speckle_density(60.0)
+        .add_point_target(0.0, 0.02, 5.0)
+        .build();
+    let rf = sim.simulate(&phantom, PlaneWave::zero_angle()).expect("simulate");
+    let grid = ImagingGrid::for_array(&array, 0.015, 0.01, 24, 12);
+
+    let das = DelayAndSum::default();
+    let direct = das.beamform_rf(&rf, &array, &grid, 1540.0).expect("direct");
+    let cube = tof_correct(&rf, &array, &grid, PlaneWave::zero_angle(), 1540.0).expect("cube");
+    let via_cube = das.beamform_cube(&cube, &grid).expect("cube sum");
+    for (a, b) in direct.iter().zip(via_cube.iter()) {
+        assert!((a - b).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn point_target_is_localized_where_the_phantom_says() {
+    let array = LinearArray::small_test_array();
+    let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), 0.03);
+    let target = (0.002f32, 0.022f32);
+    let phantom = Phantom::builder(0.012, 0.03).add_point_target(target.0, target.1, 1.0).build();
+    let rf = sim.simulate(&phantom, PlaneWave::zero_angle()).expect("simulate");
+    let grid = ImagingGrid::for_array(&array, 0.016, 0.012, 60, 24);
+    let iq = DelayAndSum::default().beamform(&rf, &array, &grid, 1540.0).expect("beamform");
+    let envelope = iq.envelope();
+    let (idx, _) = envelope
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    let row = idx / grid.num_cols();
+    let col = idx % grid.num_cols();
+    assert!((grid.z(row) - target.1).abs() < 1.0e-3, "depth {} vs {}", grid.z(row), target.1);
+    assert!((grid.x(col) - target.0).abs() < 1.0e-3, "lateral {} vs {}", grid.x(col), target.0);
+}
+
+#[test]
+fn round_trip_delay_is_consistent_with_the_simulator_peak() {
+    let array = LinearArray::small_test_array();
+    let medium = Medium::lossless(1540.0);
+    let sim = PlaneWaveSimulator::new(array.clone(), medium, 0.03);
+    let phantom = Phantom::builder(0.01, 0.03).add_point_target(0.0, 0.02, 1.0).build();
+    let rf = sim.simulate(&phantom, PlaneWave::zero_angle()).expect("simulate");
+
+    let ch = array.num_elements() / 2;
+    let expected = round_trip_delay(PlaneWave::zero_angle(), 0.0, 0.02, array.element_x(ch), 1540.0);
+    let trace = rf.channel(ch);
+    let (peak_idx, _) = trace
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+        .unwrap();
+    let measured = peak_idx as f32 / rf.sampling_frequency();
+    assert!((measured - expected).abs() < 0.4e-6, "measured {measured} expected {expected}");
+}
+
+#[test]
+fn in_vitro_degradation_lowers_image_quality() {
+    use usmetrics::contrast_metrics;
+    use usmetrics::region::CircularRoi;
+
+    let silico = PicmusDataset::contrast(PicmusKind::InSilico)
+        .with_scale(0.15)
+        .with_max_depth(0.02)
+        .build(9)
+        .expect("in-silico");
+    let vitro = PicmusDataset::contrast(PicmusKind::InVitro)
+        .with_scale(0.15)
+        .with_max_depth(0.02)
+        .build(9)
+        .expect("in-vitro");
+    let grid = ImagingGrid::for_array(&silico.array, 0.008, 0.010, 64, 24);
+    let cyst = silico.cysts()[0];
+    let roi = CircularRoi::new(cyst.cx, cyst.cz, cyst.radius);
+
+    let score = |frame: &ultrasound::picmus::PicmusFrame| {
+        let iq = DelayAndSum::default()
+            .beamform(&frame.channel_data, &frame.array, &grid, 1540.0)
+            .expect("beamform");
+        contrast_metrics(&iq.envelope(), &grid, roi).expect("metrics")
+    };
+    let clean = score(&silico);
+    let degraded = score(&vitro);
+    // The degradation model should not *improve* the deepest metrics; allow a small
+    // tolerance because the in-vitro cyst sits at a slightly different depth set.
+    assert!(degraded.gcnr <= clean.gcnr + 0.15, "clean {:?} degraded {:?}", clean, degraded);
+}
