@@ -57,6 +57,14 @@ impl Apodization {
         Ok(())
     }
 
+    /// Whether the weights depend on the pixel position.
+    ///
+    /// [`Apodization::Fixed`] weights are identical for every pixel, so DAS hoists
+    /// their computation out of the per-pixel loop.
+    pub fn is_pixel_independent(&self) -> bool {
+        matches!(self, Apodization::Fixed(_))
+    }
+
     /// Computes per-channel weights for a pixel at `(x, z)`.
     ///
     /// The weights are normalized to sum to 1 so beamformed amplitudes are comparable
@@ -64,8 +72,17 @@ impl Apodization {
     /// aperture the full aperture is used as a fallback (this only happens extremely
     /// close to the probe face).
     pub fn weights(&self, array: &LinearArray, x: f32, z: f32) -> Vec<f32> {
+        let mut weights = Vec::new();
+        self.weights_into(array, x, z, &mut weights);
+        weights
+    }
+
+    /// [`Apodization::weights`] writing into a caller-provided buffer, letting hot
+    /// loops reuse one allocation per worker instead of one per pixel.
+    pub fn weights_into(&self, array: &LinearArray, x: f32, z: f32, weights: &mut Vec<f32>) {
         let n = array.num_elements();
-        let mut weights = vec![0.0f32; n];
+        weights.clear();
+        weights.resize(n, 0.0f32);
         match self {
             Apodization::Fixed(window) => {
                 for (i, w) in weights.iter_mut().enumerate() {
@@ -98,7 +115,6 @@ impl Apodization {
                 *w /= sum;
             }
         }
-        weights
     }
 }
 

@@ -48,7 +48,8 @@ impl DelayAndSum {
         Self { apodization: Apodization::hann_dynamic(), ..Self::default() }
     }
 
-    /// Beamforms a real RF image (row-major, one value per grid pixel).
+    /// Beamforms a real RF image (row-major, one value per grid pixel) using the
+    /// workspace-default worker threads (see [`runtime::default_threads`]).
     ///
     /// # Errors
     ///
@@ -62,6 +63,28 @@ impl DelayAndSum {
         grid: &ImagingGrid,
         sound_speed: f32,
     ) -> BeamformResult<Vec<f32>> {
+        self.beamform_rf_with_threads(data, array, grid, sound_speed, runtime::default_threads())
+    }
+
+    /// [`DelayAndSum::beamform_rf`] with an explicit worker-thread count.
+    ///
+    /// Image rows are distributed over disjoint chunks; every pixel depends only
+    /// on its own coordinates, so the output is bitwise identical for every
+    /// `num_threads`. Pixel-independent (fixed) apodization weights are computed
+    /// once per frame instead of once per pixel, and each worker reuses a single
+    /// weight buffer for the dynamic-aperture case.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DelayAndSum::beamform_rf`].
+    pub fn beamform_rf_with_threads(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        num_threads: usize,
+    ) -> BeamformResult<Vec<f32>> {
         self.apodization.validate()?;
         if sound_speed <= 0.0 {
             return Err(BeamformError::InvalidParameter { name: "sound_speed", reason: "must be positive".into() });
@@ -74,33 +97,42 @@ impl DelayAndSum {
         }
         let rows = grid.num_rows();
         let cols = grid.num_cols();
-        let channels = data.num_channels();
         let fs = data.sampling_frequency();
         let start_time = data.start_time();
         let traces = data.to_channel_traces();
         let element_xs = array.element_positions();
+        let fixed_weights =
+            if self.apodization.is_pixel_independent() { Some(self.apodization.weights(array, 0.0, 0.0)) } else { None };
 
         let mut rf = vec![0.0f32; rows * cols];
-        for col in 0..cols {
-            let x = grid.x(col);
-            for row in 0..rows {
-                let z = grid.z(row);
-                let weights = self.apodization.weights(array, x, z);
-                let t_tx = self.transmit.transmit_delay(x, z, sound_speed);
-                let mut acc = 0.0f32;
-                for ch in 0..channels {
-                    let w = weights[ch];
-                    if w == 0.0 {
-                        continue;
+        runtime::par_map_rows(&mut rf, cols, num_threads, |first_row, block| {
+            let mut scratch: Vec<f32> = Vec::new();
+            for (local, rf_row) in block.chunks_mut(cols).enumerate() {
+                let z = grid.z(first_row + local);
+                for (col, out) in rf_row.iter_mut().enumerate() {
+                    let x = grid.x(col);
+                    let weights = match &fixed_weights {
+                        Some(w) => w.as_slice(),
+                        None => {
+                            self.apodization.weights_into(array, x, z, &mut scratch);
+                            scratch.as_slice()
+                        }
+                    };
+                    let t_tx = self.transmit.transmit_delay(x, z, sound_speed);
+                    let mut acc = 0.0f32;
+                    for (ch, &w) in weights.iter().enumerate() {
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let dx = x - element_xs[ch];
+                        let t_rx = (dx * dx + z * z).sqrt() / sound_speed;
+                        let idx = (t_tx + t_rx - start_time) * fs;
+                        acc += w * sample_at(&traces[ch], idx, self.interpolation);
                     }
-                    let dx = x - element_xs[ch];
-                    let t_rx = (dx * dx + z * z).sqrt() / sound_speed;
-                    let idx = (t_tx + t_rx - start_time) * fs;
-                    acc += w * sample_at(&traces[ch], idx, self.interpolation);
+                    *out = acc;
                 }
-                rf[row * cols + col] = acc;
             }
-        }
+        });
         Ok(rf)
     }
 

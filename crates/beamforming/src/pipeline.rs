@@ -31,6 +31,27 @@ pub trait Beamformer {
         sound_speed: f32,
     ) -> BeamformResult<IqImage>;
 
+    /// Beamforms a batch of acquisitions sharing one probe and grid.
+    ///
+    /// The default implementation maps [`Beamformer::beamform`] over the frames
+    /// in order; per-frame row parallelism already happens inside `beamform`,
+    /// and implementations that can amortise per-frame setup (model clones,
+    /// precomputed tables) may override this. Multi-frame workloads should
+    /// prefer this entry point so those optimisations apply transparently.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-frame error encountered, in frame order.
+    fn beamform_batch(
+        &self,
+        frames: &[ChannelData],
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<Vec<IqImage>> {
+        frames.iter().map(|frame| self.beamform(frame, array, grid, sound_speed)).collect()
+    }
+
     /// Convenience: beamform and log-compress to a B-mode image.
     ///
     /// # Errors

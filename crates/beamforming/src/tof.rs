@@ -125,7 +125,9 @@ pub fn round_trip_delay(tx: PlaneWave, x: f32, z: f32, element_x: f32, sound_spe
     transmit + receive
 }
 
-/// Computes the ToF-corrected data cube for one acquisition.
+/// Computes the ToF-corrected data cube for one acquisition, splitting image
+/// rows across the workspace-default worker threads (see
+/// [`runtime::default_threads`]).
 ///
 /// # Errors
 ///
@@ -138,6 +140,26 @@ pub fn tof_correct(
     grid: &ImagingGrid,
     tx: PlaneWave,
     sound_speed: f32,
+) -> BeamformResult<TofCube> {
+    tof_correct_with_threads(data, array, grid, tx, sound_speed, runtime::default_threads())
+}
+
+/// [`tof_correct`] with an explicit worker-thread count.
+///
+/// Every cube entry depends only on its own `(row, col, ch)` coordinates, so the
+/// result is bitwise identical for every `num_threads` (asserted by the
+/// determinism tests).
+///
+/// # Errors
+///
+/// Same as [`tof_correct`].
+pub fn tof_correct_with_threads(
+    data: &ChannelData,
+    array: &LinearArray,
+    grid: &ImagingGrid,
+    tx: PlaneWave,
+    sound_speed: f32,
+    num_threads: usize,
 ) -> BeamformResult<TofCube> {
     if sound_speed <= 0.0 {
         return Err(BeamformError::InvalidParameter { name: "sound_speed", reason: "must be positive".into() });
@@ -157,19 +179,23 @@ pub fn tof_correct(
     let element_xs = array.element_positions();
 
     let mut cube = TofCube::zeros(rows, cols, channels);
-    for row in 0..rows {
-        let z = grid.z(row);
-        for col in 0..cols {
-            let x = grid.x(col);
-            let t_tx = tx.transmit_delay(x, z, sound_speed);
-            for ch in 0..channels {
-                let dx = x - element_xs[ch];
-                let t_rx = (dx * dx + z * z).sqrt() / sound_speed;
-                let sample_index = (t_tx + t_rx - start_time) * fs;
-                *cube.value_mut(row, col, ch) = sample_at(&traces[ch], sample_index, InterpMethod::Linear);
+    let row_stride = cols * channels;
+    runtime::par_map_rows(&mut cube.data, row_stride, num_threads, |first_row, block| {
+        for (local, row_data) in block.chunks_mut(row_stride).enumerate() {
+            let z = grid.z(first_row + local);
+            for col in 0..cols {
+                let x = grid.x(col);
+                let t_tx = tx.transmit_delay(x, z, sound_speed);
+                let pixel = &mut row_data[col * channels..(col + 1) * channels];
+                for (ch, out) in pixel.iter_mut().enumerate() {
+                    let dx = x - element_xs[ch];
+                    let t_rx = (dx * dx + z * z).sqrt() / sound_speed;
+                    let sample_index = (t_tx + t_rx - start_time) * fs;
+                    *out = sample_at(&traces[ch], sample_index, InterpMethod::Linear);
+                }
             }
         }
-    }
+    });
     Ok(cube)
 }
 

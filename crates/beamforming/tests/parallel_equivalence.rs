@@ -1,0 +1,75 @@
+//! Determinism and equivalence tests for the parallel beamforming hot paths:
+//! the row-parallel ToF correction and DAS must produce *bitwise identical*
+//! images for every worker-thread count, and the batch API must match
+//! per-frame beamforming.
+
+use beamforming::das::DelayAndSum;
+use beamforming::grid::ImagingGrid;
+use beamforming::pipeline::Beamformer;
+use beamforming::tof::{tof_correct_with_threads, TofCube};
+use ultrasound::{ChannelData, LinearArray, Medium, Phantom, PlaneWave, PlaneWaveSimulator};
+
+fn speckle_frame() -> (ChannelData, LinearArray) {
+    let array = LinearArray::small_test_array();
+    let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), 0.03);
+    let phantom = Phantom::builder(0.012, 0.03)
+        .seed(9)
+        .speckle_density(80.0)
+        .add_point_target(0.0, 0.02, 5.0)
+        .add_point_target(-0.004, 0.014, 3.0)
+        .build();
+    (sim.simulate(&phantom, PlaneWave::zero_angle()).unwrap(), array)
+}
+
+#[test]
+fn tof_correction_is_identical_across_thread_counts() {
+    let (rf, array) = speckle_frame();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.015, 37, 19);
+    let serial: TofCube =
+        tof_correct_with_threads(&rf, &array, &grid, PlaneWave::zero_angle(), 1540.0, 1).unwrap();
+    for threads in [2, 3, 4, 16] {
+        let parallel =
+            tof_correct_with_threads(&rf, &array, &grid, PlaneWave::zero_angle(), 1540.0, threads).unwrap();
+        assert_eq!(serial, parallel, "threads {threads}");
+    }
+}
+
+#[test]
+fn das_rf_is_identical_across_thread_counts() {
+    let (rf, array) = speckle_frame();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.015, 41, 23);
+    for das in [DelayAndSum::default(), DelayAndSum::with_hann_aperture()] {
+        let serial = das.beamform_rf_with_threads(&rf, &array, &grid, 1540.0, 1).unwrap();
+        for threads in [2, 5, 16] {
+            let parallel = das.beamform_rf_with_threads(&rf, &array, &grid, 1540.0, threads).unwrap();
+            assert_eq!(serial, parallel, "threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn beamform_batch_matches_per_frame_beamforming() {
+    let array = LinearArray::small_test_array();
+    let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), 0.03);
+    let phantom = Phantom::builder(0.012, 0.03).seed(4).add_point_target(0.0, 0.02, 1.0).build();
+    let frames: Vec<ChannelData> = [-4.0f32, 0.0, 4.0]
+        .iter()
+        .map(|&deg| sim.simulate(&phantom, PlaneWave::from_degrees(deg)).unwrap())
+        .collect();
+    let grid = ImagingGrid::for_array(&array, 0.015, 0.01, 24, 12);
+    let das = DelayAndSum::default();
+    let batch = das.beamform_batch(&frames, &array, &grid, 1540.0).unwrap();
+    assert_eq!(batch.len(), frames.len());
+    for (frame, image) in frames.iter().zip(batch.iter()) {
+        let single = das.beamform(frame, &array, &grid, 1540.0).unwrap();
+        assert_eq!(&single, image);
+    }
+}
+
+#[test]
+fn beamform_batch_propagates_frame_errors() {
+    let array = LinearArray::small_test_array();
+    let grid = ImagingGrid::small(&array);
+    let bad = vec![ChannelData::zeros(64, 16, 31.25e6)];
+    assert!(DelayAndSum::default().beamform_batch(&bad, &array, &grid, 1540.0).is_err());
+}

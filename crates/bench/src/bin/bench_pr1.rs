@@ -1,0 +1,243 @@
+//! PR-1 before/after throughput benchmark: blocked+parallel matmul vs the seed
+//! scalar triple loop, and the parallel/hoisted-weights DAS + ToF pipeline vs
+//! faithful re-implementations of the seed serial loops.
+//!
+//! Writes `BENCH_pr1.json` into the current directory with the measured
+//! medians so CI (and the PR description) can track the speedups. Run with
+//! `cargo run --release -p bench --bin bench_pr1`; set `BENCH_PR1_FAST=1` for
+//! a quicker smoke configuration.
+
+use beamforming::das::DelayAndSum;
+use beamforming::grid::ImagingGrid;
+use beamforming::tof::{tof_correct, TofCube};
+use neural::tensor::Tensor;
+use std::time::Instant;
+use ultrasound::{ChannelData, LinearArray, Medium, Phantom, PlaneWave, PlaneWaveSimulator};
+use usdsp::interp::{sample_at, InterpMethod};
+
+/// Median wall-clock seconds of `iters` runs of `f`.
+fn time_median<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn pseudo_random_tensor(shape: &[usize], seed: u64) -> Tensor {
+    neural::init::normal(shape, 1.0, seed)
+}
+
+/// The seed repository's DAS loop (column-outer, per-pixel weight allocation,
+/// single-threaded), kept verbatim as the "before" measurement.
+fn das_seed_reference(
+    das: &DelayAndSum,
+    data: &ChannelData,
+    array: &LinearArray,
+    grid: &ImagingGrid,
+    sound_speed: f32,
+) -> Vec<f32> {
+    let rows = grid.num_rows();
+    let cols = grid.num_cols();
+    let channels = data.num_channels();
+    let fs = data.sampling_frequency();
+    let start_time = data.start_time();
+    let traces = data.to_channel_traces();
+    let element_xs = array.element_positions();
+    let mut rf = vec![0.0f32; rows * cols];
+    for col in 0..cols {
+        let x = grid.x(col);
+        for row in 0..rows {
+            let z = grid.z(row);
+            let weights = das.apodization.weights(array, x, z);
+            let t_tx = das.transmit.transmit_delay(x, z, sound_speed);
+            let mut acc = 0.0f32;
+            for ch in 0..channels {
+                let w = weights[ch];
+                if w == 0.0 {
+                    continue;
+                }
+                let dx = x - element_xs[ch];
+                let t_rx = (dx * dx + z * z).sqrt() / sound_speed;
+                let idx = (t_tx + t_rx - start_time) * fs;
+                acc += w * sample_at(&traces[ch], idx, das.interpolation);
+            }
+            rf[row * cols + col] = acc;
+        }
+    }
+    rf
+}
+
+/// The seed repository's serial ToF-correction loop, kept as "before".
+fn tof_seed_reference(
+    data: &ChannelData,
+    array: &LinearArray,
+    grid: &ImagingGrid,
+    tx: PlaneWave,
+    sound_speed: f32,
+) -> TofCube {
+    let rows = grid.num_rows();
+    let cols = grid.num_cols();
+    let channels = data.num_channels();
+    let fs = data.sampling_frequency();
+    let start_time = data.start_time();
+    let traces = data.to_channel_traces();
+    let element_xs = array.element_positions();
+    let mut cube = TofCube::zeros(rows, cols, channels);
+    for row in 0..rows {
+        let z = grid.z(row);
+        for col in 0..cols {
+            let x = grid.x(col);
+            let t_tx = tx.transmit_delay(x, z, sound_speed);
+            for ch in 0..channels {
+                let dx = x - element_xs[ch];
+                let t_rx = (dx * dx + z * z).sqrt() / sound_speed;
+                let sample_index = (t_tx + t_rx - start_time) * fs;
+                *cube.value_mut(row, col, ch) = sample_at(&traces[ch], sample_index, InterpMethod::Linear);
+            }
+        }
+    }
+    cube
+}
+
+fn max_rel_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1e-6))
+        .fold(0.0f32, f32::max)
+}
+
+fn main() {
+    let fast = std::env::var("BENCH_PR1_FAST").is_ok();
+    let iters = if fast { 3 } else { 9 };
+    let threads = runtime::default_threads();
+
+    // ---- matmul 256×256×256 -------------------------------------------------
+    let n = 256;
+    let a = pseudo_random_tensor(&[n, n], 1);
+    let b = pseudo_random_tensor(&[n, n], 2);
+    let t_naive = time_median(iters, || {
+        std::hint::black_box(a.matmul_naive(&b));
+    });
+    let t_blocked = time_median(iters, || {
+        std::hint::black_box(a.matmul(&b));
+    });
+    let check_fast = a.matmul(&b);
+    let check_ref = a.matmul_naive(&b);
+    let matmul_diff = max_rel_diff(check_fast.as_slice(), check_ref.as_slice());
+    let flops = 2.0 * (n as f64).powi(3);
+    println!(
+        "matmul {n}x{n}: naive {:.2} ms ({:.2} GFLOP/s) -> blocked {:.2} ms ({:.2} GFLOP/s), {:.2}x, max rel diff {:.2e}",
+        t_naive * 1e3,
+        flops / t_naive / 1e9,
+        t_blocked * 1e3,
+        flops / t_blocked / 1e9,
+        t_naive / t_blocked,
+        matmul_diff
+    );
+
+    // ---- end-to-end DAS + ToF on a simulated frame --------------------------
+    let array = LinearArray::l11_5v().with_num_elements(64);
+    let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), 0.035);
+    let phantom = Phantom::builder(0.015, 0.035)
+        .seed(11)
+        .speckle_density(if fast { 30.0 } else { 120.0 })
+        .add_point_target(0.0, 0.02, 5.0)
+        .build();
+    let rf = sim.simulate(&phantom, PlaneWave::zero_angle()).expect("simulation");
+    let (rows, cols) = if fast { (64, 32) } else { (160, 96) };
+    let grid = ImagingGrid::for_array(&array, 0.010, 0.020, rows, cols);
+    let das = DelayAndSum::with_hann_aperture();
+
+    let das_iters = iters.min(5);
+    let t_das_before = time_median(das_iters, || {
+        std::hint::black_box(das_seed_reference(&das, &rf, &array, &grid, 1540.0));
+    });
+    let t_das_after = time_median(das_iters, || {
+        std::hint::black_box(das.beamform_rf(&rf, &array, &grid, 1540.0).unwrap());
+    });
+    let das_before = das_seed_reference(&das, &rf, &array, &grid, 1540.0);
+    let das_after = das.beamform_rf(&rf, &array, &grid, 1540.0).unwrap();
+    let das_diff = max_rel_diff(&das_before, &das_after);
+    println!(
+        "DAS {rows}x{cols}x{}ch: seed {:.2} ms -> parallel {:.2} ms, {:.2}x, max rel diff {:.2e}",
+        array.num_elements(),
+        t_das_before * 1e3,
+        t_das_after * 1e3,
+        t_das_before / t_das_after,
+        das_diff
+    );
+
+    let t_tof_before = time_median(das_iters, || {
+        std::hint::black_box(tof_seed_reference(&rf, &array, &grid, PlaneWave::zero_angle(), 1540.0));
+    });
+    let t_tof_after = time_median(das_iters, || {
+        std::hint::black_box(tof_correct(&rf, &array, &grid, PlaneWave::zero_angle(), 1540.0).unwrap());
+    });
+    let tof_before = tof_seed_reference(&rf, &array, &grid, PlaneWave::zero_angle(), 1540.0);
+    let tof_after = tof_correct(&rf, &array, &grid, PlaneWave::zero_angle(), 1540.0).unwrap();
+    let tof_diff = max_rel_diff(tof_before.as_slice(), tof_after.as_slice());
+    println!(
+        "ToF {rows}x{cols}x{}ch: seed {:.2} ms -> parallel {:.2} ms, {:.2}x, max rel diff {:.2e}",
+        array.num_elements(),
+        t_tof_before * 1e3,
+        t_tof_after * 1e3,
+        t_tof_before / t_tof_after,
+        tof_diff
+    );
+
+    assert!(matmul_diff < 1e-4, "matmul outputs diverged: {matmul_diff}");
+    assert!(das_diff < 1e-4, "DAS outputs diverged: {das_diff}");
+    assert!(tof_diff < 1e-4, "ToF outputs diverged: {tof_diff}");
+
+    let json = format!(
+        r#"{{
+  "pr": 1,
+  "threads": {threads},
+  "matmul_256": {{
+    "before_ms": {:.4},
+    "after_ms": {:.4},
+    "speedup": {:.3},
+    "before_gflops": {:.3},
+    "after_gflops": {:.3},
+    "max_rel_diff": {:.3e}
+  }},
+  "das_{rows}x{cols}x{}ch": {{
+    "before_ms": {:.4},
+    "after_ms": {:.4},
+    "speedup": {:.3},
+    "max_rel_diff": {:.3e}
+  }},
+  "tof_{rows}x{cols}x{}ch": {{
+    "before_ms": {:.4},
+    "after_ms": {:.4},
+    "speedup": {:.3},
+    "max_rel_diff": {:.3e}
+  }}
+}}
+"#,
+        t_naive * 1e3,
+        t_blocked * 1e3,
+        t_naive / t_blocked,
+        flops / t_naive / 1e9,
+        flops / t_blocked / 1e9,
+        matmul_diff,
+        array.num_elements(),
+        t_das_before * 1e3,
+        t_das_after * 1e3,
+        t_das_before / t_das_after,
+        das_diff,
+        array.num_elements(),
+        t_tof_before * 1e3,
+        t_tof_after * 1e3,
+        t_tof_before / t_tof_after,
+        tof_diff,
+    );
+    std::fs::write("BENCH_pr1.json", json).expect("write BENCH_pr1.json");
+    println!("wrote BENCH_pr1.json");
+}

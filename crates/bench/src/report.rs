@@ -1,4 +1,17 @@
 //! Table formatting and paper reference values shared by the regeneration binaries.
+//!
+//! # Performance notes
+//!
+//! The regeneration binaries inherit the workspace threading model: ToF
+//! correction, DAS and the learned-beamformer row sweeps all split image rows
+//! across `runtime::default_threads()` workers (override with the
+//! `TINY_VBF_THREADS` environment variable), and `Tensor::matmul` runs an
+//! 8×32 register-tiled kernel. Parallel outputs are bitwise identical to the
+//! serial ones, so table values never depend on the host's core count. For
+//! before/after throughput measurements run
+//! `cargo run --release -p bench --bin bench_pr1`, which writes
+//! `BENCH_pr1.json` (matmul, DAS and ToF medians plus speedups vs the seed's
+//! serial loops).
 
 use tiny_vbf::evaluation::{ContrastTableRow, EvaluationConfig, QuantizedQualityRow, ResolutionTableRow};
 

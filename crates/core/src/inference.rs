@@ -6,12 +6,13 @@
 use crate::baselines::{Fcnn, TinyCnn};
 use crate::model::TinyVbf;
 use crate::training::cube_row;
-use crate::TinyVbfResult;
+use crate::{TinyVbfError, TinyVbfResult};
 use beamforming::grid::ImagingGrid;
 use beamforming::iq::{rf_to_iq, IqImage};
 use beamforming::pipeline::Beamformer;
 use beamforming::tof::{tof_correct, TofCube};
 use beamforming::{BeamformError, BeamformResult};
+use std::sync::Mutex;
 use ultrasound::{ChannelData, LinearArray, PlaneWave};
 use usdsp::Complex32;
 
@@ -24,6 +25,76 @@ fn normalized_cube(
     let mut cube = tof_correct(data, array, grid, PlaneWave::zero_angle(), sound_speed)?;
     cube.normalize();
     Ok(cube)
+}
+
+/// Sweeps a row-streaming network over every depth row of `cube` in parallel.
+///
+/// Image rows are split into disjoint chunks across `num_threads` scoped
+/// workers; each worker clones the model once (amortising the clone over its
+/// whole chunk, since `infer_row` needs `&mut self` for the layer caches),
+/// runs `infer` per row and converts the `(cols, …)` output tensor into the
+/// pixel values of that row via `write`. Each row's output depends only on its
+/// own input, so the image is bitwise identical for every thread count.
+fn parallel_row_sweep<T, M>(
+    cube: &TofCube,
+    out: &mut [T],
+    num_threads: usize,
+    clone_model: &(impl Fn() -> M + Sync),
+    infer: &(impl Fn(&mut M, &neural::tensor::Tensor) -> TinyVbfResult<neural::tensor::Tensor> + Sync),
+    write: &(impl Fn(&neural::tensor::Tensor, &mut [T]) + Sync),
+) -> TinyVbfResult<()>
+where
+    T: Send,
+{
+    let cols = cube.cols();
+    let failure: Mutex<Option<TinyVbfError>> = Mutex::new(None);
+    runtime::par_map_rows(out, cols, num_threads, |first_row, block| {
+        let mut model = clone_model();
+        for (local, out_row) in block.chunks_mut(cols).enumerate() {
+            let input = cube_row(cube, first_row + local);
+            match infer(&mut model, &input) {
+                Ok(o) if o.rows() == cols => write(&o, out_row),
+                Ok(o) => {
+                    *failure.lock().expect("row-sweep mutex poisoned") = Some(TinyVbfError::ShapeMismatch {
+                        expected: format!("{cols} output tokens"),
+                        actual: format!("{}", o.rows()),
+                    });
+                    return;
+                }
+                Err(e) => {
+                    *failure.lock().expect("row-sweep mutex poisoned") = Some(e);
+                    return;
+                }
+            }
+        }
+    });
+    match failure.into_inner().expect("row-sweep mutex poisoned") {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Row sweep for the real-valued (RF-predicting) baselines: runs
+/// `infer` over every cube row and keeps column 0 of each output row.
+fn beamform_rf_rows<M: Clone + Sync>(
+    model: &M,
+    cube: &TofCube,
+    infer: impl Fn(&mut M, &neural::tensor::Tensor) -> TinyVbfResult<neural::tensor::Tensor> + Sync,
+) -> TinyVbfResult<Vec<f32>> {
+    let mut rf = vec![0.0f32; cube.rows() * cube.cols()];
+    parallel_row_sweep(
+        cube,
+        &mut rf,
+        runtime::default_threads(),
+        &|| model.clone(),
+        &infer,
+        &|out, out_row| {
+            for (col, px) in out_row.iter_mut().enumerate() {
+                *px = out.at(col, 0);
+            }
+        },
+    )?;
+    Ok(rf)
 }
 
 /// Tiny-VBF as a drop-in beamformer.
@@ -43,21 +114,41 @@ impl TinyVbfBeamformer {
         &self.model
     }
 
-    /// Runs the model over every row of a (already normalized) ToF cube.
+    /// Runs the model over every row of a (already normalized) ToF cube,
+    /// distributing rows over the workspace-default worker threads.
     ///
     /// # Errors
     ///
     /// Propagates row shape errors from the model.
     pub fn beamform_cube(&self, cube: &TofCube, grid: &ImagingGrid) -> TinyVbfResult<IqImage> {
-        let mut model = self.model.clone();
-        let mut data = Vec::with_capacity(grid.num_pixels());
-        for row in 0..cube.rows() {
-            let input = cube_row(cube, row);
-            let out = model.infer_row(&input)?;
-            for col in 0..out.rows() {
-                data.push(Complex32::new(out.at(col, 0), out.at(col, 1)));
-            }
-        }
+        self.beamform_cube_with_threads(cube, grid, runtime::default_threads())
+    }
+
+    /// [`TinyVbfBeamformer::beamform_cube`] with an explicit worker-thread
+    /// count (each worker clones the model once for its chunk of rows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates row shape errors from the model.
+    pub fn beamform_cube_with_threads(
+        &self,
+        cube: &TofCube,
+        grid: &ImagingGrid,
+        num_threads: usize,
+    ) -> TinyVbfResult<IqImage> {
+        let mut data = vec![Complex32::new(0.0, 0.0); cube.rows() * cube.cols()];
+        parallel_row_sweep(
+            cube,
+            &mut data,
+            num_threads,
+            &|| self.model.clone(),
+            &|model, input| model.infer_row(input),
+            &|out, out_row| {
+                for (col, px) in out_row.iter_mut().enumerate() {
+                    *px = Complex32::new(out.at(col, 0), out.at(col, 1));
+                }
+            },
+        )?;
         Ok(IqImage::from_data(data, grid.clone())?)
     }
 }
@@ -93,16 +184,7 @@ impl TinyCnnBeamformer {
     }
 
     fn beamform_rf(&self, cube: &TofCube) -> TinyVbfResult<Vec<f32>> {
-        let mut model = self.model.clone();
-        let mut rf = Vec::with_capacity(cube.rows() * cube.cols());
-        for row in 0..cube.rows() {
-            let input = cube_row(cube, row);
-            let out = model.infer_row(&input)?;
-            for col in 0..out.rows() {
-                rf.push(out.at(col, 0));
-            }
-        }
-        Ok(rf)
+        beamform_rf_rows(&self.model, cube, |model, input| model.infer_row(input))
     }
 }
 
@@ -139,16 +221,7 @@ impl FcnnBeamformer {
     }
 
     fn beamform_rf(&self, cube: &TofCube) -> TinyVbfResult<Vec<f32>> {
-        let mut model = self.model.clone();
-        let mut rf = Vec::with_capacity(cube.rows() * cube.cols());
-        for row in 0..cube.rows() {
-            let input = cube_row(cube, row);
-            let out = model.infer_row(&input)?;
-            for col in 0..out.rows() {
-                rf.push(out.at(col, 0));
-            }
-        }
-        Ok(rf)
+        beamform_rf_rows(&self.model, cube, |model, input| model.infer_row(input))
     }
 }
 
@@ -211,6 +284,46 @@ mod tests {
             let iq = beamformer.beamform(&rf, &array, &grid, 1540.0).unwrap();
             assert_eq!(iq.num_pixels(), grid.num_pixels());
         }
+    }
+
+    #[test]
+    fn parallel_row_sweep_is_identical_across_thread_counts() {
+        let (rf, array, grid) = small_frame();
+        let config = TinyVbfConfig::small().for_frame(array.num_elements(), grid.num_cols());
+        let beamformer = TinyVbfBeamformer::new(TinyVbf::new(&config).unwrap());
+        let cube = normalized_cube(&rf, &array, &grid, 1540.0).unwrap();
+        let serial = beamformer.beamform_cube_with_threads(&cube, &grid, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = beamformer.beamform_cube_with_threads(&cube, &grid, threads).unwrap();
+            assert_eq!(serial, parallel, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn forward_batch_matches_row_by_row_inference() {
+        let (rf, array, grid) = small_frame();
+        let config = TinyVbfConfig::small().for_frame(array.num_elements(), grid.num_cols());
+        let model = TinyVbf::new(&config).unwrap();
+        let cube = normalized_cube(&rf, &array, &grid, 1540.0).unwrap();
+        let rows: Vec<_> = (0..cube.rows()).map(|r| cube_row(&cube, r)).collect();
+        let batch = model.forward_batch(&rows).unwrap();
+        assert_eq!(batch.len(), rows.len());
+        let mut serial_model = model.clone();
+        for (row, out) in rows.iter().zip(batch.iter()) {
+            assert_eq!(&serial_model.infer_row(row).unwrap(), out);
+        }
+        // Thread count must not change batch results either.
+        let batch4 = model.forward_batch_with_threads(&rows, 4).unwrap();
+        assert_eq!(batch, batch4);
+    }
+
+    #[test]
+    fn forward_batch_reports_bad_rows() {
+        let (_, array, grid) = small_frame();
+        let config = TinyVbfConfig::small().for_frame(array.num_elements(), grid.num_cols());
+        let model = TinyVbf::new(&config).unwrap();
+        let bad = vec![neural::tensor::Tensor::zeros(&[grid.num_cols(), array.num_elements() + 1])];
+        assert!(model.forward_batch(&bad).is_err());
     }
 
     #[test]

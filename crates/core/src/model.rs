@@ -246,6 +246,49 @@ impl TinyVbf {
         Ok(self.output_act.infer(&out))
     }
 
+    /// Inference over a batch of independent depth rows, split across the
+    /// workspace-default worker threads (see [`runtime::default_threads`]).
+    ///
+    /// This is the multi-frame scaling primitive: each worker clones the model
+    /// once for its whole chunk (amortising the clone that `infer_row`'s
+    /// `&mut self` layer caches would otherwise force per call) and outputs are
+    /// returned in input order, identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyVbfError::ShapeMismatch`] when any row's width differs from
+    /// the configured channel count.
+    pub fn forward_batch(&self, rows: &[Tensor]) -> TinyVbfResult<Vec<Tensor>> {
+        self.forward_batch_with_threads(rows, runtime::default_threads())
+    }
+
+    /// [`TinyVbf::forward_batch`] with an explicit worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TinyVbf::forward_batch`].
+    pub fn forward_batch_with_threads(&self, rows: &[Tensor], num_threads: usize) -> TinyVbfResult<Vec<Tensor>> {
+        use std::sync::Mutex;
+        let failure: Mutex<Option<TinyVbfError>> = Mutex::new(None);
+        let mut out: Vec<Option<Tensor>> = vec![None; rows.len()];
+        runtime::par_chunks_mut(&mut out, num_threads, |offset, chunk| {
+            let mut model = self.clone();
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                match model.infer_row(&rows[offset + i]) {
+                    Ok(t) => *slot = Some(t),
+                    Err(e) => {
+                        *failure.lock().expect("forward_batch mutex poisoned") = Some(e);
+                        return;
+                    }
+                }
+            }
+        });
+        if let Some(e) = failure.into_inner().expect("forward_batch mutex poisoned") {
+            return Err(e);
+        }
+        Ok(out.into_iter().map(|t| t.expect("forward_batch worker skipped a row")).collect())
+    }
+
     /// Backward pass for the most recent [`forward_row`](Self::forward_row), given the
     /// gradient of the loss with respect to the row output. Accumulates parameter
     /// gradients; the input gradient is discarded (the ToF data is not trainable).

@@ -29,6 +29,7 @@ pub enum InterpMethod {
 /// assert_eq!(sample_at(&x, 1.5, InterpMethod::Linear), 1.5);
 /// assert_eq!(sample_at(&x, -0.2, InterpMethod::Linear), 0.0);
 /// ```
+#[inline]
 pub fn sample_at(signal: &[f32], index: f32, method: InterpMethod) -> f32 {
     if signal.is_empty() || !index.is_finite() {
         return 0.0;
@@ -71,6 +72,7 @@ pub fn sample_at(signal: &[f32], index: f32, method: InterpMethod) -> f32 {
 }
 
 /// Samples a complex signal at a fractional index (component-wise interpolation).
+#[inline]
 pub fn sample_at_complex(signal: &[Complex32], index: f32, method: InterpMethod) -> Complex32 {
     if signal.is_empty() || !index.is_finite() {
         return Complex32::ZERO;

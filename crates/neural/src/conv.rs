@@ -4,6 +4,13 @@
 //! region with a small stack of convolutions. This layer implements "same"-padded,
 //! stride-1 2-D convolution over a single `(height, width, in_channels)` sample stored
 //! as a 3-D [`Tensor`].
+//!
+//! The forward and backward passes are lowered onto the blocked matmul via
+//! **im2col**: the padded receptive field of every output pixel becomes one row
+//! of a `(h·w, k·k·c_in)` matrix, turning the convolution into a single matrix
+//! product with the `(k·k·c_in, c_out)` weight matrix. The scalar
+//! sample-by-sample implementation is kept as [`Conv2d::infer_direct`] for the
+//! equivalence tests and benchmarks.
 
 use crate::init::he_uniform;
 use crate::layer::{Layer, Param};
@@ -18,6 +25,7 @@ pub struct Conv2d {
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
+    cached_cols: Option<Tensor>,
 }
 
 impl Conv2d {
@@ -39,6 +47,7 @@ impl Conv2d {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[1, out_channels])),
             cached_input: None,
+            cached_cols: None,
         }
     }
 
@@ -63,7 +72,94 @@ impl Conv2d {
         self.weight.value.at(row, co)
     }
 
-    fn compute(&self, input: &Tensor) -> Tensor {
+    /// Lowers the "same"-padded input into its im2col matrix: row `y·w + x`
+    /// holds the `kernel²·c_in` receptive-field samples of output pixel
+    /// `(y, x)`, with out-of-image taps left at zero.
+    fn im2col(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        let (h, w, c) = (shape[0], shape[1], shape[2]);
+        let kernel = self.kernel;
+        let pad = (kernel / 2) as isize;
+        let patch = kernel * kernel * c;
+        let mut cols = Tensor::zeros(&[h * w, patch]);
+        let in_data = input.as_slice();
+        // Each im2col row depends only on its own pixel coordinates, so rows can
+        // be filled by disjoint workers.
+        let threads = if h * w * patch < (1 << 16) { 1 } else { runtime::default_threads() };
+        runtime::par_map_rows(cols.as_mut_slice(), patch, threads, |first_pixel, block| {
+            for (local, row) in block.chunks_mut(patch).enumerate() {
+                let pixel = first_pixel + local;
+                let (y, x) = (pixel / w, pixel % w);
+                for ky in 0..kernel {
+                    let iy = y as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kernel {
+                        let ix = x as isize + kx as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let src = ((iy as usize) * w + ix as usize) * c;
+                        let dst = (ky * kernel + kx) * c;
+                        row[dst..dst + c].copy_from_slice(&in_data[src..src + c]);
+                    }
+                }
+            }
+        });
+        cols
+    }
+
+    /// Scatter-adds an im2col-layout gradient matrix (`h·w × kernel²·c_in`)
+    /// back onto input coordinates (the adjoint of [`Conv2d::im2col`]).
+    fn col2im(&self, cols_grad: &Tensor, h: usize, w: usize) -> Tensor {
+        let c = self.in_channels;
+        let kernel = self.kernel;
+        let pad = (kernel / 2) as isize;
+        let patch = kernel * kernel * c;
+        let mut grad_input = Tensor::zeros(&[h, w, c]);
+        let g = cols_grad.as_slice();
+        let out = grad_input.as_mut_slice();
+        for pixel in 0..h * w {
+            let (y, x) = (pixel / w, pixel % w);
+            let row = &g[pixel * patch..(pixel + 1) * patch];
+            for ky in 0..kernel {
+                let iy = y as isize + ky as isize - pad;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for kx in 0..kernel {
+                    let ix = x as isize + kx as isize - pad;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    let dst = ((iy as usize) * w + ix as usize) * c;
+                    let src = (ky * kernel + kx) * c;
+                    for ci in 0..c {
+                        out[dst + ci] += row[src + ci];
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn compute(&self, input: &Tensor) -> (Tensor, Tensor) {
+        let shape = input.shape();
+        let (h, w) = (shape[0], shape[1]);
+        assert_eq!(shape[2], self.in_channels, "Conv2d input channel mismatch");
+        let cols = self.im2col(input);
+        let out = cols
+            .matmul(&self.weight.value)
+            .add_row_broadcast(&self.bias.value)
+            .reshape(&[h, w, self.out_channels])
+            .expect("conv output reshape cannot fail");
+        (out, cols)
+    }
+
+    /// Reference sample-by-sample convolution (the pre-im2col implementation),
+    /// kept for equivalence tests and before/after benchmarks.
+    pub fn infer_direct(&self, input: &Tensor) -> Tensor {
         let shape = input.shape();
         let (h, w, c) = (shape[0], shape[1], shape[2]);
         assert_eq!(c, self.in_channels, "Conv2d input channel mismatch");
@@ -103,51 +199,28 @@ impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().len(), 3, "Conv2d expects a (h, w, c) tensor");
         self.cached_input = Some(input.clone());
-        self.compute(input)
+        let (out, cols) = self.compute(input);
+        self.cached_cols = Some(cols);
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("Conv2d::backward called before forward");
+        let cols = self.cached_cols.as_ref().expect("Conv2d::backward called before forward");
         let shape = input.shape();
-        let (h, w, c) = (shape[0], shape[1], shape[2]);
+        let (h, w) = (shape[0], shape[1]);
         assert_eq!(grad_output.shape(), &[h, w, self.out_channels], "Conv2d backward shape mismatch");
-        let pad = (self.kernel / 2) as isize;
 
-        let mut grad_weight = Tensor::zeros(self.weight.value.shape());
-        let mut grad_bias = Tensor::zeros(&[1, self.out_channels]);
-        let mut grad_input = Tensor::zeros(&[h, w, c]);
-        let in_data = input.as_slice();
-        let gout = grad_output.as_slice();
+        // With y = im2col(x) · W + b: dW = im2col(x)ᵀ · dy, db = Σ_pixels dy,
+        // dx = col2im(dy · Wᵀ).
+        let gout = grad_output
+            .reshape(&[h * w, self.out_channels])
+            .expect("conv gradient reshape cannot fail");
+        let grad_weight = cols.transpose().matmul(&gout);
+        let grad_bias = gout.sum_rows();
+        let grad_cols = gout.matmul(&self.weight.value.transpose());
+        let grad_input = self.col2im(&grad_cols, h, w);
 
-        for y in 0..h {
-            for x in 0..w {
-                for co in 0..self.out_channels {
-                    let g = gout[(y * w + x) * self.out_channels + co];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    *grad_bias.at_mut(0, co) += g;
-                    for ky in 0..self.kernel {
-                        let iy = y as isize + ky as isize - pad;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..self.kernel {
-                            let ix = x as isize + kx as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let base = ((iy as usize) * w + ix as usize) * c;
-                            for ci in 0..c {
-                                let wrow = (ky * self.kernel + kx) * self.in_channels + ci;
-                                *grad_weight.at_mut(wrow, co) += g * in_data[base + ci];
-                                grad_input.as_mut_slice()[base + ci] += g * self.weight.value.at(wrow, co);
-                            }
-                        }
-                    }
-                }
-            }
-        }
         self.weight.grad = self.weight.grad.add(&grad_weight);
         self.bias.grad = self.bias.grad.add(&grad_bias);
         grad_input
@@ -163,7 +236,7 @@ impl Layer for Conv2d {
 
     fn infer(&mut self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().len(), 3, "Conv2d expects a (h, w, c) tensor");
-        self.compute(input)
+        self.compute(input).0
     }
 }
 
@@ -221,6 +294,22 @@ mod tests {
         let conv = Conv2d::new(2, 3, 3, 4);
         let input = crate::init::normal(&[4, 3, 2], 0.7, 9);
         check_layer_gradients(&mut { conv }, &input, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn im2col_forward_matches_direct_convolution() {
+        for (h, w, cin, cout, k, seed) in
+            [(5, 4, 2, 3, 3, 1), (3, 7, 1, 2, 5, 2), (6, 6, 3, 4, 1, 3), (1, 1, 2, 2, 3, 4), (9, 2, 4, 1, 3, 5)]
+        {
+            let mut conv = Conv2d::new(cin, cout, k, seed);
+            let x = crate::init::normal(&[h, w, cin], 1.0, seed + 10);
+            let fast = conv.forward(&x);
+            let direct = conv.infer_direct(&x);
+            assert_eq!(fast.shape(), direct.shape());
+            for (a, b) in fast.as_slice().iter().zip(direct.as_slice()) {
+                assert!((a - b).abs() <= 1e-5 * b.abs().max(1.0), "h{h} w{w} cin{cin} cout{cout} k{k}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -133,10 +133,48 @@ impl Tensor {
 
     /// Matrix product of two 2-D tensors: `(n, k) × (k, m) → (n, m)`.
     ///
+    /// Uses the cache-blocked, register-tiled kernel and splits output rows
+    /// across [`runtime::default_threads`] worker threads when the product is
+    /// large enough to amortise the spawns. Per-element accumulation order is
+    /// fixed (ascending inner index), so results are bitwise identical for
+    /// every thread count and match [`Tensor::matmul_naive`].
+    ///
     /// # Panics
     ///
     /// Panics when either tensor is not 2-D or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.matmul_with_threads(other, runtime::default_threads())
+    }
+
+    /// [`Tensor::matmul`] with an explicit worker-thread count (used by the
+    /// determinism tests and benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either tensor is not 2-D or the inner dimensions differ.
+    pub fn matmul_with_threads(&self, other: &Tensor, num_threads: usize) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul: lhs must be 2-D");
+        assert_eq!(other.shape.len(), 2, "matmul: rhs must be 2-D");
+        let (n, k) = (self.shape[0], self.shape[1]);
+        let (k2, m) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul: inner dimensions must agree ({k} vs {k2})");
+        let mut out = Tensor::zeros(&[n, m]);
+        // Below ~2^18 multiply-adds the spawn overhead outweighs the work.
+        let threads = if n * k * m < (1 << 18) { 1 } else { num_threads };
+        runtime::par_map_rows(&mut out.data, m, threads, |first_row, chunk| {
+            matmul_row_block(&self.data, &other.data, chunk, first_row, k, m);
+        });
+        out
+    }
+
+    /// Reference scalar triple-loop matmul kept for equivalence tests and the
+    /// before/after benchmarks (this was the shipping implementation before the
+    /// blocked kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either tensor is not 2-D or the inner dimensions differ.
+    pub fn matmul_naive(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2, "matmul: lhs must be 2-D");
         assert_eq!(other.shape.len(), 2, "matmul: rhs must be 2-D");
         let (n, k) = (self.shape[0], self.shape[1]);
@@ -146,9 +184,6 @@ impl Tensor {
         for i in 0..n {
             for p in 0..k {
                 let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
                 let row_other = &other.data[p * m..(p + 1) * m];
                 let row_out = &mut out.data[i * m..(i + 1) * m];
                 for (o, &b) in row_out.iter_mut().zip(row_other.iter()) {
@@ -159,18 +194,27 @@ impl Tensor {
         out
     }
 
-    /// Transpose of a 2-D tensor.
+    /// Transpose of a 2-D tensor (cache-blocked: both source and destination
+    /// are walked in 32×32 tiles so neither side strides a whole row per
+    /// element).
     ///
     /// # Panics
     ///
     /// Panics when the tensor is not 2-D.
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.shape.len(), 2, "transpose requires a 2-D tensor");
+        const TILE: usize = 32;
         let (n, m) = (self.shape[0], self.shape[1]);
         let mut out = Tensor::zeros(&[m, n]);
-        for i in 0..n {
-            for j in 0..m {
-                out.data[j * n + i] = self.data[i * m + j];
+        for i0 in (0..n).step_by(TILE) {
+            let i1 = (i0 + TILE).min(n);
+            for j0 in (0..m).step_by(TILE) {
+                let j1 = (j0 + TILE).min(m);
+                for i in i0..i1 {
+                    for j in j0..j1 {
+                        out.data[j * n + i] = self.data[i * m + j];
+                    }
+                }
             }
         }
         out
@@ -308,6 +352,84 @@ impl Tensor {
     }
 }
 
+/// Fills `out` — the contiguous block of output rows starting at global row
+/// `first_row` — with `A × B` for row-major `a` (`? × k`) and `b` (`k × m`).
+///
+/// The kernel is register-tiled: each `MR × NR` (8×32) tile of `C` is
+/// accumulated entirely in registers over the full inner dimension before one
+/// write-back, so the steady-state memory traffic per FMA is a single
+/// streaming read of `B`. For every output element the additions happen in
+/// ascending `p` order, keeping results bitwise identical to the naive triple
+/// loop regardless of tiling or thread count.
+fn matmul_row_block(a: &[f32], b: &[f32], out: &mut [f32], first_row: usize, k: usize, m: usize) {
+    /// Register-tile width (output columns per micro-kernel invocation).
+    const NR: usize = 32;
+    /// Register-tile height (output rows per micro-kernel invocation).
+    const MR: usize = 8;
+    let rows = out.len() / m.max(1);
+    let mut r = 0;
+    while r + MR <= rows {
+        let a_base = (first_row + r) * k;
+        let out_base = r * m;
+        // Full-width MR×NR register tiles: the C tile lives in `acc` for the whole
+        // inner-product loop, so per FMA the only memory traffic is streaming B.
+        let mut j0 = 0;
+        while j0 + NR <= m {
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in 0..k {
+                let bvals: &[f32; NR] = b[p * m + j0..p * m + j0 + NR].try_into().unwrap();
+                for (q, acc_row) in acc.iter_mut().enumerate() {
+                    let av = a[a_base + q * k + p];
+                    for (o, &bv) in acc_row.iter_mut().zip(bvals.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            for (q, acc_row) in acc.iter().enumerate() {
+                out[out_base + q * m + j0..out_base + q * m + j0 + NR].copy_from_slice(acc_row);
+            }
+            j0 += NR;
+        }
+        // Column remainder: per-row scalar inner products (same ascending-p order).
+        for q in 0..MR {
+            for j in j0..m {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[a_base + q * k + p] * b[p * m + j];
+                }
+                out[out_base + q * m + j] = acc;
+            }
+        }
+        r += MR;
+    }
+    // Row remainder: single-row tiles.
+    while r < rows {
+        let a_base = (first_row + r) * k;
+        let arow = &a[a_base..a_base + k];
+        let out_row = &mut out[r * m..(r + 1) * m];
+        let mut j0 = 0;
+        while j0 + NR <= m {
+            let mut acc = [0.0f32; NR];
+            for (p, &av) in arow.iter().enumerate() {
+                let bvals: &[f32; NR] = b[p * m + j0..p * m + j0 + NR].try_into().unwrap();
+                for (o, &bv) in acc.iter_mut().zip(bvals.iter()) {
+                    *o += av * bv;
+                }
+            }
+            out_row[j0..j0 + NR].copy_from_slice(&acc);
+            j0 += NR;
+        }
+        for j in j0..m {
+            let mut acc = 0.0f32;
+            for (p, &av) in arow.iter().enumerate() {
+                acc += av * b[p * m + j];
+            }
+            out_row[j] = acc;
+        }
+        r += 1;
+    }
+}
+
 fn checked_numel(shape: &[usize]) -> usize {
     assert!(!shape.is_empty(), "Tensor shape must not be empty");
     assert!(shape.iter().all(|&d| d > 0), "Tensor dimensions must be nonzero");
@@ -427,5 +549,58 @@ mod tests {
     #[should_panic(expected = "dimensions must be nonzero")]
     fn zero_dimension_panics() {
         let _ = Tensor::zeros(&[2, 0]);
+    }
+
+    fn pseudo_random_tensor(shape: &[usize], seed: u64) -> Tensor {
+        let numel: usize = shape.iter().product();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let data = (0..numel)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+            })
+            .collect();
+        Tensor::from_vec(data, shape).unwrap()
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_reference() {
+        // Shapes straddle the register tile (4 rows) and KC panel (128) edges.
+        for (n, k, m, seed) in [(1, 1, 1, 1), (3, 5, 2, 2), (4, 130, 7, 3), (17, 129, 33, 4), (64, 257, 96, 5)] {
+            let a = pseudo_random_tensor(&[n, k], seed);
+            let b = pseudo_random_tensor(&[k, m], seed + 100);
+            let fast = a.matmul(&b);
+            let reference = a.matmul_naive(&b);
+            assert_eq!(fast.shape(), reference.shape());
+            for (f, r) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert!((f - r).abs() <= 1e-5 * r.abs().max(1.0), "{n}x{k}x{m}: {f} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_is_identical_across_thread_counts() {
+        // Large enough to clear the parallel-dispatch threshold.
+        let a = pseudo_random_tensor(&[96, 80], 7);
+        let b = pseudo_random_tensor(&[80, 64], 8);
+        let serial = a.matmul_with_threads(&b, 1);
+        for threads in [2, 3, 8] {
+            let parallel = a.matmul_with_threads(&b, threads);
+            assert_eq!(serial, parallel, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_matches_strided_reference() {
+        for (n, m) in [(1, 1), (5, 3), (31, 33), (64, 70), (100, 1)] {
+            let a = pseudo_random_tensor(&[n, m], (n * 1000 + m) as u64);
+            let t = a.transpose();
+            assert_eq!(t.shape(), &[m, n]);
+            for i in 0..n {
+                for j in 0..m {
+                    assert_eq!(t.at(j, i), a.at(i, j), "({i},{j}) of {n}x{m}");
+                }
+            }
+        }
     }
 }

@@ -123,3 +123,77 @@ proptest! {
         prop_assert_eq!(&restored[0], &t);
     }
 }
+
+// Property tests for the PR-1 performance kernels: the blocked/parallel matmul,
+// the blocked transpose and the im2col convolution must match their naive
+// reference implementations on random shapes.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn blocked_matmul_matches_naive_on_random_shapes(
+        n in 1usize..40,
+        k in 1usize..160,
+        m in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let a = neural::init::normal(&[n, k], 1.0, seed);
+        let b = neural::init::normal(&[k, m], 1.0, seed.wrapping_add(1));
+        let fast = a.matmul(&b);
+        let reference = a.matmul_naive(&b);
+        prop_assert_eq!(fast.shape(), reference.shape());
+        for (f, r) in fast.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((f - r).abs() <= 1e-5 * r.abs().max(1.0), "{} vs {}", f, r);
+        }
+    }
+
+    #[test]
+    fn matmul_thread_count_does_not_change_results(
+        n in 8usize..48,
+        k in 32usize..96,
+        seed in 0u64..1000,
+    ) {
+        let a = neural::init::normal(&[n, k], 1.0, seed);
+        let b = neural::init::normal(&[k, n], 1.0, seed.wrapping_add(7));
+        let serial = a.matmul_with_threads(&b, 1);
+        let parallel = a.matmul_with_threads(&b, 4);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn blocked_transpose_round_trips_on_random_shapes(
+        n in 1usize..70,
+        m in 1usize..70,
+        seed in 0u64..1000,
+    ) {
+        let a = neural::init::normal(&[n, m], 1.0, seed);
+        let t = a.transpose();
+        prop_assert_eq!(t.shape(), &[m, n]);
+        prop_assert_eq!(t.transpose(), a.clone());
+        for i in 0..n.min(8) {
+            for j in 0..m.min(8) {
+                prop_assert_eq!(t.at(j, i), a.at(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_convolution_matches_direct_on_random_shapes(
+        h in 1usize..9,
+        w in 1usize..9,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        kernel_half in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let kernel = 2 * kernel_half + 1;
+        let mut conv = neural::conv::Conv2d::new(cin, cout, kernel, seed);
+        let x = neural::init::normal(&[h, w, cin], 1.0, seed.wrapping_add(3));
+        let fast = conv.forward(&x);
+        let direct = conv.infer_direct(&x);
+        prop_assert_eq!(fast.shape(), direct.shape());
+        for (a, b) in fast.as_slice().iter().zip(direct.as_slice()) {
+            prop_assert!((a - b).abs() <= 1e-5 * b.abs().max(1.0), "{} vs {}", a, b);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Shared parallelism utilities for the Tiny-VBF workspace.
+//!
+//! Every hot path in the reproduction — the plane-wave simulator, time-of-flight
+//! correction, DAS, the network row sweep and the blocked matmul — partitions one
+//! output buffer into disjoint contiguous chunks and fills each chunk
+//! independently. This crate centralises that pattern (previously hand-rolled
+//! with `crossbeam` in `ultrasound::planewave`) on top of [`std::thread::scope`]:
+//!
+//! * [`par_chunks_mut`] — split a mutable slice into per-worker chunks,
+//! * [`par_map_rows`] — the same, but aligned to logical row boundaries,
+//! * [`default_threads`] — the workspace-wide worker count
+//!   (`TINY_VBF_THREADS` env override, otherwise the machine's parallelism).
+//!
+//! # Determinism
+//!
+//! Both helpers hand each worker a *disjoint* chunk plus its global offset, so a
+//! worker can only write values that depend on the element/row index — never on
+//! the chunking. As long as the per-row computation is itself deterministic, the
+//! output is **bitwise identical for every thread count**, which the test-suites
+//! assert (`planewave::single_thread_matches_multi_thread` and friends).
+//!
+//! # Example
+//!
+//! ```
+//! let mut image = vec![0.0f32; 6 * 4]; // 6 rows × 4 cols
+//! runtime::par_map_rows(&mut image, 4, 2, |first_row, rows| {
+//!     for (i, row) in rows.chunks_mut(4).enumerate() {
+//!         let r = first_row + i;
+//!         for (c, px) in row.iter_mut().enumerate() {
+//!             *px = (r * 4 + c) as f32;
+//!         }
+//!     }
+//! });
+//! assert_eq!(image[13], 13.0);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::sync::OnceLock;
+
+/// Environment variable overriding the default worker-thread count.
+pub const THREADS_ENV: &str = "TINY_VBF_THREADS";
+
+/// Upper bound on the automatically chosen thread count (an explicit
+/// [`THREADS_ENV`] override may exceed it).
+pub const MAX_AUTO_THREADS: usize = 16;
+
+/// The workspace-wide default number of worker threads.
+///
+/// Resolution order, cached after the first call:
+/// 1. the `TINY_VBF_THREADS` environment variable (values ≥ 1),
+/// 2. [`std::thread::available_parallelism`], capped at [`MAX_AUTO_THREADS`],
+/// 3. `1` when neither is available.
+pub fn default_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(value) = std::env::var(THREADS_ENV) {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_AUTO_THREADS)
+    })
+}
+
+/// Splits `data` into at most `num_threads` contiguous chunks and runs
+/// `f(offset, chunk)` for each on scoped worker threads, where `offset` is the
+/// index of the chunk's first element in `data`.
+///
+/// With `num_threads <= 1` (or a single-element slice) `f` runs on the calling
+/// thread with no spawning overhead. Chunks are disjoint, so no locking is
+/// needed and the result is independent of the thread count.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn par_chunks_mut<T, F>(data: &mut [T], num_threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_map_rows(data, 1, num_threads, f);
+}
+
+/// Splits `data` — a row-major buffer of rows of `row_len` elements — into at
+/// most `num_threads` blocks of *whole* rows and runs `f(first_row, block)` for
+/// each block on scoped worker threads.
+///
+/// `first_row` is the global index of the block's first row, letting workers
+/// recover absolute coordinates. With `num_threads <= 1` the single block is
+/// processed inline on the calling thread.
+///
+/// # Panics
+///
+/// Panics when `row_len` is zero or does not divide `data.len()`; propagates
+/// panics from `f`.
+pub fn par_map_rows<T, F>(data: &mut [T], row_len: usize, num_threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_len > 0, "par_map_rows: row_len must be nonzero");
+    assert_eq!(data.len() % row_len, 0, "par_map_rows: data length must be a whole number of rows");
+    if data.is_empty() {
+        return;
+    }
+    let num_rows = data.len() / row_len;
+    // Nested parallel regions run inline: a worker that is itself one of N
+    // outer workers would only oversubscribe the machine by spawning more
+    // threads (e.g. the per-row network sweep calling the parallel matmul).
+    let workers = if in_parallel_region() { 1 } else { num_threads.max(1).min(num_rows.max(1)) };
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per_worker = num_rows.div_ceil(workers);
+    let chunk_len = rows_per_worker * row_len;
+    std::thread::scope(|scope| {
+        for (chunk_index, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                IN_PARALLEL_REGION.set(true);
+                f(chunk_index * rows_per_worker, chunk);
+            });
+        }
+    });
+}
+
+thread_local! {
+    static IN_PARALLEL_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the current thread is a [`par_map_rows`] / [`par_chunks_mut`]
+/// worker. Nested helper calls detect this and run inline instead of
+/// oversubscribing the machine with threads-inside-threads.
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.get()
+}
+
+/// Runs `f(index)` for every index in `0..count` across at most `num_threads`
+/// scoped worker threads and collects the results in index order.
+///
+/// Useful when the per-item result is an owned value (an image, a tensor)
+/// rather than a slice fill. `f` receives each global index exactly once;
+/// ordering of the returned vector matches the index, independent of the
+/// thread count.
+pub fn par_collect<R, F>(count: usize, num_threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    par_map_rows(&mut slots, 1, num_threads, |offset, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = Some(f(offset + i));
+        }
+    });
+    slots.into_iter().map(|s| s.expect("par_collect worker skipped a slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_element_once() {
+        for threads in [1, 2, 3, 8, 64] {
+            let mut data = vec![0u32; 37];
+            par_chunks_mut(&mut data, threads, |offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v += (offset + i) as u32 + 1;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i as u32 + 1, "threads {threads}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_rows_keeps_rows_whole() {
+        let row_len = 5;
+        for threads in [1, 2, 4, 7] {
+            let mut data = vec![0usize; 13 * row_len];
+            par_map_rows(&mut data, row_len, threads, |first_row, block| {
+                assert_eq!(block.len() % row_len, 0);
+                for (local, row) in block.chunks_mut(row_len).enumerate() {
+                    for v in row.iter_mut() {
+                        *v = first_row + local;
+                    }
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i / row_len);
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let reference: Vec<f64> = {
+            let mut d = vec![0.0f64; 101];
+            par_chunks_mut(&mut d, 1, |off, c| {
+                for (i, v) in c.iter_mut().enumerate() {
+                    *v = ((off + i) as f64).sin();
+                }
+            });
+            d
+        };
+        for threads in [2, 3, 5, 16] {
+            let mut d = vec![0.0f64; 101];
+            par_chunks_mut(&mut d, threads, |off, c| {
+                for (i, v) in c.iter_mut().enumerate() {
+                    *v = ((off + i) as f64).sin();
+                }
+            });
+            assert_eq!(d, reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_collect_preserves_order() {
+        for threads in [1, 3, 9] {
+            let out = par_collect(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline_and_still_cover_everything() {
+        assert!(!in_parallel_region());
+        let mut outer = vec![0usize; 8];
+        par_chunks_mut(&mut outer, 4, |off, chunk| {
+            assert!(in_parallel_region(), "workers must be flagged as parallel");
+            let mut inner = vec![0u32; 16];
+            par_chunks_mut(&mut inner, 4, |ioff, ichunk| {
+                for (i, v) in ichunk.iter_mut().enumerate() {
+                    *v = (ioff + i) as u32 + 1;
+                }
+            });
+            for (i, v) in inner.iter().enumerate() {
+                assert_eq!(*v, i as u32 + 1, "nested call must cover all elements");
+            }
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = off + i;
+            }
+        });
+        assert!(!in_parallel_region(), "flag must not leak to the caller");
+        for (i, v) in outer.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let mut data: Vec<f32> = Vec::new();
+        par_chunks_mut(&mut data, 4, |_, _| panic!("must not be called"));
+        assert!(par_collect(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn ragged_rows_panic() {
+        let mut data = vec![0.0f32; 7];
+        par_map_rows(&mut data, 3, 2, |_, _| {});
+    }
+}

@@ -134,57 +134,48 @@ impl PlaneWaveSimulator {
         let scatterers = phantom.scatterers();
 
         // Each worker fills a disjoint chunk of channels, so the traces can be written
-        // without locking and stitched together afterwards.
+        // without locking and stitched together afterwards. The chunking lives in the
+        // shared `runtime` helper; per-channel values depend only on the channel index,
+        // so the result is identical for every thread count.
         let mut traces: Vec<Vec<f32>> = vec![Vec::new(); num_channels];
-        let chunk = num_channels.div_ceil(self.num_threads);
-        crossbeam::thread::scope(|scope| {
-            for (worker_idx, trace_chunk) in traces.chunks_mut(chunk).enumerate() {
-                let element_xs = &element_xs;
-                let pulse = &self.pulse;
-                let medium = &self.medium;
-                let array = &self.array;
-                let config = &self.config;
-                scope.spawn(move |_| {
-                    for (local, trace) in trace_chunk.iter_mut().enumerate() {
-                        let ch = worker_idx * chunk + local;
-                        let xe = element_xs[ch];
-                        let mut line = vec![0.0f32; num_samples];
-                        for s in scatterers {
-                            let t_tx = tx.transmit_delay(s.x, s.z, c);
-                            let dx = s.x - xe;
-                            let rx_dist = (dx * dx + s.z * s.z).sqrt();
-                            let t_rx = rx_dist / c;
-                            let t_arrival = t_tx + t_rx;
-                            let centre_idx = config.time_to_sample(t_arrival);
-                            if centre_idx < -(support as f32) || centre_idx > (num_samples + support) as f32 {
-                                continue;
-                            }
-                            // Receive angle relative to the element normal (straight down).
-                            let rx_angle = dx.atan2(s.z);
-                            let directivity = array.directivity(rx_angle, c);
-                            if directivity <= 0.0 {
-                                continue;
-                            }
-                            let path = s.z + rx_dist; // transmit depth + receive distance
-                            let attenuation = medium.attenuation_factor(f0, path);
-                            let spreading = 1.0e-3 / rx_dist.max(1.0e-3);
-                            let amplitude = s.amplitude * directivity * attenuation * spreading;
-                            if amplitude == 0.0 {
-                                continue;
-                            }
-                            let k_lo = ((centre_idx - half_support * fs).floor().max(0.0)) as usize;
-                            let k_hi = ((centre_idx + half_support * fs).ceil() as usize).min(num_samples.saturating_sub(1));
-                            for k in k_lo..=k_hi.min(num_samples - 1) {
-                                let t = (k as f32 - centre_idx) / fs;
-                                line[k] += amplitude * pulse.evaluate(t);
-                            }
-                        }
-                        *trace = line;
+        let (pulse, medium, array, config) = (&self.pulse, &self.medium, &self.array, &self.config);
+        runtime::par_chunks_mut(&mut traces, self.num_threads, |first_channel, trace_chunk| {
+            for (local, trace) in trace_chunk.iter_mut().enumerate() {
+                let xe = element_xs[first_channel + local];
+                let mut line = vec![0.0f32; num_samples];
+                for s in scatterers {
+                    let t_tx = tx.transmit_delay(s.x, s.z, c);
+                    let dx = s.x - xe;
+                    let rx_dist = (dx * dx + s.z * s.z).sqrt();
+                    let t_rx = rx_dist / c;
+                    let t_arrival = t_tx + t_rx;
+                    let centre_idx = config.time_to_sample(t_arrival);
+                    if centre_idx < -(support as f32) || centre_idx > (num_samples + support) as f32 {
+                        continue;
                     }
-                });
+                    // Receive angle relative to the element normal (straight down).
+                    let rx_angle = dx.atan2(s.z);
+                    let directivity = array.directivity(rx_angle, c);
+                    if directivity <= 0.0 {
+                        continue;
+                    }
+                    let path = s.z + rx_dist; // transmit depth + receive distance
+                    let attenuation = medium.attenuation_factor(f0, path);
+                    let spreading = 1.0e-3 / rx_dist.max(1.0e-3);
+                    let amplitude = s.amplitude * directivity * attenuation * spreading;
+                    if amplitude == 0.0 {
+                        continue;
+                    }
+                    let k_lo = ((centre_idx - half_support * fs).floor().max(0.0)) as usize;
+                    let k_hi = ((centre_idx + half_support * fs).ceil() as usize).min(num_samples.saturating_sub(1));
+                    for k in k_lo..=k_hi.min(num_samples - 1) {
+                        let t = (k as f32 - centre_idx) / fs;
+                        line[k] += amplitude * pulse.evaluate(t);
+                    }
+                }
+                *trace = line;
             }
-        })
-        .expect("simulation worker panicked");
+        });
 
         let mut data = ChannelData::from_channel_traces(&traces, fs)?;
         data.set_start_time(self.config.start_time);
@@ -211,7 +202,7 @@ impl PlaneWaveSimulator {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    runtime::default_threads()
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ pub use accel;
 pub use beamforming;
 pub use neural;
 pub use quantize;
+pub use runtime;
 pub use tiny_vbf;
 pub use ultrasound;
 pub use usdsp;

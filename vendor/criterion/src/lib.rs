@@ -1,0 +1,122 @@
+//! Offline stand-in for the real `criterion` benchmarking crate.
+//!
+//! Implements the subset the `bench` crate's benchmark targets use:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`], [`black_box`] and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple mean over `sample_size`
+//! timed iterations after one warm-up iteration — good enough for the smoke
+//! runs and relative before/after comparisons CI performs; no statistical
+//! analysis, plots or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Runs one benchmarked closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, recording the mean over the configured iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also primes caches/allocations
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { sample_size: 10 }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(&mut self, name: N, f: F) -> &mut Self {
+        run_one(name.as_ref(), 10, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(&mut self, name: N, f: F) -> &mut Self {
+        run_one(name.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { iters: sample_size as u64, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let mean = bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64;
+    println!("  {name}: {:.3} ms/iter ({} iters)", mean * 1e3, bencher.iters);
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.finish();
+        // one warm-up + three timed iterations
+        assert_eq!(runs, 4);
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

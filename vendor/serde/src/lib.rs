@@ -1,0 +1,23 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The workspace is built in an environment without network access, so the
+//! real serde cannot be fetched from crates.io. The repo only uses serde for
+//! `#[derive(Serialize, Deserialize)]` markers (no actual serialization is
+//! performed anywhere — the binary weight format in `neural::serialize` is
+//! hand-rolled), so marker traits with blanket impls are sufficient: every
+//! type satisfies `Serialize` / `Deserialize` bounds and the derive macros
+//! expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

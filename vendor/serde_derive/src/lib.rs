@@ -1,0 +1,21 @@
+//! Offline stand-in for the real `serde_derive` proc-macro crate.
+//!
+//! The workspace builds without network access, so the real serde cannot be
+//! fetched. The sibling `serde` shim provides blanket `Serialize` /
+//! `Deserialize` impls for every type; these derive macros therefore only need
+//! to exist (so `#[derive(Serialize, Deserialize)]` parses) and expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the `serde` shim blanket-implements the trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the `serde` shim blanket-implements the trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
