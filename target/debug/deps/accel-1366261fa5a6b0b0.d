@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/accel-1366261fa5a6b0b0.d: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+/root/repo/target/debug/deps/libaccel-1366261fa5a6b0b0.rlib: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+/root/repo/target/debug/deps/libaccel-1366261fa5a6b0b0.rmeta: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/accelerator.rs:
+crates/accel/src/memory.rs:
+crates/accel/src/pe.rs:
+crates/accel/src/resources.rs:
+crates/accel/src/scheduler.rs:

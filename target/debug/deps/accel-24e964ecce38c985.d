@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/accel-24e964ecce38c985.d: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+/root/repo/target/debug/deps/libaccel-24e964ecce38c985.rmeta: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/accelerator.rs:
+crates/accel/src/memory.rs:
+crates/accel/src/pe.rs:
+crates/accel/src/resources.rs:
+crates/accel/src/scheduler.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/accel-653b7f9055b8c2eb.d: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+/root/repo/target/debug/deps/accel-653b7f9055b8c2eb: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/accelerator.rs:
+crates/accel/src/memory.rs:
+crates/accel/src/pe.rs:
+crates/accel/src/resources.rs:
+crates/accel/src/scheduler.rs:

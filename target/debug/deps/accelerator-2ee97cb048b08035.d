@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accelerator-2ee97cb048b08035.d: crates/bench/benches/accelerator.rs
+
+/root/repo/target/debug/deps/accelerator-2ee97cb048b08035: crates/bench/benches/accelerator.rs
+
+crates/bench/benches/accelerator.rs:

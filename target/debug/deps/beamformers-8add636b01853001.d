@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/beamformers-8add636b01853001.d: crates/bench/benches/beamformers.rs
+
+/root/repo/target/debug/deps/beamformers-8add636b01853001: crates/bench/benches/beamformers.rs
+
+crates/bench/benches/beamformers.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/beamforming-3eb01dc23666a28a.d: crates/beamforming/src/lib.rs crates/beamforming/src/apodization.rs crates/beamforming/src/bmode.rs crates/beamforming/src/das.rs crates/beamforming/src/flops.rs crates/beamforming/src/grid.rs crates/beamforming/src/iq.rs crates/beamforming/src/linalg.rs crates/beamforming/src/mvdr.rs crates/beamforming/src/pipeline.rs crates/beamforming/src/tof.rs
+
+/root/repo/target/debug/deps/libbeamforming-3eb01dc23666a28a.rlib: crates/beamforming/src/lib.rs crates/beamforming/src/apodization.rs crates/beamforming/src/bmode.rs crates/beamforming/src/das.rs crates/beamforming/src/flops.rs crates/beamforming/src/grid.rs crates/beamforming/src/iq.rs crates/beamforming/src/linalg.rs crates/beamforming/src/mvdr.rs crates/beamforming/src/pipeline.rs crates/beamforming/src/tof.rs
+
+/root/repo/target/debug/deps/libbeamforming-3eb01dc23666a28a.rmeta: crates/beamforming/src/lib.rs crates/beamforming/src/apodization.rs crates/beamforming/src/bmode.rs crates/beamforming/src/das.rs crates/beamforming/src/flops.rs crates/beamforming/src/grid.rs crates/beamforming/src/iq.rs crates/beamforming/src/linalg.rs crates/beamforming/src/mvdr.rs crates/beamforming/src/pipeline.rs crates/beamforming/src/tof.rs
+
+crates/beamforming/src/lib.rs:
+crates/beamforming/src/apodization.rs:
+crates/beamforming/src/bmode.rs:
+crates/beamforming/src/das.rs:
+crates/beamforming/src/flops.rs:
+crates/beamforming/src/grid.rs:
+crates/beamforming/src/iq.rs:
+crates/beamforming/src/linalg.rs:
+crates/beamforming/src/mvdr.rs:
+crates/beamforming/src/pipeline.rs:
+crates/beamforming/src/tof.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-539885f570a1ce82.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/bench-539885f570a1ce82: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-80ca6757bbda8a1d.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libbench-80ca6757bbda8a1d.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libbench-80ca6757bbda8a1d.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

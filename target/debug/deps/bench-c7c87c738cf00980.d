@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-c7c87c738cf00980.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/bench-c7c87c738cf00980: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-c7efe4f16b6cb3bf.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libbench-c7efe4f16b6cb3bf.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

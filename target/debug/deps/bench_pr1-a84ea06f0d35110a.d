@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_pr1-a84ea06f0d35110a.d: crates/bench/src/bin/bench_pr1.rs
+
+/root/repo/target/debug/deps/libbench_pr1-a84ea06f0d35110a.rmeta: crates/bench/src/bin/bench_pr1.rs
+
+crates/bench/src/bin/bench_pr1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_pr1-cb911195d90e3592.d: crates/bench/src/bin/bench_pr1.rs
+
+/root/repo/target/debug/deps/bench_pr1-cb911195d90e3592: crates/bench/src/bin/bench_pr1.rs
+
+crates/bench/src/bin/bench_pr1.rs:

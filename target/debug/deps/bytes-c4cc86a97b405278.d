@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-c4cc86a97b405278.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c4cc86a97b405278.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c4cc86a97b405278.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

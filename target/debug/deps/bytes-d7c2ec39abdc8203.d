@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-d7c2ec39abdc8203.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-d7c2ec39abdc8203.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

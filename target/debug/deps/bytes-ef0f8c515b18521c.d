@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-ef0f8c515b18521c.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-ef0f8c515b18521c: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

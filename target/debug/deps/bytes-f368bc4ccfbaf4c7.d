@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-f368bc4ccfbaf4c7.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-f368bc4ccfbaf4c7.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-f368bc4ccfbaf4c7.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

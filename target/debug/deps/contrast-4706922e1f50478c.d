@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contrast-4706922e1f50478c.d: crates/bench/benches/contrast.rs
+
+/root/repo/target/debug/deps/contrast-4706922e1f50478c: crates/bench/benches/contrast.rs
+
+crates/bench/benches/contrast.rs:

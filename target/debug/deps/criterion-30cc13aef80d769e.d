@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-30cc13aef80d769e.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-30cc13aef80d769e: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

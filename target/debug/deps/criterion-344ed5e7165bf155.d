@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-344ed5e7165bf155.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-344ed5e7165bf155.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

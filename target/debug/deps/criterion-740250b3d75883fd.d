@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-740250b3d75883fd.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-740250b3d75883fd.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-740250b3d75883fd.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

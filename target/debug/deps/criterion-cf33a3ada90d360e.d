@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-cf33a3ada90d360e.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-cf33a3ada90d360e.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-cf33a3ada90d360e.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-48263736e873d7a6.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-48263736e873d7a6: tests/end_to_end.rs
+
+tests/end_to_end.rs:

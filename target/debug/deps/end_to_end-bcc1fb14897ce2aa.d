@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-bcc1fb14897ce2aa.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-bcc1fb14897ce2aa: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_contrast_images-4d2eaf0631c9c200.d: crates/bench/src/bin/fig09_contrast_images.rs
+
+/root/repo/target/debug/deps/libfig09_contrast_images-4d2eaf0631c9c200.rmeta: crates/bench/src/bin/fig09_contrast_images.rs
+
+crates/bench/src/bin/fig09_contrast_images.rs:

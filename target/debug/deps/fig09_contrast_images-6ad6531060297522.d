@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_contrast_images-6ad6531060297522.d: crates/bench/src/bin/fig09_contrast_images.rs
+
+/root/repo/target/debug/deps/fig09_contrast_images-6ad6531060297522: crates/bench/src/bin/fig09_contrast_images.rs
+
+crates/bench/src/bin/fig09_contrast_images.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_contrast_images-9f10df53394e5b4c.d: crates/bench/src/bin/fig09_contrast_images.rs
+
+/root/repo/target/debug/deps/fig09_contrast_images-9f10df53394e5b4c: crates/bench/src/bin/fig09_contrast_images.rs
+
+crates/bench/src/bin/fig09_contrast_images.rs:

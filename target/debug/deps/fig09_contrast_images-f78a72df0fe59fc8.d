@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_contrast_images-f78a72df0fe59fc8.d: crates/bench/src/bin/fig09_contrast_images.rs
+
+/root/repo/target/debug/deps/fig09_contrast_images-f78a72df0fe59fc8: crates/bench/src/bin/fig09_contrast_images.rs
+
+crates/bench/src/bin/fig09_contrast_images.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09b_lateral_profile-343732d7064654c8.d: crates/bench/src/bin/fig09b_lateral_profile.rs
+
+/root/repo/target/debug/deps/fig09b_lateral_profile-343732d7064654c8: crates/bench/src/bin/fig09b_lateral_profile.rs
+
+crates/bench/src/bin/fig09b_lateral_profile.rs:

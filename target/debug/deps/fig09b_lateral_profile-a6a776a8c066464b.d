@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09b_lateral_profile-a6a776a8c066464b.d: crates/bench/src/bin/fig09b_lateral_profile.rs
+
+/root/repo/target/debug/deps/fig09b_lateral_profile-a6a776a8c066464b: crates/bench/src/bin/fig09b_lateral_profile.rs
+
+crates/bench/src/bin/fig09b_lateral_profile.rs:

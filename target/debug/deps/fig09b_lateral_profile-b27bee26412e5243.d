@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09b_lateral_profile-b27bee26412e5243.d: crates/bench/src/bin/fig09b_lateral_profile.rs
+
+/root/repo/target/debug/deps/fig09b_lateral_profile-b27bee26412e5243: crates/bench/src/bin/fig09b_lateral_profile.rs
+
+crates/bench/src/bin/fig09b_lateral_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09b_lateral_profile-bb4a670ee47f94bb.d: crates/bench/src/bin/fig09b_lateral_profile.rs
+
+/root/repo/target/debug/deps/libfig09b_lateral_profile-bb4a670ee47f94bb.rmeta: crates/bench/src/bin/fig09b_lateral_profile.rs
+
+crates/bench/src/bin/fig09b_lateral_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_resolution_images-1c29ea3001ebb503.d: crates/bench/src/bin/fig11_resolution_images.rs
+
+/root/repo/target/debug/deps/fig11_resolution_images-1c29ea3001ebb503: crates/bench/src/bin/fig11_resolution_images.rs
+
+crates/bench/src/bin/fig11_resolution_images.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_resolution_images-2574596b0ef4431a.d: crates/bench/src/bin/fig11_resolution_images.rs
+
+/root/repo/target/debug/deps/fig11_resolution_images-2574596b0ef4431a: crates/bench/src/bin/fig11_resolution_images.rs
+
+crates/bench/src/bin/fig11_resolution_images.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_resolution_images-a96cfb64fd8d8456.d: crates/bench/src/bin/fig11_resolution_images.rs
+
+/root/repo/target/debug/deps/libfig11_resolution_images-a96cfb64fd8d8456.rmeta: crates/bench/src/bin/fig11_resolution_images.rs
+
+crates/bench/src/bin/fig11_resolution_images.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_resolution_images-faae3984c31c819d.d: crates/bench/src/bin/fig11_resolution_images.rs
+
+/root/repo/target/debug/deps/fig11_resolution_images-faae3984c31c819d: crates/bench/src/bin/fig11_resolution_images.rs
+
+crates/bench/src/bin/fig11_resolution_images.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_psf_insilico-634468598d57e13f.d: crates/bench/src/bin/fig12_psf_insilico.rs
+
+/root/repo/target/debug/deps/fig12_psf_insilico-634468598d57e13f: crates/bench/src/bin/fig12_psf_insilico.rs
+
+crates/bench/src/bin/fig12_psf_insilico.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_psf_insilico-98d1b8c2fe8fb173.d: crates/bench/src/bin/fig12_psf_insilico.rs
+
+/root/repo/target/debug/deps/fig12_psf_insilico-98d1b8c2fe8fb173: crates/bench/src/bin/fig12_psf_insilico.rs
+
+crates/bench/src/bin/fig12_psf_insilico.rs:

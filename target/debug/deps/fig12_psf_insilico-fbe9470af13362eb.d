@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_psf_insilico-fbe9470af13362eb.d: crates/bench/src/bin/fig12_psf_insilico.rs
+
+/root/repo/target/debug/deps/fig12_psf_insilico-fbe9470af13362eb: crates/bench/src/bin/fig12_psf_insilico.rs
+
+crates/bench/src/bin/fig12_psf_insilico.rs:

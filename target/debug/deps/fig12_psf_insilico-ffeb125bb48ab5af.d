@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_psf_insilico-ffeb125bb48ab5af.d: crates/bench/src/bin/fig12_psf_insilico.rs
+
+/root/repo/target/debug/deps/libfig12_psf_insilico-ffeb125bb48ab5af.rmeta: crates/bench/src/bin/fig12_psf_insilico.rs
+
+crates/bench/src/bin/fig12_psf_insilico.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_psf_invitro-23f3cf4e4530ba9c.d: crates/bench/src/bin/fig14_psf_invitro.rs
+
+/root/repo/target/debug/deps/fig14_psf_invitro-23f3cf4e4530ba9c: crates/bench/src/bin/fig14_psf_invitro.rs
+
+crates/bench/src/bin/fig14_psf_invitro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_psf_invitro-81930b7d1ed8f8aa.d: crates/bench/src/bin/fig14_psf_invitro.rs
+
+/root/repo/target/debug/deps/libfig14_psf_invitro-81930b7d1ed8f8aa.rmeta: crates/bench/src/bin/fig14_psf_invitro.rs
+
+crates/bench/src/bin/fig14_psf_invitro.rs:

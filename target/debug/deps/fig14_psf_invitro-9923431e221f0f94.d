@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_psf_invitro-9923431e221f0f94.d: crates/bench/src/bin/fig14_psf_invitro.rs
+
+/root/repo/target/debug/deps/fig14_psf_invitro-9923431e221f0f94: crates/bench/src/bin/fig14_psf_invitro.rs
+
+crates/bench/src/bin/fig14_psf_invitro.rs:

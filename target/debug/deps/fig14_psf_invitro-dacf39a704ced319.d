@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_psf_invitro-dacf39a704ced319.d: crates/bench/src/bin/fig14_psf_invitro.rs
+
+/root/repo/target/debug/deps/fig14_psf_invitro-dacf39a704ced319: crates/bench/src/bin/fig14_psf_invitro.rs
+
+crates/bench/src/bin/fig14_psf_invitro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_quantized_images-361aa56420d05620.d: crates/bench/src/bin/fig15_quantized_images.rs
+
+/root/repo/target/debug/deps/libfig15_quantized_images-361aa56420d05620.rmeta: crates/bench/src/bin/fig15_quantized_images.rs
+
+crates/bench/src/bin/fig15_quantized_images.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_quantized_images-a6481e6352d54856.d: crates/bench/src/bin/fig15_quantized_images.rs
+
+/root/repo/target/debug/deps/fig15_quantized_images-a6481e6352d54856: crates/bench/src/bin/fig15_quantized_images.rs
+
+crates/bench/src/bin/fig15_quantized_images.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_quantized_images-ae3d13190d3ce1ad.d: crates/bench/src/bin/fig15_quantized_images.rs
+
+/root/repo/target/debug/deps/fig15_quantized_images-ae3d13190d3ce1ad: crates/bench/src/bin/fig15_quantized_images.rs
+
+crates/bench/src/bin/fig15_quantized_images.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_quantized_images-dcc2196e2b1e6d07.d: crates/bench/src/bin/fig15_quantized_images.rs
+
+/root/repo/target/debug/deps/fig15_quantized_images-dcc2196e2b1e6d07: crates/bench/src/bin/fig15_quantized_images.rs
+
+crates/bench/src/bin/fig15_quantized_images.rs:

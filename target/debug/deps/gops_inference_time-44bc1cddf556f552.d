@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gops_inference_time-44bc1cddf556f552.d: crates/bench/src/bin/gops_inference_time.rs
+
+/root/repo/target/debug/deps/gops_inference_time-44bc1cddf556f552: crates/bench/src/bin/gops_inference_time.rs
+
+crates/bench/src/bin/gops_inference_time.rs:

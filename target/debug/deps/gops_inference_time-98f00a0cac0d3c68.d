@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gops_inference_time-98f00a0cac0d3c68.d: crates/bench/src/bin/gops_inference_time.rs
+
+/root/repo/target/debug/deps/libgops_inference_time-98f00a0cac0d3c68.rmeta: crates/bench/src/bin/gops_inference_time.rs
+
+crates/bench/src/bin/gops_inference_time.rs:

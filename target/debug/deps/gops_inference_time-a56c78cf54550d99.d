@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gops_inference_time-a56c78cf54550d99.d: crates/bench/src/bin/gops_inference_time.rs
+
+/root/repo/target/debug/deps/gops_inference_time-a56c78cf54550d99: crates/bench/src/bin/gops_inference_time.rs
+
+crates/bench/src/bin/gops_inference_time.rs:

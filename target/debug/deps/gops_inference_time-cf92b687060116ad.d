@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gops_inference_time-cf92b687060116ad.d: crates/bench/src/bin/gops_inference_time.rs
+
+/root/repo/target/debug/deps/gops_inference_time-cf92b687060116ad: crates/bench/src/bin/gops_inference_time.rs
+
+crates/bench/src/bin/gops_inference_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inference-8190eb3bda39ad6f.d: crates/bench/benches/inference.rs
+
+/root/repo/target/debug/deps/inference-8190eb3bda39ad6f: crates/bench/benches/inference.rs
+
+crates/bench/benches/inference.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/neural-b730cc4360beba53.d: crates/neural/src/lib.rs crates/neural/src/activation.rs crates/neural/src/attention.rs crates/neural/src/conv.rs crates/neural/src/dense.rs crates/neural/src/flops.rs crates/neural/src/gradcheck.rs crates/neural/src/init.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/norm.rs crates/neural/src/optimizer.rs crates/neural/src/schedule.rs crates/neural/src/serialize.rs crates/neural/src/tensor.rs
+
+/root/repo/target/debug/deps/neural-b730cc4360beba53: crates/neural/src/lib.rs crates/neural/src/activation.rs crates/neural/src/attention.rs crates/neural/src/conv.rs crates/neural/src/dense.rs crates/neural/src/flops.rs crates/neural/src/gradcheck.rs crates/neural/src/init.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/norm.rs crates/neural/src/optimizer.rs crates/neural/src/schedule.rs crates/neural/src/serialize.rs crates/neural/src/tensor.rs
+
+crates/neural/src/lib.rs:
+crates/neural/src/activation.rs:
+crates/neural/src/attention.rs:
+crates/neural/src/conv.rs:
+crates/neural/src/dense.rs:
+crates/neural/src/flops.rs:
+crates/neural/src/gradcheck.rs:
+crates/neural/src/init.rs:
+crates/neural/src/layer.rs:
+crates/neural/src/loss.rs:
+crates/neural/src/norm.rs:
+crates/neural/src/optimizer.rs:
+crates/neural/src/schedule.rs:
+crates/neural/src/serialize.rs:
+crates/neural/src/tensor.rs:

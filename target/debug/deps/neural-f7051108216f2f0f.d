@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/neural-f7051108216f2f0f.d: crates/neural/src/lib.rs crates/neural/src/activation.rs crates/neural/src/attention.rs crates/neural/src/conv.rs crates/neural/src/dense.rs crates/neural/src/flops.rs crates/neural/src/gradcheck.rs crates/neural/src/init.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/norm.rs crates/neural/src/optimizer.rs crates/neural/src/schedule.rs crates/neural/src/serialize.rs crates/neural/src/tensor.rs
+
+/root/repo/target/debug/deps/libneural-f7051108216f2f0f.rlib: crates/neural/src/lib.rs crates/neural/src/activation.rs crates/neural/src/attention.rs crates/neural/src/conv.rs crates/neural/src/dense.rs crates/neural/src/flops.rs crates/neural/src/gradcheck.rs crates/neural/src/init.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/norm.rs crates/neural/src/optimizer.rs crates/neural/src/schedule.rs crates/neural/src/serialize.rs crates/neural/src/tensor.rs
+
+/root/repo/target/debug/deps/libneural-f7051108216f2f0f.rmeta: crates/neural/src/lib.rs crates/neural/src/activation.rs crates/neural/src/attention.rs crates/neural/src/conv.rs crates/neural/src/dense.rs crates/neural/src/flops.rs crates/neural/src/gradcheck.rs crates/neural/src/init.rs crates/neural/src/layer.rs crates/neural/src/loss.rs crates/neural/src/norm.rs crates/neural/src/optimizer.rs crates/neural/src/schedule.rs crates/neural/src/serialize.rs crates/neural/src/tensor.rs
+
+crates/neural/src/lib.rs:
+crates/neural/src/activation.rs:
+crates/neural/src/attention.rs:
+crates/neural/src/conv.rs:
+crates/neural/src/dense.rs:
+crates/neural/src/flops.rs:
+crates/neural/src/gradcheck.rs:
+crates/neural/src/init.rs:
+crates/neural/src/layer.rs:
+crates/neural/src/loss.rs:
+crates/neural/src/norm.rs:
+crates/neural/src/optimizer.rs:
+crates/neural/src/schedule.rs:
+crates/neural/src/serialize.rs:
+crates/neural/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equivalence-51bbee52a9f94450.d: crates/beamforming/tests/parallel_equivalence.rs
+
+/root/repo/target/debug/deps/parallel_equivalence-51bbee52a9f94450: crates/beamforming/tests/parallel_equivalence.rs
+
+crates/beamforming/tests/parallel_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equivalence-df5fe416d5699af1.d: crates/beamforming/tests/parallel_equivalence.rs
+
+/root/repo/target/debug/deps/parallel_equivalence-df5fe416d5699af1: crates/beamforming/tests/parallel_equivalence.rs
+
+crates/beamforming/tests/parallel_equivalence.rs:

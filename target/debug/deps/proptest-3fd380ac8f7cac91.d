@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3fd380ac8f7cac91.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3fd380ac8f7cac91.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3fd380ac8f7cac91.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

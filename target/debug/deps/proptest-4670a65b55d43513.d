@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-4670a65b55d43513.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4670a65b55d43513.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-4f56e5bc4402d79c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-4f56e5bc4402d79c: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-8eff9ef82f4c6809.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8eff9ef82f4c6809.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8eff9ef82f4c6809.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_beamforming-3dde77ba0dfefdd3.d: crates/beamforming/tests/proptest_beamforming.rs
+
+/root/repo/target/debug/deps/proptest_beamforming-3dde77ba0dfefdd3: crates/beamforming/tests/proptest_beamforming.rs
+
+crates/beamforming/tests/proptest_beamforming.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_beamforming-a6114feda81dbfd9.d: crates/beamforming/tests/proptest_beamforming.rs
+
+/root/repo/target/debug/deps/proptest_beamforming-a6114feda81dbfd9: crates/beamforming/tests/proptest_beamforming.rs
+
+crates/beamforming/tests/proptest_beamforming.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_dsp-91b98933df106376.d: crates/dsp/tests/proptest_dsp.rs
+
+/root/repo/target/debug/deps/proptest_dsp-91b98933df106376: crates/dsp/tests/proptest_dsp.rs
+
+crates/dsp/tests/proptest_dsp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_neural-b9e931ea635133c0.d: crates/neural/tests/proptest_neural.rs
+
+/root/repo/target/debug/deps/proptest_neural-b9e931ea635133c0: crates/neural/tests/proptest_neural.rs
+
+crates/neural/tests/proptest_neural.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_neural-d3749f7b376a7541.d: crates/neural/tests/proptest_neural.rs
+
+/root/repo/target/debug/deps/proptest_neural-d3749f7b376a7541: crates/neural/tests/proptest_neural.rs
+
+crates/neural/tests/proptest_neural.rs:

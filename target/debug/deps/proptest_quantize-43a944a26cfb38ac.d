@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_quantize-43a944a26cfb38ac.d: crates/quantize/tests/proptest_quantize.rs
+
+/root/repo/target/debug/deps/proptest_quantize-43a944a26cfb38ac: crates/quantize/tests/proptest_quantize.rs
+
+crates/quantize/tests/proptest_quantize.rs:

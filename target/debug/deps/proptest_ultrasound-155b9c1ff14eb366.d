@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ultrasound-155b9c1ff14eb366.d: crates/ultrasound/tests/proptest_ultrasound.rs
+
+/root/repo/target/debug/deps/proptest_ultrasound-155b9c1ff14eb366: crates/ultrasound/tests/proptest_ultrasound.rs
+
+crates/ultrasound/tests/proptest_ultrasound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ultrasound-f65f6cf09d76e935.d: crates/ultrasound/tests/proptest_ultrasound.rs
+
+/root/repo/target/debug/deps/proptest_ultrasound-f65f6cf09d76e935: crates/ultrasound/tests/proptest_ultrasound.rs
+
+crates/ultrasound/tests/proptest_ultrasound.rs:

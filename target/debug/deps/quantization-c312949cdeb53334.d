@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantization-c312949cdeb53334.d: crates/bench/benches/quantization.rs
+
+/root/repo/target/debug/deps/quantization-c312949cdeb53334: crates/bench/benches/quantization.rs
+
+crates/bench/benches/quantization.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quantize-803407814d5d121d.d: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+/root/repo/target/debug/deps/libquantize-803407814d5d121d.rlib: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+/root/repo/target/debug/deps/libquantize-803407814d5d121d.rmeta: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+crates/quantize/src/lib.rs:
+crates/quantize/src/fixed.rs:
+crates/quantize/src/quantizer.rs:
+crates/quantize/src/scheme.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quantize-b415becd8c181386.d: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+/root/repo/target/debug/deps/libquantize-b415becd8c181386.rmeta: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+crates/quantize/src/lib.rs:
+crates/quantize/src/fixed.rs:
+crates/quantize/src/quantizer.rs:
+crates/quantize/src/scheme.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quantize-db0a534e4da04b06.d: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+/root/repo/target/debug/deps/libquantize-db0a534e4da04b06.rlib: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+/root/repo/target/debug/deps/libquantize-db0a534e4da04b06.rmeta: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+crates/quantize/src/lib.rs:
+crates/quantize/src/fixed.rs:
+crates/quantize/src/quantizer.rs:
+crates/quantize/src/scheme.rs:

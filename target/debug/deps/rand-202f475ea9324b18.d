@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-202f475ea9324b18.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-202f475ea9324b18: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-637f24a29b71ee49.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-637f24a29b71ee49.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-6888abd76b7af920.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6888abd76b7af920.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6888abd76b7af920.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

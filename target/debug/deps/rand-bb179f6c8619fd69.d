@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-bb179f6c8619fd69.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bb179f6c8619fd69.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bb179f6c8619fd69.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

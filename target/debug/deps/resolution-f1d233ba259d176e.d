@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resolution-f1d233ba259d176e.d: crates/bench/benches/resolution.rs
+
+/root/repo/target/debug/deps/resolution-f1d233ba259d176e: crates/bench/benches/resolution.rs
+
+crates/bench/benches/resolution.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/runtime-356576529c3e0532.d: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/libruntime-356576529c3e0532.rlib: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/libruntime-356576529c3e0532.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-5c45a33681505fe2.d: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/runtime-5c45a33681505fe2: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/runtime-adce2faf67511303.d: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/libruntime-adce2faf67511303.rlib: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/libruntime-adce2faf67511303.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-cfdf121a620958e7.d: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/libruntime-cfdf121a620958e7.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

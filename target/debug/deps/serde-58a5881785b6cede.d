@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-58a5881785b6cede.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-58a5881785b6cede.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-58a5881785b6cede.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

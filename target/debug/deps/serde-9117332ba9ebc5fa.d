@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-9117332ba9ebc5fa.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-9117332ba9ebc5fa: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

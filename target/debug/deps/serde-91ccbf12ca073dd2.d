@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-91ccbf12ca073dd2.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-91ccbf12ca073dd2.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-9f7330309fc15d3d.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9f7330309fc15d3d.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9f7330309fc15d3d.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-35074d73b7e7a56a.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-35074d73b7e7a56a: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

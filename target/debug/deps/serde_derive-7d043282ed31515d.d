@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-7d043282ed31515d.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-7d043282ed31515d.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

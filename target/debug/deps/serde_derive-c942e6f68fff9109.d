@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-c942e6f68fff9109.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-c942e6f68fff9109.rmeta: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

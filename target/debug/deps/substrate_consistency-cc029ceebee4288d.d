@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_consistency-cc029ceebee4288d.d: tests/substrate_consistency.rs
+
+/root/repo/target/debug/deps/substrate_consistency-cc029ceebee4288d: tests/substrate_consistency.rs
+
+tests/substrate_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_consistency-e3df39e36ee5d7a1.d: tests/substrate_consistency.rs
+
+/root/repo/target/debug/deps/substrate_consistency-e3df39e36ee5d7a1: tests/substrate_consistency.rs
+
+tests/substrate_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_contrast-92e1092b119c98c9.d: crates/bench/src/bin/table1_contrast.rs
+
+/root/repo/target/debug/deps/table1_contrast-92e1092b119c98c9: crates/bench/src/bin/table1_contrast.rs
+
+crates/bench/src/bin/table1_contrast.rs:

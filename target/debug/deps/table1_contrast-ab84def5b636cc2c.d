@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_contrast-ab84def5b636cc2c.d: crates/bench/src/bin/table1_contrast.rs
+
+/root/repo/target/debug/deps/table1_contrast-ab84def5b636cc2c: crates/bench/src/bin/table1_contrast.rs
+
+crates/bench/src/bin/table1_contrast.rs:

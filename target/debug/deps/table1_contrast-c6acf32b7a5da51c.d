@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_contrast-c6acf32b7a5da51c.d: crates/bench/src/bin/table1_contrast.rs
+
+/root/repo/target/debug/deps/libtable1_contrast-c6acf32b7a5da51c.rmeta: crates/bench/src/bin/table1_contrast.rs
+
+crates/bench/src/bin/table1_contrast.rs:

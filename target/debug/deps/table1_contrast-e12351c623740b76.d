@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_contrast-e12351c623740b76.d: crates/bench/src/bin/table1_contrast.rs
+
+/root/repo/target/debug/deps/table1_contrast-e12351c623740b76: crates/bench/src/bin/table1_contrast.rs
+
+crates/bench/src/bin/table1_contrast.rs:

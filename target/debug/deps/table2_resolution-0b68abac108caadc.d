@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_resolution-0b68abac108caadc.d: crates/bench/src/bin/table2_resolution.rs
+
+/root/repo/target/debug/deps/libtable2_resolution-0b68abac108caadc.rmeta: crates/bench/src/bin/table2_resolution.rs
+
+crates/bench/src/bin/table2_resolution.rs:

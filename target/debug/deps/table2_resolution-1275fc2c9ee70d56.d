@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_resolution-1275fc2c9ee70d56.d: crates/bench/src/bin/table2_resolution.rs
+
+/root/repo/target/debug/deps/table2_resolution-1275fc2c9ee70d56: crates/bench/src/bin/table2_resolution.rs
+
+crates/bench/src/bin/table2_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_resolution-33b452e62900cb50.d: crates/bench/src/bin/table2_resolution.rs
+
+/root/repo/target/debug/deps/table2_resolution-33b452e62900cb50: crates/bench/src/bin/table2_resolution.rs
+
+crates/bench/src/bin/table2_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_resolution-fcdff49b82d5f214.d: crates/bench/src/bin/table2_resolution.rs
+
+/root/repo/target/debug/deps/table2_resolution-fcdff49b82d5f214: crates/bench/src/bin/table2_resolution.rs
+
+crates/bench/src/bin/table2_resolution.rs:

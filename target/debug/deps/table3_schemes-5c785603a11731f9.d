@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_schemes-5c785603a11731f9.d: crates/bench/src/bin/table3_schemes.rs
+
+/root/repo/target/debug/deps/table3_schemes-5c785603a11731f9: crates/bench/src/bin/table3_schemes.rs
+
+crates/bench/src/bin/table3_schemes.rs:

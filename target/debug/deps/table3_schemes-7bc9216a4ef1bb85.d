@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_schemes-7bc9216a4ef1bb85.d: crates/bench/src/bin/table3_schemes.rs
+
+/root/repo/target/debug/deps/table3_schemes-7bc9216a4ef1bb85: crates/bench/src/bin/table3_schemes.rs
+
+crates/bench/src/bin/table3_schemes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_schemes-e3eb90967bdefb10.d: crates/bench/src/bin/table3_schemes.rs
+
+/root/repo/target/debug/deps/table3_schemes-e3eb90967bdefb10: crates/bench/src/bin/table3_schemes.rs
+
+crates/bench/src/bin/table3_schemes.rs:

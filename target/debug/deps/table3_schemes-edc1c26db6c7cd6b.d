@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_schemes-edc1c26db6c7cd6b.d: crates/bench/src/bin/table3_schemes.rs
+
+/root/repo/target/debug/deps/libtable3_schemes-edc1c26db6c7cd6b.rmeta: crates/bench/src/bin/table3_schemes.rs
+
+crates/bench/src/bin/table3_schemes.rs:

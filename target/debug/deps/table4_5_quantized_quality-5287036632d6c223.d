@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_5_quantized_quality-5287036632d6c223.d: crates/bench/src/bin/table4_5_quantized_quality.rs
+
+/root/repo/target/debug/deps/table4_5_quantized_quality-5287036632d6c223: crates/bench/src/bin/table4_5_quantized_quality.rs
+
+crates/bench/src/bin/table4_5_quantized_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_5_quantized_quality-56dbd9ab8a91dbe5.d: crates/bench/src/bin/table4_5_quantized_quality.rs
+
+/root/repo/target/debug/deps/table4_5_quantized_quality-56dbd9ab8a91dbe5: crates/bench/src/bin/table4_5_quantized_quality.rs
+
+crates/bench/src/bin/table4_5_quantized_quality.rs:

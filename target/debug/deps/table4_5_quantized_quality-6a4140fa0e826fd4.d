@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_5_quantized_quality-6a4140fa0e826fd4.d: crates/bench/src/bin/table4_5_quantized_quality.rs
+
+/root/repo/target/debug/deps/libtable4_5_quantized_quality-6a4140fa0e826fd4.rmeta: crates/bench/src/bin/table4_5_quantized_quality.rs
+
+crates/bench/src/bin/table4_5_quantized_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_resources-14015894e1000089.d: crates/bench/src/bin/table6_resources.rs
+
+/root/repo/target/debug/deps/table6_resources-14015894e1000089: crates/bench/src/bin/table6_resources.rs
+
+crates/bench/src/bin/table6_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_resources-6eea23ca7cfe26aa.d: crates/bench/src/bin/table6_resources.rs
+
+/root/repo/target/debug/deps/table6_resources-6eea23ca7cfe26aa: crates/bench/src/bin/table6_resources.rs
+
+crates/bench/src/bin/table6_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_resources-7da835891e44e564.d: crates/bench/src/bin/table6_resources.rs
+
+/root/repo/target/debug/deps/table6_resources-7da835891e44e564: crates/bench/src/bin/table6_resources.rs
+
+crates/bench/src/bin/table6_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_resources-f6763cbf797f640a.d: crates/bench/src/bin/table6_resources.rs
+
+/root/repo/target/debug/deps/libtable6_resources-f6763cbf797f640a.rmeta: crates/bench/src/bin/table6_resources.rs
+
+crates/bench/src/bin/table6_resources.rs:

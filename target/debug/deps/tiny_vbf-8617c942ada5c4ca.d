@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tiny_vbf-8617c942ada5c4ca.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/config.rs crates/core/src/evaluation.rs crates/core/src/gops.rs crates/core/src/inference.rs crates/core/src/model.rs crates/core/src/quantized.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libtiny_vbf-8617c942ada5c4ca.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/config.rs crates/core/src/evaluation.rs crates/core/src/gops.rs crates/core/src/inference.rs crates/core/src/model.rs crates/core/src/quantized.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/config.rs:
+crates/core/src/evaluation.rs:
+crates/core/src/gops.rs:
+crates/core/src/inference.rs:
+crates/core/src/model.rs:
+crates/core/src/quantized.rs:
+crates/core/src/training.rs:

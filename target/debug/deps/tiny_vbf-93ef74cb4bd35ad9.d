@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tiny_vbf-93ef74cb4bd35ad9.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/config.rs crates/core/src/evaluation.rs crates/core/src/gops.rs crates/core/src/inference.rs crates/core/src/model.rs crates/core/src/quantized.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libtiny_vbf-93ef74cb4bd35ad9.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/config.rs crates/core/src/evaluation.rs crates/core/src/gops.rs crates/core/src/inference.rs crates/core/src/model.rs crates/core/src/quantized.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libtiny_vbf-93ef74cb4bd35ad9.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/config.rs crates/core/src/evaluation.rs crates/core/src/gops.rs crates/core/src/inference.rs crates/core/src/model.rs crates/core/src/quantized.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/config.rs:
+crates/core/src/evaluation.rs:
+crates/core/src/gops.rs:
+crates/core/src/inference.rs:
+crates/core/src/model.rs:
+crates/core/src/quantized.rs:
+crates/core/src/training.rs:

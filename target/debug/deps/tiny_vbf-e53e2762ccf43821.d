@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tiny_vbf-e53e2762ccf43821.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/config.rs crates/core/src/evaluation.rs crates/core/src/gops.rs crates/core/src/inference.rs crates/core/src/model.rs crates/core/src/quantized.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libtiny_vbf-e53e2762ccf43821.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/config.rs crates/core/src/evaluation.rs crates/core/src/gops.rs crates/core/src/inference.rs crates/core/src/model.rs crates/core/src/quantized.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libtiny_vbf-e53e2762ccf43821.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/config.rs crates/core/src/evaluation.rs crates/core/src/gops.rs crates/core/src/inference.rs crates/core/src/model.rs crates/core/src/quantized.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/config.rs:
+crates/core/src/evaluation.rs:
+crates/core/src/gops.rs:
+crates/core/src/inference.rs:
+crates/core/src/model.rs:
+crates/core/src/quantized.rs:
+crates/core/src/training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tiny_vbf_repro-10005e0caa083777.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtiny_vbf_repro-10005e0caa083777.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tiny_vbf_repro-82d2f2de60c65b3e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtiny_vbf_repro-82d2f2de60c65b3e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtiny_vbf_repro-82d2f2de60c65b3e.rmeta: src/lib.rs
+
+src/lib.rs:

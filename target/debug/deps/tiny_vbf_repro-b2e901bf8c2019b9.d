@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tiny_vbf_repro-b2e901bf8c2019b9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtiny_vbf_repro-b2e901bf8c2019b9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtiny_vbf_repro-b2e901bf8c2019b9.rmeta: src/lib.rs
+
+src/lib.rs:

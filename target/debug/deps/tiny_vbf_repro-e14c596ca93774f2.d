@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tiny_vbf_repro-e14c596ca93774f2.d: src/lib.rs
+
+/root/repo/target/debug/deps/tiny_vbf_repro-e14c596ca93774f2: src/lib.rs
+
+src/lib.rs:

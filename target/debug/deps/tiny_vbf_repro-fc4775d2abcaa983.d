@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tiny_vbf_repro-fc4775d2abcaa983.d: src/lib.rs
+
+/root/repo/target/debug/deps/tiny_vbf_repro-fc4775d2abcaa983: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ultrasound-0a6370372b37c0cf.d: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+/root/repo/target/debug/deps/ultrasound-0a6370372b37c0cf: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+crates/ultrasound/src/lib.rs:
+crates/ultrasound/src/acquisition.rs:
+crates/ultrasound/src/dataset.rs:
+crates/ultrasound/src/invitro.rs:
+crates/ultrasound/src/medium.rs:
+crates/ultrasound/src/phantom.rs:
+crates/ultrasound/src/picmus.rs:
+crates/ultrasound/src/planewave.rs:
+crates/ultrasound/src/pulse.rs:
+crates/ultrasound/src/transducer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ultrasound-20a5ca303b506c1a.d: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+/root/repo/target/debug/deps/ultrasound-20a5ca303b506c1a: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+crates/ultrasound/src/lib.rs:
+crates/ultrasound/src/acquisition.rs:
+crates/ultrasound/src/dataset.rs:
+crates/ultrasound/src/invitro.rs:
+crates/ultrasound/src/medium.rs:
+crates/ultrasound/src/phantom.rs:
+crates/ultrasound/src/picmus.rs:
+crates/ultrasound/src/planewave.rs:
+crates/ultrasound/src/pulse.rs:
+crates/ultrasound/src/transducer.rs:

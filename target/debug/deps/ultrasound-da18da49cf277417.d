@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ultrasound-da18da49cf277417.d: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+/root/repo/target/debug/deps/libultrasound-da18da49cf277417.rlib: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+/root/repo/target/debug/deps/libultrasound-da18da49cf277417.rmeta: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+crates/ultrasound/src/lib.rs:
+crates/ultrasound/src/acquisition.rs:
+crates/ultrasound/src/dataset.rs:
+crates/ultrasound/src/invitro.rs:
+crates/ultrasound/src/medium.rs:
+crates/ultrasound/src/phantom.rs:
+crates/ultrasound/src/picmus.rs:
+crates/ultrasound/src/planewave.rs:
+crates/ultrasound/src/pulse.rs:
+crates/ultrasound/src/transducer.rs:

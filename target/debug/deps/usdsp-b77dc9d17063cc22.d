@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/usdsp-b77dc9d17063cc22.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/hilbert.rs crates/dsp/src/interp.rs crates/dsp/src/resample.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/usdsp-b77dc9d17063cc22: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/hilbert.rs crates/dsp/src/interp.rs crates/dsp/src/resample.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/hilbert.rs:
+crates/dsp/src/interp.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/window.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/usdsp-f60a286a6a5976a5.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/hilbert.rs crates/dsp/src/interp.rs crates/dsp/src/resample.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/libusdsp-f60a286a6a5976a5.rlib: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/hilbert.rs crates/dsp/src/interp.rs crates/dsp/src/resample.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/libusdsp-f60a286a6a5976a5.rmeta: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/hilbert.rs crates/dsp/src/interp.rs crates/dsp/src/resample.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/hilbert.rs:
+crates/dsp/src/interp.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/window.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/usmetrics-99fc59f9dc28795a.d: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+/root/repo/target/debug/deps/libusmetrics-99fc59f9dc28795a.rlib: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+/root/repo/target/debug/deps/libusmetrics-99fc59f9dc28795a.rmeta: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/compare.rs:
+crates/metrics/src/contrast.rs:
+crates/metrics/src/psf.rs:
+crates/metrics/src/region.rs:
+crates/metrics/src/resolution.rs:

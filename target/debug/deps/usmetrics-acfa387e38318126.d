@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/usmetrics-acfa387e38318126.d: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+/root/repo/target/debug/deps/usmetrics-acfa387e38318126: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/compare.rs:
+crates/metrics/src/contrast.rs:
+crates/metrics/src/psf.rs:
+crates/metrics/src/region.rs:
+crates/metrics/src/resolution.rs:

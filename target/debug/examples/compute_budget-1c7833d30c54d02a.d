@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compute_budget-1c7833d30c54d02a.d: examples/compute_budget.rs
+
+/root/repo/target/debug/examples/compute_budget-1c7833d30c54d02a: examples/compute_budget.rs
+
+examples/compute_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compute_budget-7c3a4a02f4850635.d: examples/compute_budget.rs
+
+/root/repo/target/debug/examples/compute_budget-7c3a4a02f4850635: examples/compute_budget.rs
+
+examples/compute_budget.rs:

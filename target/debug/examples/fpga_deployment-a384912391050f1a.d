@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fpga_deployment-a384912391050f1a.d: examples/fpga_deployment.rs
+
+/root/repo/target/debug/examples/fpga_deployment-a384912391050f1a: examples/fpga_deployment.rs
+
+examples/fpga_deployment.rs:

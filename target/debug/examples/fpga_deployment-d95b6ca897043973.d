@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fpga_deployment-d95b6ca897043973.d: examples/fpga_deployment.rs
+
+/root/repo/target/debug/examples/fpga_deployment-d95b6ca897043973: examples/fpga_deployment.rs
+
+examples/fpga_deployment.rs:

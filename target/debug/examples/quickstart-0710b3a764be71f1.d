@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0710b3a764be71f1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0710b3a764be71f1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7e267a5e02b3e94a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7e267a5e02b3e94a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_tiny_vbf-4e0b412ac6fbece0.d: examples/train_tiny_vbf.rs
+
+/root/repo/target/debug/examples/train_tiny_vbf-4e0b412ac6fbece0: examples/train_tiny_vbf.rs
+
+examples/train_tiny_vbf.rs:

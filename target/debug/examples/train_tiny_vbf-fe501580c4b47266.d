@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_tiny_vbf-fe501580c4b47266.d: examples/train_tiny_vbf.rs
+
+/root/repo/target/debug/examples/train_tiny_vbf-fe501580c4b47266: examples/train_tiny_vbf.rs
+
+examples/train_tiny_vbf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/accel-b804a71120cdc702.d: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+/root/repo/target/release/deps/libaccel-b804a71120cdc702.rlib: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+/root/repo/target/release/deps/libaccel-b804a71120cdc702.rmeta: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/accelerator.rs:
+crates/accel/src/memory.rs:
+crates/accel/src/pe.rs:
+crates/accel/src/resources.rs:
+crates/accel/src/scheduler.rs:

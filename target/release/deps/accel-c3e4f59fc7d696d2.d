@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/accel-c3e4f59fc7d696d2.d: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+/root/repo/target/release/deps/libaccel-c3e4f59fc7d696d2.rlib: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+/root/repo/target/release/deps/libaccel-c3e4f59fc7d696d2.rmeta: crates/accel/src/lib.rs crates/accel/src/accelerator.rs crates/accel/src/memory.rs crates/accel/src/pe.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/accelerator.rs:
+crates/accel/src/memory.rs:
+crates/accel/src/pe.rs:
+crates/accel/src/resources.rs:
+crates/accel/src/scheduler.rs:

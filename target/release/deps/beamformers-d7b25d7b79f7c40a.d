@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/beamformers-d7b25d7b79f7c40a.d: crates/bench/benches/beamformers.rs
+
+/root/repo/target/release/deps/beamformers-d7b25d7b79f7c40a: crates/bench/benches/beamformers.rs
+
+crates/bench/benches/beamformers.rs:

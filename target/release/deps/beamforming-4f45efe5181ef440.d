@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/beamforming-4f45efe5181ef440.d: crates/beamforming/src/lib.rs crates/beamforming/src/apodization.rs crates/beamforming/src/bmode.rs crates/beamforming/src/das.rs crates/beamforming/src/flops.rs crates/beamforming/src/grid.rs crates/beamforming/src/iq.rs crates/beamforming/src/linalg.rs crates/beamforming/src/mvdr.rs crates/beamforming/src/pipeline.rs crates/beamforming/src/tof.rs
+
+/root/repo/target/release/deps/libbeamforming-4f45efe5181ef440.rlib: crates/beamforming/src/lib.rs crates/beamforming/src/apodization.rs crates/beamforming/src/bmode.rs crates/beamforming/src/das.rs crates/beamforming/src/flops.rs crates/beamforming/src/grid.rs crates/beamforming/src/iq.rs crates/beamforming/src/linalg.rs crates/beamforming/src/mvdr.rs crates/beamforming/src/pipeline.rs crates/beamforming/src/tof.rs
+
+/root/repo/target/release/deps/libbeamforming-4f45efe5181ef440.rmeta: crates/beamforming/src/lib.rs crates/beamforming/src/apodization.rs crates/beamforming/src/bmode.rs crates/beamforming/src/das.rs crates/beamforming/src/flops.rs crates/beamforming/src/grid.rs crates/beamforming/src/iq.rs crates/beamforming/src/linalg.rs crates/beamforming/src/mvdr.rs crates/beamforming/src/pipeline.rs crates/beamforming/src/tof.rs
+
+crates/beamforming/src/lib.rs:
+crates/beamforming/src/apodization.rs:
+crates/beamforming/src/bmode.rs:
+crates/beamforming/src/das.rs:
+crates/beamforming/src/flops.rs:
+crates/beamforming/src/grid.rs:
+crates/beamforming/src/iq.rs:
+crates/beamforming/src/linalg.rs:
+crates/beamforming/src/mvdr.rs:
+crates/beamforming/src/pipeline.rs:
+crates/beamforming/src/tof.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-56a3aea027cfe2a4.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbench-56a3aea027cfe2a4.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbench-56a3aea027cfe2a4.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

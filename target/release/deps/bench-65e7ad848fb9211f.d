@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-65e7ad848fb9211f.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbench-65e7ad848fb9211f.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbench-65e7ad848fb9211f.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-7a44e66e49232bfd.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbench-7a44e66e49232bfd.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbench-7a44e66e49232bfd.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

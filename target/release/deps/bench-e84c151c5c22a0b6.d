@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-e84c151c5c22a0b6.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbench-e84c151c5c22a0b6.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libbench-e84c151c5c22a0b6.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_pr1-4c5d3b63a84bb4ef.d: crates/bench/src/bin/bench_pr1.rs
+
+/root/repo/target/release/deps/bench_pr1-4c5d3b63a84bb4ef: crates/bench/src/bin/bench_pr1.rs
+
+crates/bench/src/bin/bench_pr1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_pr1-87ffc9168d03d05b.d: crates/bench/src/bin/bench_pr1.rs
+
+/root/repo/target/release/deps/bench_pr1-87ffc9168d03d05b: crates/bench/src/bin/bench_pr1.rs
+
+crates/bench/src/bin/bench_pr1.rs:

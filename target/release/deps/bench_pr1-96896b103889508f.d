@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_pr1-96896b103889508f.d: crates/bench/src/bin/bench_pr1.rs
+
+/root/repo/target/release/deps/bench_pr1-96896b103889508f: crates/bench/src/bin/bench_pr1.rs
+
+crates/bench/src/bin/bench_pr1.rs:

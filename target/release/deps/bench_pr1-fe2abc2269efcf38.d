@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_pr1-fe2abc2269efcf38.d: crates/bench/src/bin/bench_pr1.rs
+
+/root/repo/target/release/deps/bench_pr1-fe2abc2269efcf38: crates/bench/src/bin/bench_pr1.rs
+
+crates/bench/src/bin/bench_pr1.rs:

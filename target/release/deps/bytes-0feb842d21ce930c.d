@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-0feb842d21ce930c.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-0feb842d21ce930c.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-0feb842d21ce930c.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-408c4c05765f31a8.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-408c4c05765f31a8.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-408c4c05765f31a8.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-ad27f48d430eae35.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ad27f48d430eae35.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ad27f48d430eae35.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-a9463e5dd50d66fd.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a9463e5dd50d66fd.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a9463e5dd50d66fd.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

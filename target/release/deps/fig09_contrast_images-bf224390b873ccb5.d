@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_contrast_images-bf224390b873ccb5.d: crates/bench/src/bin/fig09_contrast_images.rs
+
+/root/repo/target/release/deps/fig09_contrast_images-bf224390b873ccb5: crates/bench/src/bin/fig09_contrast_images.rs
+
+crates/bench/src/bin/fig09_contrast_images.rs:

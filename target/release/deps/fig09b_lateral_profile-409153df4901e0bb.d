@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09b_lateral_profile-409153df4901e0bb.d: crates/bench/src/bin/fig09b_lateral_profile.rs
+
+/root/repo/target/release/deps/fig09b_lateral_profile-409153df4901e0bb: crates/bench/src/bin/fig09b_lateral_profile.rs
+
+crates/bench/src/bin/fig09b_lateral_profile.rs:

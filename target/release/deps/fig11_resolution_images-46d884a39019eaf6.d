@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_resolution_images-46d884a39019eaf6.d: crates/bench/src/bin/fig11_resolution_images.rs
+
+/root/repo/target/release/deps/fig11_resolution_images-46d884a39019eaf6: crates/bench/src/bin/fig11_resolution_images.rs
+
+crates/bench/src/bin/fig11_resolution_images.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_psf_insilico-aa242e11354e9e10.d: crates/bench/src/bin/fig12_psf_insilico.rs
+
+/root/repo/target/release/deps/fig12_psf_insilico-aa242e11354e9e10: crates/bench/src/bin/fig12_psf_insilico.rs
+
+crates/bench/src/bin/fig12_psf_insilico.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_psf_invitro-2202c7d89c5f164c.d: crates/bench/src/bin/fig14_psf_invitro.rs
+
+/root/repo/target/release/deps/fig14_psf_invitro-2202c7d89c5f164c: crates/bench/src/bin/fig14_psf_invitro.rs
+
+crates/bench/src/bin/fig14_psf_invitro.rs:

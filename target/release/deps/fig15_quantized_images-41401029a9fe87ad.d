@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_quantized_images-41401029a9fe87ad.d: crates/bench/src/bin/fig15_quantized_images.rs
+
+/root/repo/target/release/deps/fig15_quantized_images-41401029a9fe87ad: crates/bench/src/bin/fig15_quantized_images.rs
+
+crates/bench/src/bin/fig15_quantized_images.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gops_inference_time-4fb90a524898c670.d: crates/bench/src/bin/gops_inference_time.rs
+
+/root/repo/target/release/deps/gops_inference_time-4fb90a524898c670: crates/bench/src/bin/gops_inference_time.rs
+
+crates/bench/src/bin/gops_inference_time.rs:

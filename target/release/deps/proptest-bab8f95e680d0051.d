@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-bab8f95e680d0051.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-bab8f95e680d0051.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-bab8f95e680d0051.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/quantize-2182cad78109df2e.d: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+/root/repo/target/release/deps/libquantize-2182cad78109df2e.rlib: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+/root/repo/target/release/deps/libquantize-2182cad78109df2e.rmeta: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+crates/quantize/src/lib.rs:
+crates/quantize/src/fixed.rs:
+crates/quantize/src/quantizer.rs:
+crates/quantize/src/scheme.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/quantize-ee636ad307bb14f2.d: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+/root/repo/target/release/deps/libquantize-ee636ad307bb14f2.rlib: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+/root/repo/target/release/deps/libquantize-ee636ad307bb14f2.rmeta: crates/quantize/src/lib.rs crates/quantize/src/fixed.rs crates/quantize/src/quantizer.rs crates/quantize/src/scheme.rs
+
+crates/quantize/src/lib.rs:
+crates/quantize/src/fixed.rs:
+crates/quantize/src/quantizer.rs:
+crates/quantize/src/scheme.rs:

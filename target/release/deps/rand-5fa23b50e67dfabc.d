@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-5fa23b50e67dfabc.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5fa23b50e67dfabc.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5fa23b50e67dfabc.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

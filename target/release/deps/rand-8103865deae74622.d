@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-8103865deae74622.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-8103865deae74622.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-8103865deae74622.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

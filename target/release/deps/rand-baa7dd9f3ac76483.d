@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-baa7dd9f3ac76483.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-baa7dd9f3ac76483.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-baa7dd9f3ac76483.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

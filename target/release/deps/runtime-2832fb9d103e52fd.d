@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/runtime-2832fb9d103e52fd.d: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libruntime-2832fb9d103e52fd.rlib: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libruntime-2832fb9d103e52fd.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/runtime-745e789e63948af3.d: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libruntime-745e789e63948af3.rlib: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libruntime-745e789e63948af3.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/runtime-d07fc201e8b3718f.d: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libruntime-d07fc201e8b3718f.rlib: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libruntime-d07fc201e8b3718f.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-1098ab922018d450.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-1098ab922018d450.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-1098ab922018d450.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

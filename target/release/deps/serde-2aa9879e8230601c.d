@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-2aa9879e8230601c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-2aa9879e8230601c.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-2aa9879e8230601c.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

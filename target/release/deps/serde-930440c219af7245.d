@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-930440c219af7245.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-930440c219af7245.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-930440c219af7245.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

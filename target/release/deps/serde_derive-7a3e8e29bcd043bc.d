@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-7a3e8e29bcd043bc.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-7a3e8e29bcd043bc.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

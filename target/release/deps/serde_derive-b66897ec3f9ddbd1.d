@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-b66897ec3f9ddbd1.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-b66897ec3f9ddbd1.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

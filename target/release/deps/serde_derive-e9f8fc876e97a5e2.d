@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-e9f8fc876e97a5e2.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-e9f8fc876e97a5e2.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_contrast-f8f3f9268a9e9f89.d: crates/bench/src/bin/table1_contrast.rs
+
+/root/repo/target/release/deps/table1_contrast-f8f3f9268a9e9f89: crates/bench/src/bin/table1_contrast.rs
+
+crates/bench/src/bin/table1_contrast.rs:

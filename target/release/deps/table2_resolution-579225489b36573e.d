@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_resolution-579225489b36573e.d: crates/bench/src/bin/table2_resolution.rs
+
+/root/repo/target/release/deps/table2_resolution-579225489b36573e: crates/bench/src/bin/table2_resolution.rs
+
+crates/bench/src/bin/table2_resolution.rs:

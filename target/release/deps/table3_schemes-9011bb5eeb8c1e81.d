@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_schemes-9011bb5eeb8c1e81.d: crates/bench/src/bin/table3_schemes.rs
+
+/root/repo/target/release/deps/table3_schemes-9011bb5eeb8c1e81: crates/bench/src/bin/table3_schemes.rs
+
+crates/bench/src/bin/table3_schemes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_5_quantized_quality-07692156cf04a9da.d: crates/bench/src/bin/table4_5_quantized_quality.rs
+
+/root/repo/target/release/deps/table4_5_quantized_quality-07692156cf04a9da: crates/bench/src/bin/table4_5_quantized_quality.rs
+
+crates/bench/src/bin/table4_5_quantized_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_resources-04cfd58691d69f20.d: crates/bench/src/bin/table6_resources.rs
+
+/root/repo/target/release/deps/table6_resources-04cfd58691d69f20: crates/bench/src/bin/table6_resources.rs
+
+crates/bench/src/bin/table6_resources.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tiny_vbf-4573b155c1a1469f.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/config.rs crates/core/src/evaluation.rs crates/core/src/gops.rs crates/core/src/inference.rs crates/core/src/model.rs crates/core/src/quantized.rs crates/core/src/training.rs
+
+/root/repo/target/release/deps/libtiny_vbf-4573b155c1a1469f.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/config.rs crates/core/src/evaluation.rs crates/core/src/gops.rs crates/core/src/inference.rs crates/core/src/model.rs crates/core/src/quantized.rs crates/core/src/training.rs
+
+/root/repo/target/release/deps/libtiny_vbf-4573b155c1a1469f.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/config.rs crates/core/src/evaluation.rs crates/core/src/gops.rs crates/core/src/inference.rs crates/core/src/model.rs crates/core/src/quantized.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/config.rs:
+crates/core/src/evaluation.rs:
+crates/core/src/gops.rs:
+crates/core/src/inference.rs:
+crates/core/src/model.rs:
+crates/core/src/quantized.rs:
+crates/core/src/training.rs:

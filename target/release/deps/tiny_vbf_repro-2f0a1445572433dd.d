@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tiny_vbf_repro-2f0a1445572433dd.d: src/lib.rs
+
+/root/repo/target/release/deps/libtiny_vbf_repro-2f0a1445572433dd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtiny_vbf_repro-2f0a1445572433dd.rmeta: src/lib.rs
+
+src/lib.rs:

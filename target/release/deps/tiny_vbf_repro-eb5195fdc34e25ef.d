@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tiny_vbf_repro-eb5195fdc34e25ef.d: src/lib.rs
+
+/root/repo/target/release/deps/libtiny_vbf_repro-eb5195fdc34e25ef.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtiny_vbf_repro-eb5195fdc34e25ef.rmeta: src/lib.rs
+
+src/lib.rs:

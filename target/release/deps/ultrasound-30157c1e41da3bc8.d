@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ultrasound-30157c1e41da3bc8.d: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+/root/repo/target/release/deps/libultrasound-30157c1e41da3bc8.rlib: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+/root/repo/target/release/deps/libultrasound-30157c1e41da3bc8.rmeta: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+crates/ultrasound/src/lib.rs:
+crates/ultrasound/src/acquisition.rs:
+crates/ultrasound/src/dataset.rs:
+crates/ultrasound/src/invitro.rs:
+crates/ultrasound/src/medium.rs:
+crates/ultrasound/src/phantom.rs:
+crates/ultrasound/src/picmus.rs:
+crates/ultrasound/src/planewave.rs:
+crates/ultrasound/src/pulse.rs:
+crates/ultrasound/src/transducer.rs:

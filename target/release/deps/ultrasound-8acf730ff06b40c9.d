@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ultrasound-8acf730ff06b40c9.d: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+/root/repo/target/release/deps/libultrasound-8acf730ff06b40c9.rlib: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+/root/repo/target/release/deps/libultrasound-8acf730ff06b40c9.rmeta: crates/ultrasound/src/lib.rs crates/ultrasound/src/acquisition.rs crates/ultrasound/src/dataset.rs crates/ultrasound/src/invitro.rs crates/ultrasound/src/medium.rs crates/ultrasound/src/phantom.rs crates/ultrasound/src/picmus.rs crates/ultrasound/src/planewave.rs crates/ultrasound/src/pulse.rs crates/ultrasound/src/transducer.rs
+
+crates/ultrasound/src/lib.rs:
+crates/ultrasound/src/acquisition.rs:
+crates/ultrasound/src/dataset.rs:
+crates/ultrasound/src/invitro.rs:
+crates/ultrasound/src/medium.rs:
+crates/ultrasound/src/phantom.rs:
+crates/ultrasound/src/picmus.rs:
+crates/ultrasound/src/planewave.rs:
+crates/ultrasound/src/pulse.rs:
+crates/ultrasound/src/transducer.rs:

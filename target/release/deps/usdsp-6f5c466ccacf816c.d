@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/usdsp-6f5c466ccacf816c.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/hilbert.rs crates/dsp/src/interp.rs crates/dsp/src/resample.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+/root/repo/target/release/deps/libusdsp-6f5c466ccacf816c.rlib: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/hilbert.rs crates/dsp/src/interp.rs crates/dsp/src/resample.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+/root/repo/target/release/deps/libusdsp-6f5c466ccacf816c.rmeta: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/hilbert.rs crates/dsp/src/interp.rs crates/dsp/src/resample.rs crates/dsp/src/stats.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/hilbert.rs:
+crates/dsp/src/interp.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/window.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/usmetrics-3ca57937350dcc6b.d: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+/root/repo/target/release/deps/libusmetrics-3ca57937350dcc6b.rlib: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+/root/repo/target/release/deps/libusmetrics-3ca57937350dcc6b.rmeta: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/compare.rs:
+crates/metrics/src/contrast.rs:
+crates/metrics/src/psf.rs:
+crates/metrics/src/region.rs:
+crates/metrics/src/resolution.rs:

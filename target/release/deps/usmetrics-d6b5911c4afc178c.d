@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/usmetrics-d6b5911c4afc178c.d: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+/root/repo/target/release/deps/libusmetrics-d6b5911c4afc178c.rlib: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+/root/repo/target/release/deps/libusmetrics-d6b5911c4afc178c.rmeta: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/compare.rs:
+crates/metrics/src/contrast.rs:
+crates/metrics/src/psf.rs:
+crates/metrics/src/region.rs:
+crates/metrics/src/resolution.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/usmetrics-fe443b66ece6615d.d: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+/root/repo/target/release/deps/libusmetrics-fe443b66ece6615d.rlib: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+/root/repo/target/release/deps/libusmetrics-fe443b66ece6615d.rmeta: crates/metrics/src/lib.rs crates/metrics/src/compare.rs crates/metrics/src/contrast.rs crates/metrics/src/psf.rs crates/metrics/src/region.rs crates/metrics/src/resolution.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/compare.rs:
+crates/metrics/src/contrast.rs:
+crates/metrics/src/psf.rs:
+crates/metrics/src/region.rs:
+crates/metrics/src/resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-587a76069b6932b9.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-587a76069b6932b9: examples/quickstart.rs
+
+examples/quickstart.rs:

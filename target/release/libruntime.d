@@ -1,0 +1,1 @@
+/root/repo/target/release/libruntime.rlib: /root/repo/crates/runtime/src/lib.rs
