@@ -18,8 +18,19 @@ use usdsp::interp::{sample_at, InterpMethod};
 ///
 /// ```
 /// use beamforming::das::DelayAndSum;
+/// use beamforming::grid::ImagingGrid;
+/// use ultrasound::{ChannelData, LinearArray};
+///
 /// let das = DelayAndSum::default();
 /// assert_eq!(das.transmit.angle, 0.0);
+///
+/// // Beamform one (here silent) acquisition onto an 8 × 8 grid.
+/// let array = LinearArray::small_test_array();
+/// let data = ChannelData::zeros(256, array.num_elements(), array.sampling_frequency());
+/// let grid = ImagingGrid::for_array(&array, 0.01, 0.005, 8, 8);
+/// let rf = das.beamform_rf(&data, &array, &grid, 1540.0)?;
+/// assert_eq!(rf.len(), grid.num_pixels());
+/// # Ok::<(), beamforming::BeamformError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct DelayAndSum {

@@ -12,8 +12,13 @@ use ultrasound::{ChannelData, LinearArray};
 /// Anything that turns raw channel data into an IQ image on a grid.
 ///
 /// The `tiny-vbf` crate implements this trait for its learned beamformers so the
-/// evaluation harness can score DAS, MVDR, Tiny-CNN and Tiny-VBF through one interface.
-pub trait Beamformer {
+/// evaluation harness can score DAS, MVDR, Tiny-CNN and Tiny-VBF through one interface,
+/// and the `serve` crate batches frames through [`Beamformer::beamform_batch`].
+///
+/// `Sync` is a supertrait so the default batch implementation can fan frames out
+/// across worker threads; beamformer configurations are plain data, so this costs
+/// implementations nothing.
+pub trait Beamformer: Sync {
     /// Short human-readable name used in tables ("DAS", "MVDR", "Tiny-VBF", …).
     fn name(&self) -> &str;
 
@@ -31,13 +36,15 @@ pub trait Beamformer {
         sound_speed: f32,
     ) -> BeamformResult<IqImage>;
 
-    /// Beamforms a batch of acquisitions sharing one probe and grid.
+    /// Beamforms a batch of acquisitions sharing one probe and grid, running
+    /// frames concurrently under the workspace-default thread budget (see
+    /// [`runtime::default_threads`]).
     ///
-    /// The default implementation maps [`Beamformer::beamform`] over the frames
-    /// in order; per-frame row parallelism already happens inside `beamform`,
-    /// and implementations that can amortise per-frame setup (model clones,
-    /// precomputed tables) may override this. Multi-frame workloads should
-    /// prefer this entry point so those optimisations apply transparently.
+    /// The default implementation delegates to
+    /// [`Beamformer::beamform_batch_with_threads`]; implementations that can
+    /// amortise per-frame setup (model clones, precomputed tables) may
+    /// override either method. Multi-frame workloads should prefer this entry
+    /// point so those optimisations apply transparently.
     ///
     /// # Errors
     ///
@@ -49,7 +56,55 @@ pub trait Beamformer {
         grid: &ImagingGrid,
         sound_speed: f32,
     ) -> BeamformResult<Vec<IqImage>> {
-        frames.iter().map(|frame| self.beamform(frame, array, grid, sound_speed)).collect()
+        self.beamform_batch_with_threads(frames, array, grid, sound_speed, runtime::default_threads())
+    }
+
+    /// [`Beamformer::beamform_batch`] with an explicit *total* thread budget.
+    ///
+    /// The budget is split two ways via [`runtime::split_budget`]: frames of
+    /// the batch run concurrently across `outer` workers, and each frame's own
+    /// [`Beamformer::beamform`] keeps its internal row parallelism capped at
+    /// `inner` threads (enforced by the runtime's nested-budget mechanism), so
+    /// the total live worker count never exceeds `num_threads`. Each frame's
+    /// image depends only on that frame's data, so the results are bitwise
+    /// identical for every budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-frame error encountered, in frame order. Note
+    /// that all frames are still computed when one fails (they run
+    /// concurrently); callers that want the per-frame outcomes should use
+    /// [`Beamformer::beamform_batch_results`] instead.
+    fn beamform_batch_with_threads(
+        &self,
+        frames: &[ChannelData],
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        num_threads: usize,
+    ) -> BeamformResult<Vec<IqImage>> {
+        self.beamform_batch_results(frames, array, grid, sound_speed, num_threads).into_iter().collect()
+    }
+
+    /// Frame-parallel batch beamforming with one [`BeamformResult`] per frame
+    /// (in frame order) instead of an all-or-nothing result — the primitive
+    /// behind both [`Beamformer::beamform_batch_with_threads`] and the `serve`
+    /// crate's per-request error reporting, where one malformed frame must
+    /// fail alone rather than poisoning (or forcing a recompute of) its whole
+    /// batch.
+    ///
+    /// Thread budgeting and determinism are as in
+    /// [`Beamformer::beamform_batch_with_threads`].
+    fn beamform_batch_results(
+        &self,
+        frames: &[ChannelData],
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        num_threads: usize,
+    ) -> Vec<BeamformResult<IqImage>> {
+        let (outer, inner) = runtime::split_budget(num_threads, frames.len());
+        runtime::par_collect_budgeted(frames.len(), outer, inner, |i| self.beamform(&frames[i], array, grid, sound_speed))
     }
 
     /// Convenience: beamform and log-compress to a B-mode image.

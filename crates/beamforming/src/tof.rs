@@ -129,6 +129,21 @@ pub fn round_trip_delay(tx: PlaneWave, x: f32, z: f32, element_x: f32, sound_spe
 /// rows across the workspace-default worker threads (see
 /// [`runtime::default_threads`]).
 ///
+/// # Example
+///
+/// ```
+/// use beamforming::grid::ImagingGrid;
+/// use beamforming::tof::tof_correct;
+/// use ultrasound::{ChannelData, LinearArray, PlaneWave};
+///
+/// let array = LinearArray::small_test_array();
+/// let data = ChannelData::zeros(256, array.num_elements(), array.sampling_frequency());
+/// let grid = ImagingGrid::for_array(&array, 0.01, 0.005, 8, 8);
+/// let cube = tof_correct(&data, &array, &grid, PlaneWave::zero_angle(), 1540.0)?;
+/// assert_eq!((cube.rows(), cube.cols(), cube.channels()), (8, 8, array.num_elements()));
+/// # Ok::<(), beamforming::BeamformError>(())
+/// ```
+///
 /// # Errors
 ///
 /// Returns [`BeamformError::ShapeMismatch`] when the channel count of `data` does not

@@ -67,6 +67,27 @@ fn beamform_batch_matches_per_frame_beamforming() {
 }
 
 #[test]
+fn frame_parallel_batch_is_identical_across_thread_budgets() {
+    // Frames across a batch run concurrently (outer workers) while each frame
+    // stays internally row-parallel (inner budget); no split may change bits.
+    let array = LinearArray::small_test_array();
+    let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), 0.03);
+    let phantom = Phantom::builder(0.012, 0.03).seed(12).speckle_density(40.0).add_point_target(0.0, 0.018, 2.0).build();
+    let frames: Vec<ChannelData> = [-3.0f32, -1.0, 1.0, 3.0]
+        .iter()
+        .map(|&deg| sim.simulate(&phantom, PlaneWave::from_degrees(deg)).unwrap())
+        .collect();
+    let grid = ImagingGrid::for_array(&array, 0.015, 0.01, 20, 10);
+    for beamformer in [&DelayAndSum::default() as &dyn Beamformer, &beamforming::mvdr::Mvdr::fast()] {
+        let serial = beamformer.beamform_batch_with_threads(&frames, &array, &grid, 1540.0, 1).unwrap();
+        for budget in [2, 4, 7, 16] {
+            let parallel = beamformer.beamform_batch_with_threads(&frames, &array, &grid, 1540.0, budget).unwrap();
+            assert_eq!(serial, parallel, "{} budget {budget}", beamformer.name());
+        }
+    }
+}
+
+#[test]
 fn beamform_batch_propagates_frame_errors() {
     let array = LinearArray::small_test_array();
     let grid = ImagingGrid::small(&array);

@@ -1,4 +1,4 @@
-//! Learned baselines the paper compares against: Tiny-CNN [7] and FCNN [6].
+//! Learned baselines the paper compares against: Tiny-CNN \[7\] and FCNN \[6\].
 //!
 //! Both baselines predict per-channel *apodization weights* from the ToF-corrected
 //! channel data and beamform by multiplying those weights with the input and summing

@@ -1,9 +1,9 @@
 //! Operations-per-frame accounting (the paper's efficiency comparison).
 //!
 //! Section IV of the paper compares beamformers by GOPs per 368 × 128 frame:
-//! Tiny-VBF 0.34, FCNN 1.4, Tiny-CNN 11.7, the U-Net CNN of [8] ≈ 50, the
-//! GoogLeNet/U-Net CNN of [9] ≈ 199 and MVDR ≈ 98.78 — plus CPU inference times of
-//! 0.230 s, 0.520 s, 4 s and 240 s for Tiny-VBF, Tiny-CNN, CNN [8] and MVDR.
+//! Tiny-VBF 0.34, FCNN 1.4, Tiny-CNN 11.7, the U-Net CNN of \[8\] ≈ 50, the
+//! GoogLeNet/U-Net CNN of \[9\] ≈ 199 and MVDR ≈ 98.78 — plus CPU inference times of
+//! 0.230 s, 0.520 s, 4 s and 240 s for Tiny-VBF, Tiny-CNN, CNN \[8\] and MVDR.
 
 use crate::config::TinyVbfConfig;
 use neural::flops::{activation_ops, attention_ops, conv2d_ops, dense_ops, layernorm_ops, to_gops};
@@ -11,13 +11,13 @@ use serde::{Deserialize, Serialize};
 
 /// Paper-reported GOPs/frame for Tiny-VBF (368 × 128 frame).
 pub const PAPER_TINY_VBF_GOPS: f64 = 0.34;
-/// Paper-reported GOPs/frame for the FCNN baseline [6].
+/// Paper-reported GOPs/frame for the FCNN baseline \[6\].
 pub const PAPER_FCNN_GOPS: f64 = 1.4;
-/// Paper-reported GOPs/frame for the Tiny-CNN baseline [7].
+/// Paper-reported GOPs/frame for the Tiny-CNN baseline \[7\].
 pub const PAPER_TINY_CNN_GOPS: f64 = 11.7;
-/// Paper-reported GOPs/frame for the wavelet U-Net CNN of [8].
+/// Paper-reported GOPs/frame for the wavelet U-Net CNN of \[8\].
 pub const PAPER_CNN8_GOPS: f64 = 50.0;
-/// Paper-reported GOPs/frame for the GoogLeNet+U-Net CNN of [9] (384 × 256 frame).
+/// Paper-reported GOPs/frame for the GoogLeNet+U-Net CNN of \[9\] (384 × 256 frame).
 pub const PAPER_CNN9_GOPS: f64 = 199.0;
 /// Paper-reported GOPs/frame for MVDR.
 pub const PAPER_MVDR_GOPS: f64 = 98.78;
@@ -26,7 +26,7 @@ pub const PAPER_MVDR_GOPS: f64 = 98.78;
 pub const PAPER_TINY_VBF_CPU_SECONDS: f64 = 0.230;
 /// Paper-reported CPU inference time for Tiny-CNN (seconds/frame).
 pub const PAPER_TINY_CNN_CPU_SECONDS: f64 = 0.520;
-/// Paper-reported CPU inference time for the CNN of [8] (seconds/frame).
+/// Paper-reported CPU inference time for the CNN of \[8\] (seconds/frame).
 pub const PAPER_CNN8_CPU_SECONDS: f64 = 4.0;
 /// Paper-reported CPU inference time for MVDR (seconds/frame).
 pub const PAPER_MVDR_CPU_SECONDS: f64 = 240.0;

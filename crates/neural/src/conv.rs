@@ -1,6 +1,6 @@
 //! 2-D convolution (for the Tiny-CNN baseline).
 //!
-//! The Tiny-CNN beamformer [7] predicts per-pixel apodization weights from a ToF-corrected
+//! The Tiny-CNN beamformer \[7\] predicts per-pixel apodization weights from a ToF-corrected
 //! region with a small stack of convolutions. This layer implements "same"-padded,
 //! stride-1 2-D convolution over a single `(height, width, in_channels)` sample stored
 //! as a 3-D [`Tensor`].

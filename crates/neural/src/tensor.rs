@@ -139,6 +139,18 @@ impl Tensor {
     /// fixed (ascending inner index), so results are bitwise identical for
     /// every thread count and match [`Tensor::matmul_naive`].
     ///
+    /// # Example
+    ///
+    /// ```
+    /// use neural::tensor::Tensor;
+    ///
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+    /// let c = a.matmul(&b);
+    /// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    /// # Ok::<(), neural::NeuralError>(())
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics when either tensor is not 2-D or the inner dimensions differ.

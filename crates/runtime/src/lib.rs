@@ -8,16 +8,37 @@
 //!
 //! * [`par_chunks_mut`] — split a mutable slice into per-worker chunks,
 //! * [`par_map_rows`] — the same, but aligned to logical row boundaries,
+//! * [`par_collect`] — index-ordered collection of owned per-item results,
 //! * [`default_threads`] — the workspace-wide worker count
 //!   (`TINY_VBF_THREADS` env override, otherwise the machine's parallelism).
 //!
+//! # Thread budgets (two-level parallelism)
+//!
+//! Multi-frame entry points (`Beamformer::beamform_batch`,
+//! `TinyVbf::forward_batch`, the `serve` micro-batcher) want frames of a batch
+//! to run *concurrently* while each frame stays *internally* row-parallel,
+//! without the product of the two levels oversubscribing the machine. The
+//! budgeted variants make that split explicit:
+//!
+//! * [`split_budget`] — divide a total thread budget into
+//!   `(outer_workers, inner_threads)` for `items` outer work units,
+//! * [`par_map_rows_with_budget`] / [`par_collect_budgeted`] — like their
+//!   plain counterparts, but each spawned worker is granted `inner_threads`
+//!   for its own nested `par_*` calls (instead of the default nested grant
+//!   of 1, which runs nested regions inline).
+//!
+//! A nested call never exceeds the budget its thread was granted, so the total
+//! live worker count stays ≤ `outer_workers × inner_threads` ≤ the budget that
+//! was split.
+//!
 //! # Determinism
 //!
-//! Both helpers hand each worker a *disjoint* chunk plus its global offset, so a
+//! Every helper hands each worker a *disjoint* chunk plus its global offset, so a
 //! worker can only write values that depend on the element/row index — never on
 //! the chunking. As long as the per-row computation is itself deterministic, the
-//! output is **bitwise identical for every thread count**, which the test-suites
-//! assert (`planewave::single_thread_matches_multi_thread` and friends).
+//! output is **bitwise identical for every thread count and budget**, which the
+//! test-suites assert (`planewave::single_thread_matches_multi_thread` and
+//! friends).
 //!
 //! # Example
 //!
@@ -104,17 +125,54 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    // Workers get a nested budget of 1: a worker that is itself one of N outer
+    // workers would only oversubscribe the machine by spawning more threads
+    // (e.g. the per-row network sweep calling the parallel matmul).
+    par_map_rows_with_budget(data, row_len, num_threads, 1, f);
+}
+
+/// [`par_map_rows`], but each spawned worker is granted `inner_threads` for
+/// its own nested `par_*` calls (the plain variant grants 1, running nested
+/// regions inline).
+///
+/// This is the two-level primitive behind the frame-parallel batch paths:
+/// the outer level distributes frames, the inner level lets each frame keep
+/// its row parallelism, and the total live worker count stays bounded by
+/// `num_threads × inner_threads`. Use [`split_budget`] to derive the two
+/// factors from one overall budget.
+///
+/// When called from inside an existing parallel region, the outer worker
+/// count is additionally capped by the calling thread's own nested budget.
+///
+/// # Panics
+///
+/// Same as [`par_map_rows`].
+pub fn par_map_rows_with_budget<T, F>(data: &mut [T], row_len: usize, num_threads: usize, inner_threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     assert!(row_len > 0, "par_map_rows: row_len must be nonzero");
     assert_eq!(data.len() % row_len, 0, "par_map_rows: data length must be a whole number of rows");
     if data.is_empty() {
         return;
     }
     let num_rows = data.len() / row_len;
-    // Nested parallel regions run inline: a worker that is itself one of N
-    // outer workers would only oversubscribe the machine by spawning more
-    // threads (e.g. the per-row network sweep calling the parallel matmul).
-    let workers = if in_parallel_region() { 1 } else { num_threads.max(1).min(num_rows.max(1)) };
+    // A nested call never exceeds the budget granted to the current thread.
+    let cap = NESTED_BUDGET.get().unwrap_or(usize::MAX);
+    let workers = num_threads.max(1).min(cap.max(1)).min(num_rows.max(1));
+    // Per-worker grants must share the caller's own grant: `workers` threads
+    // each granted `worker_budget` may not exceed `cap` in total, otherwise a
+    // nested budgeted call could blow past its budget (`cap²` in the worst
+    // case).
+    let worker_budget = inner_threads.max(1).min((cap / workers.max(1)).max(1));
     if workers <= 1 {
+        // The single inline "worker" gets the same grant a spawned one would,
+        // so the `workers × inner_threads` bound holds even when the outer
+        // level collapses to one (e.g. a batch of one frame must not let the
+        // frame's nested row sweep spawn `default_threads` workers when the
+        // caller budgeted 1).
+        let _restore = BudgetGuard::grant(worker_budget);
         f(0, data);
         return;
     }
@@ -124,7 +182,7 @@ where
         for (chunk_index, chunk) in data.chunks_mut(chunk_len).enumerate() {
             let f = &f;
             scope.spawn(move || {
-                IN_PARALLEL_REGION.set(true);
+                NESTED_BUDGET.set(Some(worker_budget));
                 f(chunk_index * rows_per_worker, chunk);
             });
         }
@@ -132,14 +190,59 @@ where
 }
 
 thread_local! {
-    static IN_PARALLEL_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// `None` on free-standing threads (nested calls may use any worker count);
+    /// `Some(b)` on `par_*` workers, which may use at most `b` threads for
+    /// their own nested parallel regions.
+    static NESTED_BUDGET: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Restores the calling thread's previous nested budget on drop (the inline
+/// execution path borrows the caller's thread, so the grant must not leak —
+/// spawned workers just die with their thread-local).
+struct BudgetGuard {
+    previous: Option<usize>,
+}
+
+impl BudgetGuard {
+    fn grant(budget: usize) -> Self {
+        let previous = NESTED_BUDGET.get();
+        NESTED_BUDGET.set(Some(budget));
+        Self { previous }
+    }
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        NESTED_BUDGET.set(self.previous);
+    }
 }
 
 /// Whether the current thread is a [`par_map_rows`] / [`par_chunks_mut`]
-/// worker. Nested helper calls detect this and run inline instead of
-/// oversubscribing the machine with threads-inside-threads.
+/// worker. Nested helper calls on such a thread are capped by the worker's
+/// nested thread budget (1 unless granted more via
+/// [`par_map_rows_with_budget`] / [`par_collect_budgeted`]), so plain nested
+/// calls run inline instead of oversubscribing the machine with
+/// threads-inside-threads.
 pub fn in_parallel_region() -> bool {
-    IN_PARALLEL_REGION.get()
+    NESTED_BUDGET.get().is_some()
+}
+
+/// Splits a total thread budget into `(outer_workers, inner_threads)` for
+/// `items` outer work units: as many outer workers as there are items (capped
+/// by the budget), each granted an equal share of the remainder for its inner
+/// row parallelism. Both factors are ≥ 1 and their product never exceeds
+/// `max(total, 1)`.
+///
+/// ```
+/// assert_eq!(runtime::split_budget(8, 4), (4, 2));  // 4 frames × 2 threads each
+/// assert_eq!(runtime::split_budget(8, 100), (8, 1)); // more frames than threads
+/// assert_eq!(runtime::split_budget(8, 1), (1, 8));   // one frame keeps all threads
+/// assert_eq!(runtime::split_budget(0, 3), (1, 1));
+/// ```
+pub fn split_budget(total: usize, items: usize) -> (usize, usize) {
+    let total = total.max(1);
+    let outer = items.clamp(1, total);
+    (outer, (total / outer).max(1))
 }
 
 /// Runs `f(index)` for every index in `0..count` across at most `num_threads`
@@ -154,9 +257,25 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    par_collect_budgeted(count, num_threads, 1, f)
+}
+
+/// [`par_collect`], but each worker is granted `inner_threads` for nested
+/// `par_*` calls — the owned-result counterpart of
+/// [`par_map_rows_with_budget`].
+///
+/// This is how a batch of frames runs frame-concurrently while each frame's
+/// own computation stays row-parallel: `par_collect_budgeted(frames, outer,
+/// inner, |i| beamform(frame[i]))` with `(outer, inner) = split_budget(total,
+/// frames)`.
+pub fn par_collect_budgeted<R, F>(count: usize, num_threads: usize, inner_threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     let mut slots: Vec<Option<R>> = Vec::with_capacity(count);
     slots.resize_with(count, || None);
-    par_map_rows(&mut slots, 1, num_threads, |offset, chunk| {
+    par_map_rows_with_budget(&mut slots, 1, num_threads, inner_threads, |offset, chunk| {
         for (i, slot) in chunk.iter_mut().enumerate() {
             *slot = Some(f(offset + i));
         }
@@ -274,5 +393,119 @@ mod tests {
     fn ragged_rows_panic() {
         let mut data = vec![0.0f32; 7];
         par_map_rows(&mut data, 3, 2, |_, _| {});
+    }
+
+    #[test]
+    fn split_budget_is_bounded_and_positive() {
+        for total in 0..20 {
+            for items in 0..20 {
+                let (outer, inner) = split_budget(total, items);
+                assert!(outer >= 1 && inner >= 1, "total {total} items {items}");
+                assert!(outer * inner <= total.max(1), "total {total} items {items} -> {outer}x{inner}");
+                if items >= 1 {
+                    assert!(outer <= items.max(1));
+                }
+            }
+        }
+        assert_eq!(split_budget(16, 4), (4, 4));
+        assert_eq!(split_budget(6, 4), (4, 1));
+    }
+
+    #[test]
+    fn budgeted_workers_may_nest_up_to_their_grant() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Outer: 2 workers each granted 3 inner threads. The nested call asks
+        // for 8 but must be capped at 3; its grand-children get budget 1.
+        let observed_inner = AtomicUsize::new(0);
+        let mut outer = vec![0usize; 2];
+        par_map_rows_with_budget(&mut outer, 1, 2, 3, |off, chunk| {
+            assert!(in_parallel_region());
+            let mut inner = vec![0usize; 12];
+            let spawned = AtomicUsize::new(0);
+            par_map_rows(&mut inner, 1, 8, |ioff, ichunk| {
+                spawned.fetch_add(1, Ordering::Relaxed);
+                // Grand-children are back to inline-only nesting.
+                let mut leaf = vec![0u8; 4];
+                par_chunks_mut(&mut leaf, 4, |_, c| {
+                    assert_eq!(c.len(), 4, "leaf nested call must run inline as one chunk");
+                });
+                for (i, v) in ichunk.iter_mut().enumerate() {
+                    *v = ioff + i;
+                }
+            });
+            observed_inner.fetch_max(spawned.load(Ordering::Relaxed), Ordering::Relaxed);
+            for (i, v) in inner.iter().enumerate() {
+                assert_eq!(*v, i);
+            }
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = off + i;
+            }
+        });
+        assert_eq!(outer, vec![0, 1]);
+        assert!(observed_inner.load(Ordering::Relaxed) <= 3, "nested call exceeded its budget");
+    }
+
+    #[test]
+    fn nested_budgeted_call_cannot_exceed_its_own_grant() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A worker granted 4 threads issues a budgeted (4 × 4) call: the call
+        // may use at most its grant of 4 in total, so its workers' own grants
+        // collapse to 1 (leaf nesting must run inline).
+        let leaf_chunks = AtomicUsize::new(0);
+        let out = par_collect_budgeted(1, 1, 4, |_| {
+            par_collect_budgeted(8, 4, 4, |i| {
+                let mut leaf = vec![0u8; 6];
+                par_map_rows(&mut leaf, 1, 6, |_, chunk| {
+                    if chunk.len() == 6 {
+                        leaf_chunks.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                i
+            })
+        });
+        assert_eq!(out[0], (0..8).collect::<Vec<_>>());
+        assert_eq!(leaf_chunks.load(Ordering::Relaxed), 8, "grand-children must run inline (grant 4 / 4 workers = 1)");
+    }
+
+    #[test]
+    fn inline_outer_level_still_caps_nested_calls() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Outer level collapses to one worker (count = 1) with an inner grant
+        // of 4: the nested call may spawn up to 4 workers, not the requested 8.
+        let chunks_seen = AtomicUsize::new(0);
+        let out = par_collect_budgeted(1, 1, 4, |_| {
+            assert!(in_parallel_region(), "inline execution must carry the grant");
+            let mut inner = vec![0usize; 12];
+            par_map_rows(&mut inner, 1, 8, |off, chunk| {
+                chunks_seen.fetch_add(1, Ordering::Relaxed);
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = off + i;
+                }
+            });
+            inner
+        });
+        assert!(!in_parallel_region(), "grant must be restored after the inline call");
+        assert_eq!(out[0], (0..12).collect::<Vec<_>>());
+        assert_eq!(chunks_seen.load(Ordering::Relaxed), 4, "12 rows across a grant of 4");
+
+        // Plain single-thread call: the inline grant is 1, so nesting is inline.
+        let mut top = vec![0u8; 3];
+        par_map_rows(&mut top, 1, 1, |_, _| {
+            let mut leaf = vec![0u8; 8];
+            let calls = AtomicUsize::new(0);
+            par_chunks_mut(&mut leaf, 8, |_, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 1, "num_threads 1 must mean fully serial");
+        });
+    }
+
+    #[test]
+    fn par_collect_budgeted_matches_serial() {
+        let reference: Vec<usize> = (0..17).map(|i| i * 3 + 1).collect();
+        for (outer, inner) in [(1, 1), (2, 2), (4, 3), (17, 1)] {
+            let out = par_collect_budgeted(17, outer, inner, |i| i * 3 + 1);
+            assert_eq!(out, reference, "outer {outer} inner {inner}");
+        }
     }
 }

@@ -1,0 +1,477 @@
+//! The generic micro-batching server: bounded queue, coalescing scheduler,
+//! worker pool, per-request handles, backpressure and graceful shutdown.
+//!
+//! The data path is deliberately simple — one `Mutex<VecDeque>` plus two
+//! `Condvar`s — because the expensive work (the batch computation itself)
+//! happens outside the lock, on the worker that drained the batch. Requests
+//! never reorder relative to their submission within a worker's batch, and
+//! every request's result depends only on its own payload, so serving adds
+//! latency policy (coalescing) without changing any numeric result.
+
+use crate::{ServeError, ServeResult};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum number of requests coalesced into one engine call.
+    pub max_batch: usize,
+    /// How long the scheduler waits after picking up the first pending request
+    /// for more requests to arrive before dispatching a partial batch.
+    /// `Duration::ZERO` dispatches immediately with whatever is queued.
+    pub linger: Duration,
+    /// Bounded submission-queue capacity. When full, [`Server::submit`] blocks
+    /// and [`Server::try_submit`] returns [`TrySubmitError::Full`].
+    pub queue_capacity: usize,
+    /// Number of batch worker threads draining the queue. Each worker
+    /// processes one batch at a time; the engine's own (frame/row) parallelism
+    /// happens inside the batch call.
+    pub workers: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { max_batch: 8, linger: Duration::from_millis(2), queue_capacity: 64, workers: 1 }
+    }
+}
+
+impl BatchConfig {
+    /// Validates the configuration (all knobs must be ≥ 1 requests/workers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> ServeResult<()> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig("queue_capacity must be >= 1".into()));
+        }
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A pluggable batch computation for a [`Server`].
+///
+/// `process_batch` receives the coalesced requests in submission order and
+/// must return exactly one result per request, in the same order. The engine
+/// is shared by all workers, so it must be `Sync`; the beamformer engines in
+/// [`crate::service`] satisfy this with plain immutable data.
+pub trait BatchEngine: Send + Sync + 'static {
+    /// Payload submitted per request (e.g. one `ChannelData` frame).
+    type Request: Send + 'static;
+    /// Result resolved per request (e.g. one `IqImage`).
+    type Response: Send + 'static;
+
+    /// Processes one coalesced batch, returning one result per request in
+    /// request order.
+    fn process_batch(&self, batch: Vec<Self::Request>) -> Vec<ServeResult<Self::Response>>;
+}
+
+/// Adapter implementing [`BatchEngine`] from a plain closure
+/// (see [`Server::from_fn`]).
+pub struct FnEngine<I, O, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, F> BatchEngine for FnEngine<I, O, F>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: Fn(Vec<I>) -> Vec<ServeResult<O>> + Send + Sync + 'static,
+{
+    type Request = I;
+    type Response = O;
+
+    fn process_batch(&self, batch: Vec<I>) -> Vec<ServeResult<O>> {
+        (self.f)(batch)
+    }
+}
+
+/// Counters describing what a server has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests whose handle has been fulfilled (success or error).
+    pub completed: u64,
+    /// Engine calls (coalesced batches) executed.
+    pub batches: u64,
+    /// Largest batch dispatched in one engine call.
+    pub max_batch_observed: usize,
+}
+
+impl ServerStats {
+    /// Mean requests per engine call so far (0 when no batch ran yet).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+enum SlotState<O> {
+    Pending,
+    Done(ServeResult<O>),
+    Taken,
+}
+
+struct Slot<O> {
+    state: Mutex<SlotState<O>>,
+    ready: Condvar,
+}
+
+impl<O> Slot<O> {
+    fn new() -> Arc<Self> {
+        Arc::new(Self { state: Mutex::new(SlotState::Pending), ready: Condvar::new() })
+    }
+
+    fn fulfill(&self, result: ServeResult<O>) {
+        let mut state = self.state.lock().expect("serve slot poisoned");
+        if matches!(*state, SlotState::Pending) {
+            *state = SlotState::Done(result);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// The receiving end of one submitted request: a blocking future.
+///
+/// Obtained from [`Server::submit`] / [`Server::try_submit`]; resolves when
+/// the worker that drained the request's batch finishes. Handles stay valid
+/// across [`Server::shutdown`] — shutdown drains the queue, so every accepted
+/// request is fulfilled before the workers exit.
+pub struct ResponseHandle<O> {
+    slot: Arc<Slot<O>>,
+}
+
+impl<O> ResponseHandle<O> {
+    /// Blocks until the request completes and returns its result.
+    pub fn wait(self) -> ServeResult<O> {
+        let mut state = self.slot.state.lock().expect("serve slot poisoned");
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Taken) {
+                SlotState::Done(result) => return result,
+                SlotState::Taken => panic!("ResponseHandle polled after the result was taken"),
+                SlotState::Pending => {
+                    *state = SlotState::Pending;
+                    // Waiting is sound: workers contain engine panics (the
+                    // batch resolves with WorkerDied and the worker survives),
+                    // and shutdown drains the queue before the pool exits, so
+                    // every accepted request is eventually fulfilled.
+                    state = self.slot.ready.wait(state).expect("serve slot poisoned");
+                }
+            }
+        }
+    }
+
+    /// Non-blocking probe: `Some(result)` the first time it is called after
+    /// the request completed, `None` while the request is still queued or in
+    /// flight — and `None` again once the result has been consumed, so
+    /// polling a set of handles in a loop is safe after some have resolved.
+    pub fn try_take(&self) -> Option<ServeResult<O>> {
+        let mut state = self.slot.state.lock().expect("serve slot poisoned");
+        match std::mem::replace(&mut *state, SlotState::Taken) {
+            SlotState::Done(result) => Some(result),
+            SlotState::Pending => {
+                *state = SlotState::Pending;
+                None
+            }
+            SlotState::Taken => None,
+        }
+    }
+
+    /// Whether a result is currently available to take (`false` while the
+    /// request is in flight and after the result has been consumed).
+    pub fn is_ready(&self) -> bool {
+        matches!(*self.slot.state.lock().expect("serve slot poisoned"), SlotState::Done(_))
+    }
+}
+
+/// Rejection from [`Server::try_submit`]; returns the request to the caller
+/// so it can be retried or shed.
+#[derive(Debug)]
+pub enum TrySubmitError<I> {
+    /// The bounded queue is at capacity — backpressure; retry later.
+    Full(I),
+    /// The server no longer accepts requests.
+    ShuttingDown(I),
+}
+
+impl<I> TrySubmitError<I> {
+    /// Recovers the rejected request.
+    pub fn into_request(self) -> I {
+        match self {
+            Self::Full(request) | Self::ShuttingDown(request) => request,
+        }
+    }
+
+    /// The equivalent [`ServeError`] (dropping the payload).
+    pub fn as_serve_error(&self) -> ServeError {
+        match self {
+            Self::Full(_) => ServeError::QueueFull,
+            Self::ShuttingDown(_) => ServeError::ShuttingDown,
+        }
+    }
+}
+
+struct QueueState<I, O> {
+    queue: VecDeque<(I, Arc<Slot<O>>)>,
+    shutting_down: bool,
+    stats: ServerStats,
+}
+
+struct Shared<I, O> {
+    state: Mutex<QueueState<I, O>>,
+    /// Signalled when a request is enqueued or shutdown begins (wakes workers).
+    not_empty: Condvar,
+    /// Signalled when queue space frees up (wakes blocked submitters).
+    not_full: Condvar,
+}
+
+/// A synchronous streaming micro-batching server over a [`BatchEngine`].
+///
+/// See the [crate-level documentation](crate) for the architecture.
+/// Construction spawns the worker pool; [`Server::shutdown`] (or dropping the
+/// server) drains every accepted request and joins the workers.
+///
+/// ```
+/// use serve::{BatchConfig, Server};
+/// use std::time::Duration;
+///
+/// let server = Server::from_fn(
+///     BatchConfig { max_batch: 4, linger: Duration::ZERO, ..BatchConfig::default() },
+///     |batch: Vec<u32>| batch.into_iter().map(|v| Ok(v + 1)).collect(),
+/// );
+/// let handle = server.submit(9).unwrap();
+/// assert_eq!(handle.wait(), Ok(10));
+/// let stats = server.shutdown();
+/// assert_eq!(stats.completed, 1);
+/// ```
+pub struct Server<E: BatchEngine> {
+    shared: Arc<Shared<E::Request, E::Response>>,
+    config: BatchConfig,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<I, O, F> Server<FnEngine<I, O, F>>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: Fn(Vec<I>) -> Vec<ServeResult<O>> + Send + Sync + 'static,
+{
+    /// Builds a server whose engine is a plain closure mapping a batch of
+    /// requests to one result per request (in order). Convenient for tests
+    /// and custom pipelines; beamforming deployments use
+    /// [`crate::service::BeamformEngine`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`BatchConfig`] (zero `max_batch`, capacity or
+    /// workers).
+    pub fn from_fn(config: BatchConfig, f: F) -> Self {
+        Self::new(config, FnEngine { f, _marker: std::marker::PhantomData })
+    }
+}
+
+impl<E: BatchEngine> Server<E> {
+    /// Spawns the worker pool and returns the running server.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`BatchConfig`] (zero `max_batch`, capacity or
+    /// workers).
+    pub fn new(config: BatchConfig, engine: E) -> Self {
+        config.validate().expect("invalid BatchConfig");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState { queue: VecDeque::new(), shutting_down: false, stats: ServerStats::default() }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        let engine = Arc::new(engine);
+        let workers = (0..config.workers)
+            .map(|worker_index| {
+                let shared = Arc::clone(&shared);
+                let engine = Arc::clone(&engine);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{worker_index}"))
+                    .spawn(move || worker_loop(&shared, engine.as_ref(), &config))
+                    .expect("failed to spawn serve worker")
+            })
+            .collect();
+        Self { shared, config, workers }
+    }
+
+    /// The configuration the server was built with.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Submits a request, blocking while the bounded queue is full
+    /// (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] once [`Server::shutdown`] has
+    /// begun.
+    pub fn submit(&self, request: E::Request) -> ServeResult<ResponseHandle<E::Response>> {
+        let mut state = self.shared.state.lock().expect("serve state poisoned");
+        loop {
+            if state.shutting_down {
+                return Err(ServeError::ShuttingDown);
+            }
+            if state.queue.len() < self.config.queue_capacity {
+                break;
+            }
+            state = self.shared.not_full.wait(state).expect("serve state poisoned");
+        }
+        let slot = Slot::new();
+        state.queue.push_back((request, Arc::clone(&slot)));
+        state.stats.submitted += 1;
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(ResponseHandle { slot })
+    }
+
+    /// Non-blocking [`Server::submit`]: sheds load instead of waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::Full`] when the queue is at capacity,
+    /// [`TrySubmitError::ShuttingDown`] after shutdown began — both return
+    /// the request so the caller can retry or drop it.
+    pub fn try_submit(&self, request: E::Request) -> Result<ResponseHandle<E::Response>, TrySubmitError<E::Request>> {
+        let mut state = self.shared.state.lock().expect("serve state poisoned");
+        if state.shutting_down {
+            return Err(TrySubmitError::ShuttingDown(request));
+        }
+        if state.queue.len() >= self.config.queue_capacity {
+            return Err(TrySubmitError::Full(request));
+        }
+        let slot = Slot::new();
+        state.queue.push_back((request, Arc::clone(&slot)));
+        state.stats.submitted += 1;
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(ResponseHandle { slot })
+    }
+
+    /// Snapshot of the work counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.state.lock().expect("serve state poisoned").stats
+    }
+
+    /// Number of requests currently queued (not yet drained into a batch).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("serve state poisoned").queue.len()
+    }
+
+    /// Graceful shutdown: stops accepting new requests, lets the workers
+    /// drain and fulfil every already-accepted request, joins the pool and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("serve state poisoned");
+            state.shutting_down = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for worker in self.workers.drain(..) {
+            // Engine panics are contained inside the loop, so a join error
+            // means a bug in the worker itself — surface it to the caller.
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl<E: BatchEngine> Drop for Server<E> {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() && !std::thread::panicking() {
+            self.stop();
+        }
+    }
+}
+
+fn worker_loop<E: BatchEngine>(shared: &Shared<E::Request, E::Response>, engine: &E, config: &BatchConfig) {
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().expect("serve state poisoned");
+            // Sleep until there is work or the server is shutting down.
+            loop {
+                if !state.queue.is_empty() {
+                    break;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.not_empty.wait(state).expect("serve state poisoned");
+            }
+            // Linger: give late arrivals a chance to coalesce into this batch.
+            // Skipped once the batch is full, the queue is at capacity (no
+            // further arrival is possible — submitters are parked on
+            // `not_full`), or the server is draining for shutdown.
+            if !config.linger.is_zero() {
+                let deadline = Instant::now() + config.linger;
+                while state.queue.len() < config.max_batch.min(config.queue_capacity) && !state.shutting_down {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (next, timeout) =
+                        shared.not_empty.wait_timeout(state, deadline - now).expect("serve state poisoned");
+                    state = next;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let take = state.queue.len().min(config.max_batch);
+            if take == 0 {
+                // Another worker drained the queue while this one lingered
+                // (the linger wait releases the lock); go back to sleep
+                // instead of dispatching an empty batch.
+                continue;
+            }
+            let batch: Vec<_> = state.queue.drain(..take).collect();
+            state.stats.batches += 1;
+            state.stats.max_batch_observed = state.stats.max_batch_observed.max(batch.len());
+            batch
+        };
+        shared.not_full.notify_all();
+
+        let (requests, slots): (Vec<_>, Vec<_>) = batch.into_iter().unzip();
+        let count = requests.len();
+        // A panicking engine must not kill the worker: requests still queued
+        // (and future submissions) would hang with no one left to drain them.
+        // Contain the panic to this batch instead — its requests resolve with
+        // WorkerDied and the worker lives on.
+        let mut results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.process_batch(requests)))
+            .unwrap_or_else(|_| (0..count).map(|_| Err(ServeError::WorkerDied)).collect());
+        if results.len() != count {
+            let actual = results.len();
+            results = (0..count).map(|_| Err(ServeError::BatchSizeMismatch { expected: count, actual })).collect();
+        }
+        for (slot, result) in slots.iter().zip(results) {
+            slot.fulfill(result);
+        }
+        let mut state = shared.state.lock().expect("serve state poisoned");
+        state.stats.completed += count as u64;
+    }
+}

@@ -1,0 +1,101 @@
+//! Streaming micro-batching inference front-end for the Tiny-VBF beamformers.
+//!
+//! Tiny-VBF's pitch (Rahoof et al., DATE 2024) is *real-time* single-angle
+//! plane-wave imaging: frames arrive continuously from the scanner and must be
+//! reconstructed at acquisition rate. The deep-learning beamforming literature
+//! frames models like Tiny-VBF as components of a streaming
+//! acquisition→reconstruction pipeline, and PR 1 built the per-frame batch
+//! primitives (`Beamformer::beamform_batch`, `TinyVbf::forward_batch`). This
+//! crate turns those per-call primitives into a throughput-oriented service:
+//!
+//! * [`Server`] — the generic micro-batching server: a **bounded submission
+//!   queue** (backpressure), a scheduler that **coalesces** pending requests
+//!   into batches (configurable max batch size and linger), a worker pool, and
+//!   per-request [`ResponseHandle`]s that resolve when the batch completes,
+//! * [`BatchConfig`] — queue capacity, `max_batch`, linger and worker/thread
+//!   budget knobs,
+//! * [`BatchEngine`] — the pluggable batch computation (implement it, or wrap
+//!   a closure with [`Server::from_fn`]),
+//! * [`service`] — ready-made engines for the beamformers:
+//!   [`service::BeamformEngine`] submits [`ultrasound::ChannelData`] frames and
+//!   yields [`beamforming::iq::IqImage`]s through any
+//!   [`beamforming::pipeline::Beamformer`] (DAS, MVDR, Tiny-VBF, …), batching
+//!   frames through `beamform_batch_with_threads` so frames run concurrently
+//!   while each stays internally row-parallel under one bounded thread budget.
+//!
+//! Everything is synchronous-core `std`: no async runtime, plain
+//! `Mutex`/`Condvar` scheduling, deterministic results — an image produced
+//! through the server is **bitwise identical** to one produced by a serial
+//! per-frame call, for every batch size, linger, worker count and
+//! `TINY_VBF_THREADS` setting (asserted by `examples/serve_demo.rs` and this
+//! crate's tests).
+//!
+//! # Example
+//!
+//! ```
+//! use serve::{BatchConfig, Server};
+//!
+//! // A toy engine: double every request. Real deployments use
+//! // `serve::service::BeamformEngine` instead of a closure.
+//! let server = Server::from_fn(BatchConfig::default(), |batch: Vec<i64>| {
+//!     batch.into_iter().map(|v| Ok(v * 2)).collect()
+//! });
+//! let handles: Vec<_> = (0..8).map(|v| server.submit(v).unwrap()).collect();
+//! let results: Vec<i64> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+//! assert_eq!(results, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+//! server.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod batcher;
+pub mod service;
+
+pub use batcher::{BatchConfig, BatchEngine, ResponseHandle, Server, ServerStats, TrySubmitError};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the serving front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The [`BatchConfig`] is invalid (a zero `max_batch`, queue capacity or
+    /// worker count).
+    InvalidConfig(String),
+    /// The server is shutting down and no longer accepts submissions.
+    ShuttingDown,
+    /// The bounded submission queue is full (backpressure signal).
+    QueueFull,
+    /// The batch engine failed for this request.
+    Engine(String),
+    /// The batch engine returned a result vector of the wrong length.
+    BatchSizeMismatch {
+        /// Number of requests in the batch.
+        expected: usize,
+        /// Number of results the engine returned.
+        actual: usize,
+    },
+    /// The batch engine panicked while processing this request's batch (the
+    /// worker survives; only the batch in flight resolves with this error).
+    WorkerDied,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(reason) => write!(f, "invalid batch configuration: {reason}"),
+            Self::ShuttingDown => write!(f, "server is shutting down"),
+            Self::QueueFull => write!(f, "submission queue is full"),
+            Self::Engine(reason) => write!(f, "batch engine error: {reason}"),
+            Self::BatchSizeMismatch { expected, actual } => {
+                write!(f, "batch engine returned {actual} results for {expected} requests")
+            }
+            Self::WorkerDied => write!(f, "worker died before fulfilling the request"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+/// Convenience alias for results with [`ServeError`].
+pub type ServeResult<T> = Result<T, ServeError>;

@@ -1,0 +1,135 @@
+//! Ready-made batch engines wiring the [`crate::Server`] to the
+//! workspace beamformers.
+//!
+//! [`BeamformEngine`] is the frame-level service: submit one
+//! [`ChannelData`] acquisition per request, receive the beamformed
+//! [`IqImage`]. A coalesced batch is executed through
+//! [`Beamformer::beamform_batch_results`], so frames of the batch run
+//! concurrently while each frame keeps its internal row parallelism, under
+//! one bounded thread budget (see [`runtime::split_budget`]). Because every
+//! frame's image depends only on that frame's data, an image served through
+//! the batcher is bitwise identical to a serial `beamform` call.
+
+use crate::batcher::{BatchConfig, BatchEngine, Server};
+use crate::{ServeError, ServeResult};
+use beamforming::grid::ImagingGrid;
+use beamforming::iq::IqImage;
+use beamforming::pipeline::Beamformer;
+use ultrasound::{ChannelData, LinearArray};
+
+/// A [`BatchEngine`] that beamforms one [`ChannelData`] frame per request
+/// through any [`Beamformer`] (DAS, MVDR, Tiny-VBF, …), sharing one probe,
+/// grid and sound speed across the stream.
+pub struct BeamformEngine<B> {
+    beamformer: B,
+    array: LinearArray,
+    grid: ImagingGrid,
+    sound_speed: f32,
+    threads: usize,
+}
+
+impl<B: Beamformer + Send + 'static> BeamformEngine<B> {
+    /// Builds an engine with the workspace-default total thread budget per
+    /// batch (see [`runtime::default_threads`]).
+    pub fn new(beamformer: B, array: LinearArray, grid: ImagingGrid, sound_speed: f32) -> Self {
+        Self::with_threads(beamformer, array, grid, sound_speed, runtime::default_threads())
+    }
+
+    /// [`BeamformEngine::new`] with an explicit total thread budget per batch
+    /// call (split across frames and per-frame rows by
+    /// [`runtime::split_budget`]).
+    pub fn with_threads(beamformer: B, array: LinearArray, grid: ImagingGrid, sound_speed: f32, threads: usize) -> Self {
+        Self { beamformer, array, grid, sound_speed, threads: threads.max(1) }
+    }
+
+    /// The wrapped beamformer.
+    pub fn beamformer(&self) -> &B {
+        &self.beamformer
+    }
+
+    /// The imaging grid every served frame is reconstructed on.
+    pub fn grid(&self) -> &ImagingGrid {
+        &self.grid
+    }
+}
+
+impl<B: Beamformer + Send + 'static> BatchEngine for BeamformEngine<B> {
+    type Request = ChannelData;
+    type Response = IqImage;
+
+    fn process_batch(&self, batch: Vec<ChannelData>) -> Vec<ServeResult<IqImage>> {
+        // Per-frame results: one malformed frame fails alone instead of
+        // poisoning its whole batch, with no second pass over the good frames.
+        self.beamformer
+            .beamform_batch_results(&batch, &self.array, &self.grid, self.sound_speed, self.threads)
+            .into_iter()
+            .map(|result| result.map_err(|e| ServeError::Engine(e.to_string())))
+            .collect()
+    }
+}
+
+/// A streaming beamforming server: frames in, IQ images out.
+pub type BeamformServer<B> = Server<BeamformEngine<B>>;
+
+/// Spawns a [`BeamformServer`] over `beamformer` for a fixed probe/grid.
+///
+/// Convenience for `Server::new(config, BeamformEngine::new(..))`; see
+/// `examples/serve_demo.rs` for an end-to-end run.
+pub fn beamform_server<B: Beamformer + Send + 'static>(
+    config: BatchConfig,
+    beamformer: B,
+    array: LinearArray,
+    grid: ImagingGrid,
+    sound_speed: f32,
+) -> BeamformServer<B> {
+    Server::new(config, BeamformEngine::new(beamformer, array, grid, sound_speed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beamforming::pipeline::DelayAndSum;
+    use ultrasound::{Medium, Phantom, PlaneWave, PlaneWaveSimulator};
+
+    #[test]
+    fn beamform_server_matches_serial_beamforming() {
+        let array = LinearArray::small_test_array();
+        let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), 0.025);
+        let phantom = Phantom::builder(0.01, 0.025).seed(3).add_point_target(0.0, 0.018, 1.0).build();
+        let frames: Vec<ChannelData> = [-2.0f32, 0.0, 2.0]
+            .iter()
+            .map(|&deg| sim.simulate(&phantom, PlaneWave::from_degrees(deg)).unwrap())
+            .collect();
+        let grid = ImagingGrid::for_array(&array, 0.014, 0.008, 16, 8);
+        let das = DelayAndSum::default();
+        let serial: Vec<IqImage> =
+            frames.iter().map(|f| das.beamform(f, &array, &grid, 1540.0).unwrap()).collect();
+
+        let server = beamform_server(
+            BatchConfig { max_batch: 2, ..BatchConfig::default() },
+            das,
+            array,
+            grid,
+            1540.0,
+        );
+        let handles: Vec<_> = frames.into_iter().map(|f| server.submit(f).unwrap()).collect();
+        let served: Vec<IqImage> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        assert_eq!(serial, served);
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn bad_frame_fails_alone_in_a_mixed_batch() {
+        let array = LinearArray::small_test_array();
+        let grid = ImagingGrid::for_array(&array, 0.014, 0.008, 8, 8);
+        let good = ChannelData::zeros(256, array.num_elements(), array.sampling_frequency());
+        let bad = ChannelData::zeros(256, 3, array.sampling_frequency()); // wrong channel count
+        let engine = BeamformEngine::new(DelayAndSum::default(), array, grid, 1540.0);
+        let results = engine.process_batch(vec![good.clone(), bad, good]);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(ServeError::Engine(_))));
+        assert!(results[2].is_ok());
+    }
+}

@@ -11,6 +11,7 @@ pub use beamforming;
 pub use neural;
 pub use quantize;
 pub use runtime;
+pub use serve;
 pub use tiny_vbf;
 pub use ultrasound;
 pub use usdsp;
@@ -23,6 +24,8 @@ pub mod prelude {
     pub use beamforming::pipeline::{Beamformer, DelayAndSum, Mvdr};
     pub use beamforming::BModeImage;
     pub use quantize::QuantScheme;
+    pub use serve::service::{beamform_server, BeamformEngine, BeamformServer};
+    pub use serve::{BatchConfig, Server};
     pub use tiny_vbf::config::TinyVbfConfig;
     pub use tiny_vbf::evaluation::EvaluationConfig;
     pub use tiny_vbf::inference::TinyVbfBeamformer;

@@ -231,7 +231,7 @@ impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Lengths accepted by [`vec`]: an exact `usize` or a `usize` range.
+    /// Lengths accepted by [`vec`](vec()): an exact `usize` or a `usize` range.
     pub trait SizeBounds {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
