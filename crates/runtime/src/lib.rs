@@ -228,21 +228,25 @@ pub fn in_parallel_region() -> bool {
 }
 
 /// Splits a total thread budget into `(outer_workers, inner_threads)` for
-/// `items` outer work units: as many outer workers as there are items (capped
-/// by the budget), each granted an equal share of the remainder for its inner
-/// row parallelism. Both factors are ≥ 1 and their product never exceeds
-/// `max(total, 1)`.
+/// `items` outer work units: the smallest per-item share that still covers
+/// every item (`inner = ⌈total / items⌉`), then as many outer workers as that
+/// share affords (`outer = ⌊total / inner⌋`). This keeps `outer × inner`
+/// close to `total` even when `items` does not divide it — e.g. 9 frames on
+/// 16 threads run as 8 × 2 (16 threads live), not 9 × 1. Both factors are
+/// ≥ 1, `outer ≤ max(items, 1)` and `outer × inner ≤ max(total, 1)`.
 ///
 /// ```
-/// assert_eq!(runtime::split_budget(8, 4), (4, 2));  // 4 frames × 2 threads each
+/// assert_eq!(runtime::split_budget(8, 4), (4, 2));   // 4 frames × 2 threads each
+/// assert_eq!(runtime::split_budget(16, 9), (8, 2));  // non-dividing: keep all 16 busy
 /// assert_eq!(runtime::split_budget(8, 100), (8, 1)); // more frames than threads
 /// assert_eq!(runtime::split_budget(8, 1), (1, 8));   // one frame keeps all threads
 /// assert_eq!(runtime::split_budget(0, 3), (1, 1));
 /// ```
 pub fn split_budget(total: usize, items: usize) -> (usize, usize) {
     let total = total.max(1);
-    let outer = items.clamp(1, total);
-    (outer, (total / outer).max(1))
+    let inner = total.div_ceil(items.clamp(1, total));
+    let outer = (total / inner).max(1);
+    (outer, inner)
 }
 
 /// Runs `f(index)` for every index in `0..count` across at most `num_threads`
@@ -408,7 +412,8 @@ mod tests {
             }
         }
         assert_eq!(split_budget(16, 4), (4, 4));
-        assert_eq!(split_budget(6, 4), (4, 1));
+        assert_eq!(split_budget(6, 4), (3, 2));
+        assert_eq!(split_budget(7, 3), (2, 3));
     }
 
     #[test]

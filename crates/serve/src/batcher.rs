@@ -10,6 +10,7 @@
 
 use crate::{ServeError, ServeResult};
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -156,6 +157,12 @@ pub struct ResponseHandle<O> {
 
 impl<O> ResponseHandle<O> {
     /// Blocks until the request completes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was already consumed by a successful
+    /// [`ResponseHandle::try_take`] — take a handle out of any polling sweep
+    /// once `try_take` has returned `Some` for it.
     pub fn wait(self) -> ServeResult<O> {
         let mut state = self.slot.state.lock().expect("serve slot poisoned");
         loop {
@@ -197,15 +204,25 @@ impl<O> ResponseHandle<O> {
     }
 }
 
-/// Rejection from [`Server::try_submit`]; returns the request to the caller
-/// so it can be retried or shed.
+/// Rejection from [`Server::submit`] / [`Server::try_submit`]; returns the
+/// request to the caller so it can be retried, re-routed or shed instead of
+/// being dropped.
 #[derive(Debug)]
 pub enum TrySubmitError<I> {
-    /// The bounded queue is at capacity — backpressure; retry later.
+    /// The bounded queue is at capacity — backpressure; retry later. Never
+    /// produced by the blocking [`Server::submit`], which waits instead.
     Full(I),
     /// The server no longer accepts requests.
     ShuttingDown(I),
 }
+
+impl<I> fmt::Display for TrySubmitError<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_serve_error().fmt(f)
+    }
+}
+
+impl<I: fmt::Debug> std::error::Error for TrySubmitError<I> {}
 
 impl<I> TrySubmitError<I> {
     /// Recovers the rejected request.
@@ -322,13 +339,14 @@ impl<E: BatchEngine> Server<E> {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::ShuttingDown`] once [`Server::shutdown`] has
-    /// begun.
-    pub fn submit(&self, request: E::Request) -> ServeResult<ResponseHandle<E::Response>> {
+    /// Returns [`TrySubmitError::ShuttingDown`] — carrying the request back to
+    /// the caller for failover instead of dropping it — once
+    /// [`Server::shutdown`] has begun.
+    pub fn submit(&self, request: E::Request) -> Result<ResponseHandle<E::Response>, TrySubmitError<E::Request>> {
         let mut state = self.shared.state.lock().expect("serve state poisoned");
         loop {
             if state.shutting_down {
-                return Err(ServeError::ShuttingDown);
+                return Err(TrySubmitError::ShuttingDown(request));
             }
             if state.queue.len() < self.config.queue_capacity {
                 break;

@@ -31,6 +31,11 @@ pub struct BeamformEngine<B> {
 impl<B: Beamformer + Send + 'static> BeamformEngine<B> {
     /// Builds an engine with the workspace-default total thread budget per
     /// batch (see [`runtime::default_threads`]).
+    ///
+    /// The budget applies *per engine call*: with
+    /// [`BatchConfig::workers`](crate::BatchConfig) > 1 every worker executes
+    /// its own call, so give each engine `default / workers` threads (as
+    /// [`beamform_server`] does) to keep the server's total bounded.
     pub fn new(beamformer: B, array: LinearArray, grid: ImagingGrid, sound_speed: f32) -> Self {
         Self::with_threads(beamformer, array, grid, sound_speed, runtime::default_threads())
     }
@@ -73,8 +78,13 @@ pub type BeamformServer<B> = Server<BeamformEngine<B>>;
 
 /// Spawns a [`BeamformServer`] over `beamformer` for a fixed probe/grid.
 ///
-/// Convenience for `Server::new(config, BeamformEngine::new(..))`; see
-/// `examples/serve_demo.rs` for an end-to-end run.
+/// The workspace-default thread budget is shared across the server's batch
+/// workers (each engine call gets `default_threads / workers`, at least 1),
+/// so raising [`BatchConfig::workers`](crate::BatchConfig) overlaps batches
+/// without multiplying the total compute-thread count. Build the engine with
+/// [`BeamformEngine::with_threads`] and [`crate::Server::new`] directly to
+/// choose a different split. See `examples/serve_demo.rs` for an end-to-end
+/// run.
 pub fn beamform_server<B: Beamformer + Send + 'static>(
     config: BatchConfig,
     beamformer: B,
@@ -82,7 +92,9 @@ pub fn beamform_server<B: Beamformer + Send + 'static>(
     grid: ImagingGrid,
     sound_speed: f32,
 ) -> BeamformServer<B> {
-    Server::new(config, BeamformEngine::new(beamformer, array, grid, sound_speed))
+    let per_call = (runtime::default_threads() / config.workers.max(1)).max(1);
+    let engine = BeamformEngine::with_threads(beamformer, array, grid, sound_speed, per_call);
+    Server::new(config, engine)
 }
 
 #[cfg(test)]
