@@ -9,6 +9,7 @@
 use crate::apodization::Apodization;
 use crate::grid::ImagingGrid;
 use crate::iq::{rf_to_iq, IqImage};
+use crate::plan::{BeamformPlan, FrameFormat};
 use crate::tof::TofCube;
 use crate::{BeamformError, BeamformResult};
 use ultrasound::{ChannelData, LinearArray, PlaneWave};
@@ -117,7 +118,10 @@ impl DelayAndSum {
 
         let mut rf = vec![0.0f32; rows * cols];
         runtime::par_map_rows(&mut rf, cols, num_threads, |first_row, block| {
-            let mut scratch: Vec<f32> = Vec::new();
+            // Sized for a full weight vector up front so the pixel-dependent
+            // apodization path allocates once per block, not incrementally
+            // across the block's first pixels.
+            let mut scratch: Vec<f32> = Vec::with_capacity(element_xs.len());
             for (local, rf_row) in block.chunks_mut(cols).enumerate() {
                 let z = grid.z(first_row + local);
                 for (col, out) in rf_row.iter_mut().enumerate() {
@@ -179,6 +183,90 @@ impl DelayAndSum {
     ) -> BeamformResult<IqImage> {
         let rf = self.beamform_rf(data, array, grid, sound_speed)?;
         rf_to_iq(&rf, grid)
+    }
+
+    /// Precomputes a [`BeamformPlan`] for this configuration: one-time
+    /// delay/apodization tables that every matching frame can replay through
+    /// [`DelayAndSum::beamform_rf_planned`], skipping the per-sample geometry.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`DelayAndSum::beamform_rf`].
+    pub fn plan(
+        &self,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        frame: FrameFormat,
+    ) -> BeamformResult<BeamformPlan> {
+        BeamformPlan::for_das(self, array, grid, sound_speed, frame)
+    }
+
+    /// [`DelayAndSum::beamform_rf`] through a precomputed plan, using the
+    /// workspace-default worker threads. Bitwise identical to the direct path
+    /// for every thread count; the inner loop is reduced to two multiply-adds
+    /// per retained channel over the plan's tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeamformError::InvalidParameter`] when the plan was built for
+    /// a different DAS configuration and the planned kernels' own validation
+    /// errors (see [`BeamformPlan::beamform_rf`]).
+    pub fn beamform_rf_planned(&self, data: &ChannelData, plan: &BeamformPlan) -> BeamformResult<Vec<f32>> {
+        self.beamform_rf_planned_with_threads(data, plan, runtime::default_threads())
+    }
+
+    /// [`DelayAndSum::beamform_rf_planned`] with an explicit worker-thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DelayAndSum::beamform_rf_planned`].
+    pub fn beamform_rf_planned_with_threads(
+        &self,
+        data: &ChannelData,
+        plan: &BeamformPlan,
+        num_threads: usize,
+    ) -> BeamformResult<Vec<f32>> {
+        self.check_plan(plan)?;
+        plan.beamform_rf_with_threads(data, num_threads)
+    }
+
+    /// [`DelayAndSum::beamform_iq`] through a precomputed plan (planned RF
+    /// gather + per-column analytic signal), bitwise identical to the direct
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DelayAndSum::beamform_rf_planned`].
+    pub fn beamform_iq_planned(&self, data: &ChannelData, plan: &BeamformPlan) -> BeamformResult<IqImage> {
+        self.beamform_iq_planned_with_threads(data, plan, runtime::default_threads())
+    }
+
+    /// [`DelayAndSum::beamform_iq_planned`] with an explicit worker-thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DelayAndSum::beamform_rf_planned`].
+    pub fn beamform_iq_planned_with_threads(
+        &self,
+        data: &ChannelData,
+        plan: &BeamformPlan,
+        num_threads: usize,
+    ) -> BeamformResult<IqImage> {
+        self.check_plan(plan)?;
+        plan.beamform_iq_with_threads(data, num_threads)
+    }
+
+    fn check_plan(&self, plan: &BeamformPlan) -> BeamformResult<()> {
+        match plan.das_config() {
+            Some(config) if config == self => Ok(()),
+            _ => Err(BeamformError::InvalidParameter {
+                name: "plan",
+                reason: "plan was built for a different DAS configuration".into(),
+            }),
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 
 use crate::grid::ImagingGrid;
 use crate::{BeamformError, BeamformResult};
-use usdsp::hilbert::analytic_signal;
+use usdsp::hilbert::analytic_signal_batch;
 use usdsp::Complex32;
 
 /// A complex-valued beamformed image on an [`ImagingGrid`] (row-major storage).
@@ -139,12 +139,28 @@ impl IqImage {
 }
 
 /// Converts a real beamformed RF image (row-major, `grid`-shaped) into an IQ image by
-/// computing the analytic signal along each depth column.
+/// computing the analytic signal along each depth column, using the
+/// workspace-default worker threads (see [`runtime::default_threads`]).
 ///
 /// # Errors
 ///
 /// Returns [`BeamformError::ShapeMismatch`] when `rf.len()` differs from the pixel count.
 pub fn rf_to_iq(rf: &[f32], grid: &ImagingGrid) -> BeamformResult<IqImage> {
+    rf_to_iq_with_threads(rf, grid, runtime::default_threads())
+}
+
+/// [`rf_to_iq`] with an explicit worker-thread count.
+///
+/// The per-column Hilbert transforms run through
+/// [`usdsp::hilbert::analytic_signal_batch`], so columns are processed
+/// concurrently with one FFT scratch buffer per worker. Each column's analytic
+/// signal depends only on that column, so the image is bitwise identical for
+/// every `num_threads`.
+///
+/// # Errors
+///
+/// Same as [`rf_to_iq`].
+pub fn rf_to_iq_with_threads(rf: &[f32], grid: &ImagingGrid, num_threads: usize) -> BeamformResult<IqImage> {
     if rf.len() != grid.num_pixels() {
         return Err(BeamformError::ShapeMismatch {
             expected: format!("{} pixels", grid.num_pixels()),
@@ -153,18 +169,15 @@ pub fn rf_to_iq(rf: &[f32], grid: &ImagingGrid) -> BeamformResult<IqImage> {
     }
     let rows = grid.num_rows();
     let cols = grid.num_cols();
+    let columns: Vec<Vec<f32>> = (0..cols).map(|col| (0..rows).map(|row| rf[row * cols + col]).collect()).collect();
+    let analytic = analytic_signal_batch(&columns, num_threads).map_err(|_| BeamformError::InvalidParameter {
+        name: "rf",
+        reason: "analytic signal failed on empty column".into(),
+    })?;
     let mut image = IqImage::zeros(grid.clone());
-    let mut column = vec![0.0f32; rows];
-    for col in 0..cols {
-        for row in 0..rows {
-            column[row] = rf[row * cols + col];
-        }
-        let analytic = analytic_signal(&column).map_err(|_| BeamformError::InvalidParameter {
-            name: "rf",
-            reason: "analytic signal failed on empty column".into(),
-        })?;
-        for row in 0..rows {
-            *image.value_mut(row, col) = analytic[row];
+    for (col, column) in analytic.iter().enumerate() {
+        for (row, value) in column.iter().enumerate() {
+            *image.value_mut(row, col) = *value;
         }
     }
     Ok(image)

@@ -14,6 +14,8 @@
 //! * [`iq`] — IQ conversion of beamformed RF columns,
 //! * [`bmode`] — envelope detection, log compression and the B-mode image container,
 //! * [`pipeline`] — a uniform [`pipeline::Beamformer`] trait plus end-to-end helpers,
+//! * [`plan`] — precomputed delay/apodization tables ([`plan::BeamformPlan`]) and the
+//!   plan-driven gather kernels that amortise the per-frame geometry across a stream,
 //! * [`flops`] — GOPs/frame accounting for the classical beamformers.
 //!
 //! # Example
@@ -43,11 +45,13 @@ pub mod iq;
 pub mod linalg;
 pub mod mvdr;
 pub mod pipeline;
+pub mod plan;
 pub mod tof;
 
 pub use bmode::BModeImage;
 pub use grid::ImagingGrid;
 pub use iq::IqImage;
+pub use plan::{BeamformPlan, FrameFormat, PlannedDas, PlannedMvdr};
 pub use tof::TofCube;
 
 use std::error::Error;

@@ -14,9 +14,10 @@
 use crate::grid::ImagingGrid;
 use crate::iq::IqImage;
 use crate::linalg::{hermitian_dot, ComplexMatrix};
+use crate::plan::BeamformPlan;
 use crate::{BeamformError, BeamformResult};
 use ultrasound::{ChannelData, LinearArray, PlaneWave};
-use usdsp::hilbert::analytic_signal;
+use usdsp::hilbert::analytic_signal_batch;
 use usdsp::interp::{sample_at_complex, InterpMethod};
 use usdsp::Complex32;
 
@@ -113,20 +114,113 @@ impl Mvdr {
             });
         }
         let channels = data.num_channels();
-        let l = self.effective_subaperture(channels);
-        let rows = grid.num_rows();
-        let cols = grid.num_cols();
         let fs = data.sampling_frequency();
         let start_time = data.start_time();
         let element_xs = array.element_positions();
 
-        // Analytic (complex) signal per channel, computed once.
-        let analytic: Vec<Vec<Complex32>> = (0..channels)
-            .map(|ch| analytic_signal(&data.channel(ch)).unwrap_or_default())
-            .collect();
+        // Analytic (complex) signal per channel, computed once — per-channel
+        // parallel with one FFT scratch per worker.
+        let analytic = Self::analytic_channels(data, num_threads);
 
+        let pixels = self.solve_rows(grid, channels, num_threads, |row, col, aligned| {
+            let z = grid.z(row);
+            let x = grid.x(col);
+            let t_tx = self.transmit.transmit_delay(x, z, sound_speed);
+            for (ch, slot) in aligned.iter_mut().enumerate() {
+                let dx = x - element_xs[ch];
+                let t_rx = (dx * dx + z * z).sqrt() / sound_speed;
+                let idx = (t_tx + t_rx - start_time) * fs;
+                *slot = sample_at_complex(&analytic[ch], idx, self.interpolation);
+            }
+        })?;
+        IqImage::from_data(pixels, grid.clone())
+    }
+
+    /// [`Mvdr::beamform_iq`] through a precomputed dense [`BeamformPlan`]
+    /// (see [`BeamformPlan::for_mvdr`]), using the workspace-default worker
+    /// threads.
+    ///
+    /// The channel-alignment step replays the plan's delay/interpolation
+    /// tables instead of recomputing the round-trip geometry per pixel; the
+    /// per-pixel covariance solve is unchanged. Bitwise identical to the
+    /// direct path for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeamformError::InvalidParameter`] when the plan does not
+    /// match this configuration, [`BeamformError::ShapeMismatch`] on a frame
+    /// mismatch, plus the direct path's numerical errors.
+    pub fn beamform_iq_planned(&self, data: &ChannelData, plan: &BeamformPlan) -> BeamformResult<IqImage> {
+        self.beamform_iq_planned_with_threads(data, plan, runtime::default_threads())
+    }
+
+    /// [`Mvdr::beamform_iq_planned`] with an explicit worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Mvdr::beamform_iq_planned`].
+    pub fn beamform_iq_planned_with_threads(
+        &self,
+        data: &ChannelData,
+        plan: &BeamformPlan,
+        num_threads: usize,
+    ) -> BeamformResult<IqImage> {
+        if self.diagonal_loading < 0.0 {
+            return Err(BeamformError::InvalidParameter { name: "diagonal_loading", reason: "must be non-negative".into() });
+        }
+        if !plan.is_dense() || plan.method() != self.interpolation || plan.transmit() != self.transmit {
+            return Err(BeamformError::InvalidParameter {
+                name: "plan",
+                reason: "plan does not match this MVDR configuration (build it with BeamformPlan::for_mvdr)".into(),
+            });
+        }
+        plan.check_frame(data)?;
+        let channels = data.num_channels();
+        let n = data.num_samples();
+        let analytic = Self::analytic_channels(data, num_threads);
+        // Channel-major flat layout for the plan's absolute tap indices.
+        let mut flat = vec![Complex32::ZERO; channels * n];
+        for (ch, trace) in analytic.iter().enumerate() {
+            flat[ch * n..ch * n + trace.len()].copy_from_slice(trace);
+        }
+        let grid = plan.grid().clone();
+        let cols = grid.num_cols();
+        let pixels = self.solve_rows(&grid, channels, num_threads, |row, col, aligned| {
+            plan.align_pixel_into(row * cols + col, &flat, aligned);
+        })?;
+        IqImage::from_data(pixels, grid)
+    }
+
+    /// Per-channel analytic signals, parallel with shared FFT scratch.
+    /// Zero-sample acquisitions yield empty traces (which sample to zero),
+    /// matching the per-channel `unwrap_or_default` this replaces.
+    fn analytic_channels(data: &ChannelData, num_threads: usize) -> Vec<Vec<Complex32>> {
+        if data.num_samples() == 0 {
+            return vec![Vec::new(); data.num_channels()];
+        }
+        analytic_signal_batch(&data.to_channel_traces(), num_threads)
+            .expect("analytic_signal_batch: traces validated non-empty")
+    }
+
+    /// The shared per-pixel sweep: align each pixel's channel vector via
+    /// `align(row, col, &mut aligned)`, then run the MVDR solve. Rows are
+    /// distributed over disjoint chunks, so the output is bitwise identical
+    /// for every `num_threads`.
+    fn solve_rows<F>(
+        &self,
+        grid: &ImagingGrid,
+        channels: usize,
+        num_threads: usize,
+        align: F,
+    ) -> BeamformResult<Vec<Complex32>>
+    where
+        F: Fn(usize, usize, &mut [Complex32]) + Sync,
+    {
+        let l = self.effective_subaperture(channels);
         let steering = vec![Complex32::ONE; l];
         let num_subapertures = channels - l + 1;
+        let rows = grid.num_rows();
+        let cols = grid.num_cols();
 
         // Keyed by global pixel index so the reported error is the row-order
         // first one, independent of the thread count (same contract as the
@@ -136,20 +230,13 @@ impl Mvdr {
         runtime::par_map_rows(&mut pixels, cols, num_threads, |first_row, block| {
             let mut aligned = vec![Complex32::ZERO; channels];
             for (local, out_row) in block.chunks_mut(cols).enumerate() {
-                let z = grid.z(first_row + local);
+                let row = first_row + local;
                 for (col, out) in out_row.iter_mut().enumerate() {
-                    let x = grid.x(col);
-                    let t_tx = self.transmit.transmit_delay(x, z, sound_speed);
-                    for ch in 0..channels {
-                        let dx = x - element_xs[ch];
-                        let t_rx = (dx * dx + z * z).sqrt() / sound_speed;
-                        let idx = (t_tx + t_rx - start_time) * fs;
-                        aligned[ch] = sample_at_complex(&analytic[ch], idx, self.interpolation);
-                    }
+                    align(row, col, &mut aligned);
                     match self.pixel_value(&aligned, l, num_subapertures, &steering) {
                         Ok(v) => *out = v,
                         Err(e) => {
-                            let pixel = (first_row + local) * cols + col;
+                            let pixel = row * cols + col;
                             let mut slot = failure.lock().expect("mvdr mutex poisoned");
                             if slot.as_ref().is_none_or(|(p, _)| pixel < *p) {
                                 *slot = Some((pixel, e));
@@ -163,7 +250,7 @@ impl Mvdr {
         if let Some((_, e)) = failure.into_inner().expect("mvdr mutex poisoned") {
             return Err(e);
         }
-        IqImage::from_data(pixels, grid.clone())
+        Ok(pixels)
     }
 
     fn pixel_value(

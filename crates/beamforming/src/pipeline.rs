@@ -2,10 +2,12 @@
 
 pub use crate::das::DelayAndSum;
 pub use crate::mvdr::Mvdr;
+pub use crate::plan::{PlannedDas, PlannedMvdr};
 
 use crate::bmode::BModeImage;
 use crate::grid::ImagingGrid;
 use crate::iq::IqImage;
+use crate::plan::FrameFormat;
 use crate::BeamformResult;
 use ultrasound::{ChannelData, LinearArray};
 
@@ -107,6 +109,17 @@ pub trait Beamformer: Sync {
         runtime::par_collect_budgeted(frames.len(), outer, inner, |i| self.beamform(&frames[i], array, grid, sound_speed))
     }
 
+    /// Warm any per-stream caches for frames of the given format.
+    ///
+    /// Beamformers that amortise per-stream precomputation — the planned
+    /// wrappers ([`PlannedDas`], [`PlannedMvdr`]) build their
+    /// [`crate::plan::BeamformPlan`] here — override this so a serving
+    /// front-end can pay the one-time setup at engine construction instead of
+    /// on the first streamed frame. The default is a no-op; implementations
+    /// must treat it as best-effort (configuration errors surface on the next
+    /// [`Beamformer::beamform`] call, not here).
+    fn prepare(&self, _array: &LinearArray, _grid: &ImagingGrid, _sound_speed: f32, _frame: &FrameFormat) {}
+
     /// Convenience: beamform and log-compress to a B-mode image.
     ///
     /// # Errors
@@ -154,6 +167,43 @@ impl Beamformer for Mvdr {
         sound_speed: f32,
     ) -> BeamformResult<IqImage> {
         self.beamform_iq(data, array, grid, sound_speed)
+    }
+}
+
+/// Shared-ownership delegation: an `Arc<B>` beamforms exactly like `B`.
+///
+/// This lets one beamformer instance — and, for the planned wrappers, one
+/// plan cache — be shared between a serving engine and its caller (e.g. to
+/// inspect [`PlannedDas::plans_built`] while the engine owns the other
+/// handle).
+impl<B: Beamformer + Send + Sync + ?Sized> Beamformer for std::sync::Arc<B> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn beamform(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<IqImage> {
+        (**self).beamform(data, array, grid, sound_speed)
+    }
+
+    fn beamform_batch_results(
+        &self,
+        frames: &[ChannelData],
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        num_threads: usize,
+    ) -> Vec<BeamformResult<IqImage>> {
+        (**self).beamform_batch_results(frames, array, grid, sound_speed, num_threads)
+    }
+
+    fn prepare(&self, array: &LinearArray, grid: &ImagingGrid, sound_speed: f32, frame: &FrameFormat) {
+        (**self).prepare(array, grid, sound_speed, frame)
     }
 }
 

@@ -1,0 +1,1082 @@
+//! Precomputed beamforming plans: per-pixel×channel delay / apodization tables
+//! and the gather kernels that consume them.
+//!
+//! The direct DAS / ToF / MVDR hot loops recompute the same `sqrt`-heavy
+//! round-trip geometry for *every frame* of a stream, even though probe, grid,
+//! transmit and sound speed are fixed per stream. A [`BeamformPlan`] hoists
+//! that work out of the frame loop: one precomputation per
+//! `(array, grid, transmit, sound_speed, apodization, interpolation, frame
+//! format)` stores, in flat cache-friendly arrays, each pixel×channel's
+//! integer base sample index, fractional interpolation weight(s) and
+//! apodization weight — with zero-weight channels compacted out — so every
+//! subsequent frame reduces the inner loop to two fused multiply-adds over
+//! precomputed tables.
+//!
+//! # Bitwise identity
+//!
+//! The planned kernels are **bitwise identical** to the direct paths
+//! ([`DelayAndSum::beamform_rf_with_threads`],
+//! [`crate::tof::tof_correct_with_threads`],
+//! [`Mvdr::beamform_iq_with_threads`]): the builder evaluates exactly the same
+//! f32 expressions for delays and interpolation weights the direct loops
+//! evaluate per frame, and the gathers reproduce the interpolators'
+//! arithmetic operation-for-operation (see `two_taps` and the Catmull-Rom
+//! kernel shared with [`usdsp::interp`]). The equivalence tests in
+//! `tests/plan_equivalence.rs` assert equality at the bit level across thread
+//! counts, interpolation methods and apodization modes.
+//!
+//! # Memory footprint
+//!
+//! A plan stores per retained pixel×channel entry: two `u32` tap indices and
+//! two `f32` weights (Nearest/Linear), plus one `f32` apodization weight for
+//! DAS plans, plus one `u32` channel id for compacted Cubic plans; and one
+//! `u32` offset per pixel. For the paper's 368 × 128 grid with 128 channels
+//! and full-aperture (boxcar) linear DAS that is
+//! `368·128·128 · (2·4 + 2·4 + 4) B ≈ 121 MB` — see
+//! [`BeamformPlan::memory_bytes`]. Dynamic-aperture apodizations shrink this
+//! roughly by the mean fraction of active channels.
+//!
+//! # Lifecycle
+//!
+//! Build once per stream (construction parallelises over grid rows via
+//! [`runtime::par_collect`]), then reuse for every frame whose
+//! [`FrameFormat`] matches. [`PlannedDas`] and [`PlannedMvdr`] wrap the
+//! classical beamformers with an internal single-slot plan cache keyed on
+//! `(probe, grid, sound speed, frame format)` and implement
+//! [`crate::pipeline::Beamformer`], so the `serve` crate's `BeamformEngine`
+//! amortises the plan across a whole stream and transparently rebuilds it
+//! when the stream's frame format changes.
+
+use crate::das::DelayAndSum;
+use crate::grid::ImagingGrid;
+use crate::iq::{rf_to_iq_with_threads, IqImage};
+use crate::mvdr::Mvdr;
+use crate::tof::TofCube;
+use crate::{BeamformError, BeamformResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use ultrasound::{ChannelData, LinearArray, PlaneWave};
+use usdsp::interp::{catmull_rom, InterpMethod};
+use usdsp::Complex32;
+
+/// The per-stream frame layout a [`BeamformPlan`] is specialised to.
+///
+/// Sample indices depend on the sampling frequency and acquisition start time,
+/// and tap compaction depends on the trace length, so a plan is only valid for
+/// frames that match this format exactly (checked on every planned call).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameFormat {
+    /// Samples per receive channel.
+    pub num_samples: usize,
+    /// Sampling frequency in Hz.
+    pub sampling_frequency: f32,
+    /// Time of the first sample relative to transmit, in seconds.
+    pub start_time: f32,
+}
+
+impl FrameFormat {
+    /// The format of one acquisition.
+    pub fn of(data: &ChannelData) -> Self {
+        Self {
+            num_samples: data.num_samples(),
+            sampling_frequency: data.sampling_frequency(),
+            start_time: data.start_time(),
+        }
+    }
+}
+
+/// What a plan was built for (used to validate planned calls).
+#[derive(Debug, Clone, PartialEq)]
+enum PlanKind {
+    /// DAS plan: compacted entries carrying apodization weights; the full
+    /// source configuration is kept for validation.
+    Das(DelayAndSum),
+    /// Dense per-channel sampling plan (ToF correction / MVDR alignment):
+    /// every pixel has exactly `channels` entries in channel order, no
+    /// apodization.
+    Dense {
+        /// Plane-wave transmit the delays were computed for.
+        transmit: PlaneWave,
+    },
+}
+
+/// A precomputed delay/interpolation/apodization table for one
+/// `(array, grid, transmit, sound_speed, apodization, interpolation, frame
+/// format)` tuple, plus the gather kernels that replay it per frame.
+///
+/// Tap indices are absolute offsets into a channel-major flat trace buffer
+/// (`flat[ch * num_samples + k]`), so the gather inner loop is pure
+/// load-multiply-accumulate with no per-sample geometry, branching or index
+/// arithmetic.
+///
+/// ```
+/// use beamforming::das::DelayAndSum;
+/// use beamforming::grid::ImagingGrid;
+/// use beamforming::plan::{BeamformPlan, FrameFormat};
+/// use ultrasound::{ChannelData, LinearArray};
+///
+/// let array = LinearArray::small_test_array();
+/// let grid = ImagingGrid::for_array(&array, 0.01, 0.005, 8, 8);
+/// let data = ChannelData::zeros(256, array.num_elements(), array.sampling_frequency());
+/// let das = DelayAndSum::default();
+/// let plan = BeamformPlan::for_das(&das, &array, &grid, 1540.0, FrameFormat::of(&data))?;
+/// let planned = plan.beamform_rf(&data)?;
+/// let direct = das.beamform_rf(&data, &array, &grid, 1540.0)?;
+/// assert_eq!(planned, direct);
+/// # Ok::<(), beamforming::BeamformError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeamformPlan {
+    grid: ImagingGrid,
+    channels: usize,
+    method: InterpMethod,
+    frame: FrameFormat,
+    sound_speed: f32,
+    kind: PlanKind,
+    /// Per-pixel entry ranges: pixel `p` owns entries `offsets[p]..offsets[p+1]`.
+    offsets: Vec<u32>,
+    /// First tap, absolute into the channel-major flat buffer. For Cubic this
+    /// is the interpolation base index `i1` (`u32::MAX` marks an out-of-window
+    /// sample that must gather exactly `0.0`).
+    tap0: Vec<u32>,
+    /// Second tap (Nearest/Linear only; empty for Cubic).
+    tap1: Vec<u32>,
+    /// First tap weight; for Cubic the fractional position `t`.
+    w0: Vec<f32>,
+    /// Second tap weight (Nearest/Linear only; empty for Cubic).
+    w1: Vec<f32>,
+    /// Entry channel ids — only needed (and only populated) for compacted
+    /// Cubic plans, whose bounds checks need the channel segment; dense plans
+    /// infer the channel from the entry position.
+    channel: Vec<u32>,
+    /// Per-entry apodization weight (DAS plans only; empty for dense plans).
+    apod: Vec<f32>,
+}
+
+/// Per-row builder output, concatenated (in row order) into the final plan.
+#[derive(Default)]
+struct RowEntries {
+    counts: Vec<u32>,
+    tap0: Vec<u32>,
+    tap1: Vec<u32>,
+    w0: Vec<f32>,
+    w1: Vec<f32>,
+    channel: Vec<u32>,
+    apod: Vec<f32>,
+}
+
+/// Two-tap gather coefficients reproducing `usdsp::interp::sample_at` for
+/// Nearest/Linear at fractional index `idx` over an `n`-sample trace:
+/// `flat[tap0]*w0 + flat[tap1]*w1` is bitwise identical to the direct call.
+///
+/// Out-of-window samples use weights `(0.0, -0.0)`, which sum to exactly
+/// `+0.0` for every finite sample value — matching the direct path's literal
+/// `0.0` contribution.
+fn two_taps(idx: f32, n: usize, method: InterpMethod) -> (usize, usize, f32, f32) {
+    if !idx.is_finite() || idx < 0.0 || idx > (n - 1) as f32 {
+        return (0, 0, 0.0, -0.0);
+    }
+    match method {
+        InterpMethod::Nearest => {
+            let i = (idx.round() as usize).min(n - 1);
+            (i, i, 1.0, 0.0)
+        }
+        InterpMethod::Linear => {
+            let i0 = idx.floor() as usize;
+            let frac = idx - i0 as f32;
+            if i0 + 1 >= n {
+                (n - 1, n - 1, 1.0, 0.0)
+            } else {
+                (i0, i0 + 1, 1.0 - frac, frac)
+            }
+        }
+        InterpMethod::Cubic => unreachable!("cubic uses the base+t representation"),
+    }
+}
+
+impl BeamformPlan {
+    /// Builds a DAS plan using the workspace-default worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeamformError::InvalidParameter`] for an invalid apodization
+    /// or non-positive sound speed (the same validation as
+    /// [`DelayAndSum::beamform_rf`]).
+    pub fn for_das(
+        das: &DelayAndSum,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        frame: FrameFormat,
+    ) -> BeamformResult<Self> {
+        Self::for_das_with_threads(das, array, grid, sound_speed, frame, runtime::default_threads())
+    }
+
+    /// [`BeamformPlan::for_das`] with an explicit worker-thread count for the
+    /// (row-parallel) construction. The resulting plan is identical for every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BeamformPlan::for_das`].
+    pub fn for_das_with_threads(
+        das: &DelayAndSum,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        frame: FrameFormat,
+        num_threads: usize,
+    ) -> BeamformResult<Self> {
+        das.apodization.validate()?;
+        Self::build(
+            array,
+            grid,
+            das.transmit,
+            sound_speed,
+            frame,
+            das.interpolation,
+            Some(das),
+            num_threads,
+        )
+    }
+
+    /// Builds a dense ToF-correction plan (linear interpolation, one entry per
+    /// pixel×channel) using the workspace-default worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeamformError::InvalidParameter`] for a non-positive sound
+    /// speed.
+    pub fn for_tof(
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        tx: PlaneWave,
+        sound_speed: f32,
+        frame: FrameFormat,
+    ) -> BeamformResult<Self> {
+        Self::for_tof_with_threads(array, grid, tx, sound_speed, frame, runtime::default_threads())
+    }
+
+    /// [`BeamformPlan::for_tof`] with an explicit worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BeamformPlan::for_tof`].
+    pub fn for_tof_with_threads(
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        tx: PlaneWave,
+        sound_speed: f32,
+        frame: FrameFormat,
+        num_threads: usize,
+    ) -> BeamformResult<Self> {
+        Self::build(array, grid, tx, sound_speed, frame, InterpMethod::Linear, None, num_threads)
+    }
+
+    /// Builds a dense channel-alignment plan for an MVDR configuration
+    /// (its transmit + interpolation method) using the workspace-default
+    /// worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeamformError::InvalidParameter`] for a non-positive sound
+    /// speed.
+    pub fn for_mvdr(
+        mvdr: &Mvdr,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        frame: FrameFormat,
+    ) -> BeamformResult<Self> {
+        Self::for_mvdr_with_threads(mvdr, array, grid, sound_speed, frame, runtime::default_threads())
+    }
+
+    /// [`BeamformPlan::for_mvdr`] with an explicit worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BeamformPlan::for_mvdr`].
+    pub fn for_mvdr_with_threads(
+        mvdr: &Mvdr,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        frame: FrameFormat,
+        num_threads: usize,
+    ) -> BeamformResult<Self> {
+        Self::build(array, grid, mvdr.transmit, sound_speed, frame, mvdr.interpolation, None, num_threads)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        tx: PlaneWave,
+        sound_speed: f32,
+        frame: FrameFormat,
+        method: InterpMethod,
+        das: Option<&DelayAndSum>,
+        num_threads: usize,
+    ) -> BeamformResult<Self> {
+        if sound_speed <= 0.0 {
+            return Err(BeamformError::InvalidParameter { name: "sound_speed", reason: "must be positive".into() });
+        }
+        let rows = grid.num_rows();
+        let cols = grid.num_cols();
+        let channels = array.num_elements();
+        let element_xs = array.element_positions().to_vec();
+        let n = frame.num_samples;
+        let fs = frame.sampling_frequency;
+        let start_time = frame.start_time;
+        // Same hoisting as the direct DAS path: pixel-independent weights are
+        // computed once, so their values (and the zero-compaction they imply)
+        // match the direct loop's exactly.
+        let fixed_weights = das.and_then(|d| {
+            if d.apodization.is_pixel_independent() {
+                Some(d.apodization.weights(array, 0.0, 0.0))
+            } else {
+                None
+            }
+        });
+        let cubic = method == InterpMethod::Cubic;
+        let compacted = das.is_some();
+
+        let row_entries: Vec<RowEntries> = runtime::par_collect(rows, num_threads, |row| {
+            let mut out = RowEntries { counts: Vec::with_capacity(cols), ..RowEntries::default() };
+            let mut scratch: Vec<f32> = Vec::with_capacity(channels);
+            let z = grid.z(row);
+            for col in 0..cols {
+                let x = grid.x(col);
+                let weights: Option<&[f32]> = match (das, &fixed_weights) {
+                    (None, _) => None,
+                    (Some(_), Some(fixed)) => Some(fixed.as_slice()),
+                    (Some(d), None) => {
+                        d.apodization.weights_into(array, x, z, &mut scratch);
+                        Some(scratch.as_slice())
+                    }
+                };
+                let t_tx = tx.transmit_delay(x, z, sound_speed);
+                let mut count = 0u32;
+                for ch in 0..channels {
+                    let w = match weights {
+                        Some(w) => {
+                            if w[ch] == 0.0 {
+                                // Mirrors the direct loop's `continue`: the
+                                // channel contributes nothing, compact it out.
+                                continue;
+                            }
+                            w[ch]
+                        }
+                        None => 1.0,
+                    };
+                    if n == 0 {
+                        // Degenerate zero-sample frames have nothing to tap;
+                        // the gathers special-case the empty plan instead.
+                        continue;
+                    }
+                    let dx = x - element_xs[ch];
+                    let t_rx = (dx * dx + z * z).sqrt() / sound_speed;
+                    let idx = (t_tx + t_rx - start_time) * fs;
+                    let base = ch * n;
+                    if cubic {
+                        if !idx.is_finite() || idx < 0.0 || idx > (n - 1) as f32 {
+                            out.tap0.push(u32::MAX);
+                            out.w0.push(0.0);
+                        } else {
+                            let i1 = idx.floor() as usize;
+                            out.tap0.push((base + i1) as u32);
+                            out.w0.push(idx - i1 as f32);
+                        }
+                        if compacted {
+                            out.channel.push(ch as u32);
+                        }
+                    } else {
+                        let (t0, t1, w0, w1) = two_taps(idx, n, method);
+                        out.tap0.push((base + t0) as u32);
+                        out.tap1.push((base + t1) as u32);
+                        out.w0.push(w0);
+                        out.w1.push(w1);
+                    }
+                    if compacted {
+                        out.apod.push(w);
+                    }
+                    count += 1;
+                }
+                out.counts.push(count);
+            }
+            out
+        });
+
+        let total: usize = row_entries.iter().map(|r| r.tap0.len()).sum();
+        if total >= u32::MAX as usize {
+            return Err(BeamformError::InvalidParameter {
+                name: "grid",
+                reason: format!("plan would hold {total} entries, overflowing its u32 offset tables"),
+            });
+        }
+        let mut plan = Self {
+            grid: grid.clone(),
+            channels,
+            method,
+            frame,
+            sound_speed,
+            kind: match das {
+                Some(d) => PlanKind::Das(d.clone()),
+                None => PlanKind::Dense { transmit: tx },
+            },
+            offsets: Vec::with_capacity(rows * cols + 1),
+            tap0: Vec::with_capacity(total),
+            tap1: Vec::with_capacity(if cubic { 0 } else { total }),
+            w0: Vec::with_capacity(total),
+            w1: Vec::with_capacity(if cubic { 0 } else { total }),
+            channel: Vec::with_capacity(if cubic && compacted { total } else { 0 }),
+            apod: Vec::with_capacity(if compacted { total } else { 0 }),
+        };
+        plan.offsets.push(0);
+        let mut running = 0u32;
+        for row in row_entries {
+            for count in row.counts {
+                running += count;
+                plan.offsets.push(running);
+            }
+            plan.tap0.extend_from_slice(&row.tap0);
+            plan.tap1.extend_from_slice(&row.tap1);
+            plan.w0.extend_from_slice(&row.w0);
+            plan.w1.extend_from_slice(&row.w1);
+            plan.channel.extend_from_slice(&row.channel);
+            plan.apod.extend_from_slice(&row.apod);
+        }
+        debug_assert_eq!(plan.offsets.len(), rows * cols + 1);
+        debug_assert_eq!(running as usize, total);
+        Ok(plan)
+    }
+
+    /// The imaging grid the plan reconstructs onto.
+    pub fn grid(&self) -> &ImagingGrid {
+        &self.grid
+    }
+
+    /// Number of receive channels the plan expects.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Interpolation method baked into the tap weights.
+    pub fn method(&self) -> InterpMethod {
+        self.method
+    }
+
+    /// The frame format the plan is specialised to.
+    pub fn frame(&self) -> FrameFormat {
+        self.frame
+    }
+
+    /// Sound speed (m/s) the delays were computed with.
+    pub fn sound_speed(&self) -> f32 {
+        self.sound_speed
+    }
+
+    /// The DAS configuration a [`BeamformPlan::for_das`] plan was built from
+    /// (`None` for dense ToF/MVDR plans).
+    pub fn das_config(&self) -> Option<&DelayAndSum> {
+        match &self.kind {
+            PlanKind::Das(das) => Some(das),
+            PlanKind::Dense { .. } => None,
+        }
+    }
+
+    /// The plane-wave transmit the delays were computed for.
+    pub fn transmit(&self) -> PlaneWave {
+        match &self.kind {
+            PlanKind::Das(das) => das.transmit,
+            PlanKind::Dense { transmit } => *transmit,
+        }
+    }
+
+    /// Whether the plan is dense (exactly one entry per pixel×channel, in
+    /// channel order — the ToF/MVDR layout) rather than apodization-compacted.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.kind, PlanKind::Dense { .. })
+    }
+
+    /// Total number of retained pixel×channel entries.
+    pub fn num_entries(&self) -> usize {
+        self.tap0.len()
+    }
+
+    /// Approximate heap footprint of the tables in bytes
+    /// (`entries · (taps + weights [+ apod] [+ channel]) + offsets`).
+    pub fn memory_bytes(&self) -> usize {
+        4 * (self.offsets.len() + self.tap0.len() + self.tap1.len() + self.channel.len())
+            + 4 * (self.w0.len() + self.w1.len() + self.apod.len())
+    }
+
+    /// Validates that one acquisition matches the planned frame format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeamformError::ShapeMismatch`] when the channel count or
+    /// frame format differ from what the plan was built for.
+    pub fn check_frame(&self, data: &ChannelData) -> BeamformResult<()> {
+        if data.num_channels() != self.channels {
+            return Err(BeamformError::ShapeMismatch {
+                expected: format!("{} channels", self.channels),
+                actual: format!("{}", data.num_channels()),
+            });
+        }
+        let format = FrameFormat::of(data);
+        if format != self.frame {
+            return Err(BeamformError::ShapeMismatch {
+                expected: format!(
+                    "frame format {} samples @ {} Hz, t0 {}",
+                    self.frame.num_samples, self.frame.sampling_frequency, self.frame.start_time
+                ),
+                actual: format!(
+                    "{} samples @ {} Hz, t0 {}",
+                    format.num_samples, format.sampling_frequency, format.start_time
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Beamforms one RF image through the plan using the workspace-default
+    /// worker threads. Bitwise identical to
+    /// [`DelayAndSum::beamform_rf`] with the plan's source configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeamformError::InvalidParameter`] when the plan is not a DAS
+    /// plan and [`BeamformError::ShapeMismatch`] when the frame does not match
+    /// the planned format.
+    pub fn beamform_rf(&self, data: &ChannelData) -> BeamformResult<Vec<f32>> {
+        self.beamform_rf_with_threads(data, runtime::default_threads())
+    }
+
+    /// [`BeamformPlan::beamform_rf`] with an explicit worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BeamformPlan::beamform_rf`].
+    pub fn beamform_rf_with_threads(&self, data: &ChannelData, num_threads: usize) -> BeamformResult<Vec<f32>> {
+        if self.das_config().is_none() {
+            return Err(BeamformError::InvalidParameter {
+                name: "plan",
+                reason: "plan was not built for DAS (use BeamformPlan::for_das)".into(),
+            });
+        }
+        self.check_frame(data)?;
+        let cols = self.grid.num_cols();
+        let flat = flatten_traces(data);
+        let n = self.frame.num_samples;
+        let mut rf = vec![0.0f32; self.grid.num_pixels()];
+        runtime::par_map_rows(&mut rf, cols, num_threads, |first_row, block| {
+            let first_pixel = first_row * cols;
+            for (i, out) in block.iter_mut().enumerate() {
+                let pixel = first_pixel + i;
+                let lo = self.offsets[pixel] as usize;
+                let hi = self.offsets[pixel + 1] as usize;
+                let mut acc = 0.0f32;
+                match self.method {
+                    InterpMethod::Nearest | InterpMethod::Linear => {
+                        for e in lo..hi {
+                            let v = flat[self.tap0[e] as usize] * self.w0[e]
+                                + flat[self.tap1[e] as usize] * self.w1[e];
+                            acc += self.apod[e] * v;
+                        }
+                    }
+                    InterpMethod::Cubic => {
+                        for e in lo..hi {
+                            acc += self.apod[e] * self.cubic_real(&flat, e, n);
+                        }
+                    }
+                }
+                *out = acc;
+            }
+        });
+        Ok(rf)
+    }
+
+    /// Beamforms one IQ image through the plan (planned RF gather followed by
+    /// the per-column analytic signal) using the workspace-default worker
+    /// threads. Bitwise identical to [`DelayAndSum::beamform_iq`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BeamformPlan::beamform_rf`].
+    pub fn beamform_iq(&self, data: &ChannelData) -> BeamformResult<IqImage> {
+        self.beamform_iq_with_threads(data, runtime::default_threads())
+    }
+
+    /// [`BeamformPlan::beamform_iq`] with an explicit worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BeamformPlan::beamform_rf`].
+    pub fn beamform_iq_with_threads(&self, data: &ChannelData, num_threads: usize) -> BeamformResult<IqImage> {
+        let rf = self.beamform_rf_with_threads(data, num_threads)?;
+        rf_to_iq_with_threads(&rf, &self.grid, num_threads)
+    }
+
+    /// Computes the ToF-corrected cube through a dense plan using the
+    /// workspace-default worker threads. Bitwise identical to
+    /// [`crate::tof::tof_correct`] for a plan built with
+    /// [`BeamformPlan::for_tof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BeamformError::InvalidParameter`] when the plan is not dense
+    /// and [`BeamformError::ShapeMismatch`] on a frame-format mismatch.
+    pub fn tof_correct(&self, data: &ChannelData) -> BeamformResult<TofCube> {
+        self.tof_correct_with_threads(data, runtime::default_threads())
+    }
+
+    /// [`BeamformPlan::tof_correct`] with an explicit worker-thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BeamformPlan::tof_correct`].
+    pub fn tof_correct_with_threads(&self, data: &ChannelData, num_threads: usize) -> BeamformResult<TofCube> {
+        if !self.is_dense() {
+            return Err(BeamformError::InvalidParameter {
+                name: "plan",
+                reason: "ToF correction needs a dense plan (use BeamformPlan::for_tof)".into(),
+            });
+        }
+        self.check_frame(data)?;
+        let rows = self.grid.num_rows();
+        let cols = self.grid.num_cols();
+        let channels = self.channels;
+        let n = self.frame.num_samples;
+        let flat = flatten_traces(data);
+        let mut cube = TofCube::zeros(rows, cols, channels);
+        if self.tap0.is_empty() {
+            // Zero-sample frames: every tap is out of window, the cube stays 0.
+            return Ok(cube);
+        }
+        let row_stride = cols * channels;
+        runtime::par_map_rows(cube.as_mut_slice(), row_stride, num_threads, |first_row, block| {
+            for (local, row_data) in block.chunks_mut(row_stride).enumerate() {
+                let row = first_row + local;
+                for col in 0..cols {
+                    let lo = self.offsets[row * cols + col] as usize;
+                    let pixel = &mut row_data[col * channels..(col + 1) * channels];
+                    match self.method {
+                        InterpMethod::Nearest | InterpMethod::Linear => {
+                            for (j, out) in pixel.iter_mut().enumerate() {
+                                let e = lo + j;
+                                *out = flat[self.tap0[e] as usize] * self.w0[e]
+                                    + flat[self.tap1[e] as usize] * self.w1[e];
+                            }
+                        }
+                        InterpMethod::Cubic => {
+                            for (j, out) in pixel.iter_mut().enumerate() {
+                                *out = self.cubic_real(&flat, lo + j, n);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        Ok(cube)
+    }
+
+    /// Gathers one pixel's aligned complex channel vector from a dense plan
+    /// (the MVDR alignment step). `analytic_flat` is the channel-major flat
+    /// analytic-signal buffer (`analytic_flat[ch * num_samples + k]`);
+    /// `aligned` must hold exactly [`BeamformPlan::channels`] slots.
+    ///
+    /// Bitwise identical to sampling each channel with
+    /// `usdsp::interp::sample_at_complex` at the pixel's round-trip delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan is not dense, `aligned` has the wrong length or
+    /// `pixel` is out of range.
+    pub fn align_pixel_into(&self, pixel: usize, analytic_flat: &[Complex32], aligned: &mut [Complex32]) {
+        assert!(self.is_dense(), "align_pixel_into needs a dense plan");
+        assert_eq!(aligned.len(), self.channels, "aligned buffer must have one slot per channel");
+        let lo = self.offsets[pixel] as usize;
+        let hi = self.offsets[pixel + 1] as usize;
+        if hi == lo {
+            // Zero-sample frames: every channel samples outside the window.
+            aligned.fill(Complex32::ZERO);
+            return;
+        }
+        let n = self.frame.num_samples;
+        match self.method {
+            InterpMethod::Nearest | InterpMethod::Linear => {
+                for (j, out) in aligned.iter_mut().enumerate() {
+                    let e = lo + j;
+                    *out = analytic_flat[self.tap0[e] as usize].scale(self.w0[e])
+                        + analytic_flat[self.tap1[e] as usize].scale(self.w1[e]);
+                }
+            }
+            InterpMethod::Cubic => {
+                for (j, out) in aligned.iter_mut().enumerate() {
+                    let e = lo + j;
+                    let base = self.tap0[e];
+                    if base == u32::MAX {
+                        *out = Complex32::ZERO;
+                        continue;
+                    }
+                    let t = self.w0[e];
+                    let seg_lo = (self.entry_channel(e) * n) as isize;
+                    let seg_hi = seg_lo + n as isize;
+                    let get = |i: isize| -> Complex32 {
+                        if i < seg_lo || i >= seg_hi {
+                            Complex32::ZERO
+                        } else {
+                            analytic_flat[i as usize]
+                        }
+                    };
+                    let i1 = base as isize;
+                    let (p0, p1, p2, p3) = (get(i1 - 1), get(i1), get(i1 + 1), get(i1 + 2));
+                    *out = Complex32::new(
+                        catmull_rom(p0.re, p1.re, p2.re, p3.re, t),
+                        catmull_rom(p0.im, p1.im, p2.im, p3.im, t),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Channel of entry `e` (explicit for compacted cubic plans, positional
+    /// for dense plans).
+    #[inline]
+    fn entry_channel(&self, e: usize) -> usize {
+        if self.channel.is_empty() {
+            e % self.channels
+        } else {
+            self.channel[e] as usize
+        }
+    }
+
+    /// Cubic gather for one real entry, reproducing `sample_at`'s Catmull-Rom
+    /// path (zero-padded outside the entry's channel segment).
+    #[inline]
+    fn cubic_real(&self, flat: &[f32], e: usize, n: usize) -> f32 {
+        let base = self.tap0[e];
+        if base == u32::MAX {
+            return 0.0;
+        }
+        let t = self.w0[e];
+        let seg_lo = (self.entry_channel(e) * n) as isize;
+        let seg_hi = seg_lo + n as isize;
+        let get = |i: isize| -> f32 {
+            if i < seg_lo || i >= seg_hi {
+                0.0
+            } else {
+                flat[i as usize]
+            }
+        };
+        let i1 = base as isize;
+        catmull_rom(get(i1 - 1), get(i1), get(i1 + 1), get(i1 + 2), t)
+    }
+}
+
+/// Transposes one acquisition into the channel-major flat layout the gather
+/// kernels index (`flat[ch * num_samples + k]`).
+pub(crate) fn flatten_traces(data: &ChannelData) -> Vec<f32> {
+    let n = data.num_samples();
+    let channels = data.num_channels();
+    let samples = data.as_slice();
+    let mut flat = vec![0.0f32; channels * n];
+    for k in 0..n {
+        let interleaved = &samples[k * channels..(k + 1) * channels];
+        for (ch, &v) in interleaved.iter().enumerate() {
+            flat[ch * n + k] = v;
+        }
+    }
+    flat
+}
+
+/// One cached plan plus the key it was built for.
+struct CachedPlan {
+    array: LinearArray,
+    grid: ImagingGrid,
+    sound_speed: f32,
+    frame: FrameFormat,
+    plan: Arc<BeamformPlan>,
+}
+
+impl CachedPlan {
+    fn matches(&self, array: &LinearArray, grid: &ImagingGrid, sound_speed: f32, frame: &FrameFormat) -> bool {
+        self.sound_speed == sound_speed && self.frame == *frame && &self.grid == grid && &self.array == array
+    }
+}
+
+/// Single-slot plan cache shared by the planned beamformer wrappers.
+struct PlanCache {
+    slot: Mutex<Option<CachedPlan>>,
+    builds: AtomicU64,
+}
+
+impl PlanCache {
+    fn new() -> Self {
+        Self { slot: Mutex::new(None), builds: AtomicU64::new(0) }
+    }
+
+    fn get_or_build(
+        &self,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        frame: &FrameFormat,
+        build: impl FnOnce() -> BeamformResult<BeamformPlan>,
+    ) -> BeamformResult<Arc<BeamformPlan>> {
+        let mut slot = self.slot.lock().expect("plan cache poisoned");
+        if let Some(cached) = slot.as_ref() {
+            if cached.matches(array, grid, sound_speed, frame) {
+                return Ok(Arc::clone(&cached.plan));
+            }
+        }
+        let plan = Arc::new(build()?);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(CachedPlan {
+            array: array.clone(),
+            grid: grid.clone(),
+            sound_speed,
+            frame: *frame,
+            plan: Arc::clone(&plan),
+        });
+        Ok(plan)
+    }
+
+    fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`DelayAndSum`] beamformer that routes every frame through a cached
+/// [`BeamformPlan`], rebuilding the plan only when the probe, grid, sound
+/// speed or frame format change.
+///
+/// Implements [`crate::pipeline::Beamformer`], so it is a drop-in for the
+/// direct `DelayAndSum` in batch and serving pipelines — with identical
+/// (bitwise) outputs and the per-frame delay math amortised away. Streams
+/// should warm the cache once via
+/// [`prepare`](crate::pipeline::Beamformer::prepare) (the serve crate's
+/// `BeamformEngine::warm` does this) so the first frame doesn't pay the build.
+pub struct PlannedDas {
+    das: DelayAndSum,
+    cache: PlanCache,
+}
+
+impl PlannedDas {
+    /// Wraps a DAS configuration with an (initially empty) plan cache.
+    pub fn new(das: DelayAndSum) -> Self {
+        Self { das, cache: PlanCache::new() }
+    }
+
+    /// The wrapped DAS configuration.
+    pub fn das(&self) -> &DelayAndSum {
+        &self.das
+    }
+
+    /// How many plans have been built over this wrapper's lifetime (1 for a
+    /// homogeneous stream; +1 per probe/grid/sound-speed/frame-format change).
+    pub fn plans_built(&self) -> u64 {
+        self.cache.builds()
+    }
+
+    fn plan_for(
+        &self,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        frame: &FrameFormat,
+    ) -> BeamformResult<Arc<BeamformPlan>> {
+        self.cache.get_or_build(array, grid, sound_speed, frame, || {
+            BeamformPlan::for_das(&self.das, array, grid, sound_speed, *frame)
+        })
+    }
+}
+
+impl crate::pipeline::Beamformer for PlannedDas {
+    fn name(&self) -> &str {
+        "DAS-planned"
+    }
+
+    fn beamform(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<IqImage> {
+        let frame = FrameFormat::of(data);
+        let plan = self.plan_for(array, grid, sound_speed, &frame)?;
+        plan.beamform_iq_with_threads(data, runtime::default_threads())
+    }
+
+    fn prepare(&self, array: &LinearArray, grid: &ImagingGrid, sound_speed: f32, frame: &FrameFormat) {
+        // Warm-up is best effort: invalid configurations surface their error
+        // on the first real `beamform` call instead.
+        let _ = self.plan_for(array, grid, sound_speed, frame);
+    }
+}
+
+/// An [`Mvdr`] beamformer that gathers its aligned channel vectors through a
+/// cached dense [`BeamformPlan`] (see [`PlannedDas`] for the caching
+/// contract). The per-pixel covariance solve is unchanged; only the
+/// per-frame delay/interpolation math is amortised.
+pub struct PlannedMvdr {
+    mvdr: Mvdr,
+    cache: PlanCache,
+}
+
+impl PlannedMvdr {
+    /// Wraps an MVDR configuration with an (initially empty) plan cache.
+    pub fn new(mvdr: Mvdr) -> Self {
+        Self { mvdr, cache: PlanCache::new() }
+    }
+
+    /// The wrapped MVDR configuration.
+    pub fn mvdr(&self) -> &Mvdr {
+        &self.mvdr
+    }
+
+    /// How many plans have been built over this wrapper's lifetime.
+    pub fn plans_built(&self) -> u64 {
+        self.cache.builds()
+    }
+
+    fn plan_for(
+        &self,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        frame: &FrameFormat,
+    ) -> BeamformResult<Arc<BeamformPlan>> {
+        self.cache.get_or_build(array, grid, sound_speed, frame, || {
+            BeamformPlan::for_mvdr(&self.mvdr, array, grid, sound_speed, *frame)
+        })
+    }
+}
+
+impl crate::pipeline::Beamformer for PlannedMvdr {
+    fn name(&self) -> &str {
+        "MVDR-planned"
+    }
+
+    fn beamform(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<IqImage> {
+        let frame = FrameFormat::of(data);
+        let plan = self.plan_for(array, grid, sound_speed, &frame)?;
+        self.mvdr.beamform_iq_planned_with_threads(data, &plan, runtime::default_threads())
+    }
+
+    fn prepare(&self, array: &LinearArray, grid: &ImagingGrid, sound_speed: f32, frame: &FrameFormat) {
+        let _ = self.plan_for(array, grid, sound_speed, frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Beamformer;
+
+    #[test]
+    fn two_taps_matches_sample_at_semantics() {
+        let signal = [1.0f32, -2.0, 3.0, -4.0];
+        for method in [InterpMethod::Nearest, InterpMethod::Linear] {
+            for idx in [-0.5f32, 0.0, 0.4, 1.5, 2.9, 3.0, 3.5, f32::NAN] {
+                let (t0, t1, w0, w1) = two_taps(idx, signal.len(), method);
+                let gathered = signal[t0] * w0 + signal[t1] * w1;
+                let direct = usdsp::interp::sample_at(&signal, idx, method);
+                assert_eq!(gathered.to_bits(), direct.to_bits(), "{method:?} idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_construction_is_identical_across_thread_counts() {
+        let array = LinearArray::small_test_array();
+        let grid = ImagingGrid::for_array(&array, 0.01, 0.008, 13, 7);
+        let frame = FrameFormat { num_samples: 300, sampling_frequency: array.sampling_frequency(), start_time: 0.0 };
+        let das = DelayAndSum::with_hann_aperture();
+        let reference = BeamformPlan::for_das_with_threads(&das, &array, &grid, 1540.0, frame, 1).unwrap();
+        for threads in [2, 3, 5, 16] {
+            let plan = BeamformPlan::for_das_with_threads(&das, &array, &grid, 1540.0, frame, threads).unwrap();
+            assert_eq!(plan, reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn dense_plan_has_one_entry_per_pixel_channel() {
+        let array = LinearArray::small_test_array();
+        let grid = ImagingGrid::for_array(&array, 0.01, 0.008, 6, 4);
+        let frame = FrameFormat { num_samples: 128, sampling_frequency: array.sampling_frequency(), start_time: 0.0 };
+        let plan = BeamformPlan::for_tof(&array, &grid, PlaneWave::zero_angle(), 1540.0, frame).unwrap();
+        assert!(plan.is_dense());
+        assert_eq!(plan.num_entries(), grid.num_pixels() * array.num_elements());
+        assert!(plan.memory_bytes() > 0);
+        assert_eq!(plan.channels(), array.num_elements());
+        assert_eq!(plan.method(), InterpMethod::Linear);
+        assert_eq!(plan.frame(), frame);
+        assert_eq!(plan.sound_speed(), 1540.0);
+        assert!(plan.das_config().is_none());
+    }
+
+    #[test]
+    fn plan_validates_inputs() {
+        let array = LinearArray::small_test_array();
+        let grid = ImagingGrid::for_array(&array, 0.01, 0.008, 6, 4);
+        let frame = FrameFormat { num_samples: 64, sampling_frequency: array.sampling_frequency(), start_time: 0.0 };
+        assert!(matches!(
+            BeamformPlan::for_das(&DelayAndSum::default(), &array, &grid, -1.0, frame),
+            Err(BeamformError::InvalidParameter { .. })
+        ));
+        let plan = BeamformPlan::for_das(&DelayAndSum::default(), &array, &grid, 1540.0, frame).unwrap();
+        // Wrong channel count.
+        let wrong = ChannelData::zeros(64, 8, array.sampling_frequency());
+        assert!(matches!(plan.beamform_rf(&wrong), Err(BeamformError::ShapeMismatch { .. })));
+        // Wrong sample count.
+        let wrong = ChannelData::zeros(65, array.num_elements(), array.sampling_frequency());
+        assert!(matches!(plan.beamform_rf(&wrong), Err(BeamformError::ShapeMismatch { .. })));
+        // Dense kernels reject DAS plans and vice versa.
+        let ok = ChannelData::zeros(64, array.num_elements(), array.sampling_frequency());
+        assert!(matches!(plan.tof_correct(&ok), Err(BeamformError::InvalidParameter { .. })));
+        let dense = BeamformPlan::for_tof(&array, &grid, PlaneWave::zero_angle(), 1540.0, frame).unwrap();
+        assert!(matches!(dense.beamform_rf(&ok), Err(BeamformError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn zero_sample_format_builds_an_empty_plan_and_rejects_real_frames() {
+        // `ChannelData` guarantees at least one sample, so a `num_samples: 0`
+        // format can only come from a hand-built `FrameFormat`: the plan is
+        // empty and every real acquisition fails the frame check.
+        let array = LinearArray::small_test_array();
+        let grid = ImagingGrid::for_array(&array, 0.01, 0.008, 4, 4);
+        let frame = FrameFormat { num_samples: 0, sampling_frequency: array.sampling_frequency(), start_time: 0.0 };
+        let das = DelayAndSum::default();
+        let plan = BeamformPlan::for_das(&das, &array, &grid, 1540.0, frame).unwrap();
+        assert_eq!(plan.num_entries(), 0);
+        let data = ChannelData::zeros(16, array.num_elements(), array.sampling_frequency());
+        assert!(matches!(plan.beamform_rf(&data), Err(BeamformError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn planned_das_caches_and_rebuilds() {
+        let array = LinearArray::small_test_array();
+        let grid = ImagingGrid::for_array(&array, 0.01, 0.008, 8, 6);
+        let planned = PlannedDas::new(DelayAndSum::default());
+        assert_eq!(planned.name(), "DAS-planned");
+        assert_eq!(planned.plans_built(), 0);
+        let a = ChannelData::zeros(128, array.num_elements(), array.sampling_frequency());
+        planned.beamform(&a, &array, &grid, 1540.0).unwrap();
+        planned.beamform(&a, &array, &grid, 1540.0).unwrap();
+        assert_eq!(planned.plans_built(), 1, "same stream must reuse the plan");
+        let b = ChannelData::zeros(200, array.num_elements(), array.sampling_frequency());
+        planned.beamform(&b, &array, &grid, 1540.0).unwrap();
+        assert_eq!(planned.plans_built(), 2, "format change must rebuild");
+        planned.prepare(&array, &grid, 1540.0, &FrameFormat::of(&b));
+        assert_eq!(planned.plans_built(), 2, "prepare must hit the warm cache");
+    }
+}

@@ -12,6 +12,7 @@
 //! cube is also exactly the input tensor of the Tiny-VBF and Tiny-CNN networks.
 
 use crate::grid::ImagingGrid;
+use crate::plan::BeamformPlan;
 use crate::{BeamformError, BeamformResult};
 use ultrasound::{ChannelData, LinearArray, PlaneWave};
 use usdsp::interp::{sample_at, InterpMethod};
@@ -74,6 +75,11 @@ impl TofCube {
     /// Flat view of the whole cube.
     pub fn as_slice(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Mutable flat view of the whole cube (row-major pixels × channels).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
     }
 
     /// Sums over the channel axis, producing a beamformed RF image (`rows × cols`)
@@ -212,6 +218,35 @@ pub fn tof_correct_with_threads(
         }
     });
     Ok(cube)
+}
+
+/// [`tof_correct`] through a precomputed dense [`BeamformPlan`] (see
+/// [`BeamformPlan::for_tof`]), using the workspace-default worker threads.
+///
+/// The per-sample delay geometry is replayed from the plan's tables instead of
+/// being recomputed, so streams amortise the `sqrt`-heavy setup across frames;
+/// the cube is bitwise identical to [`tof_correct`] for every thread count.
+///
+/// # Errors
+///
+/// Returns [`BeamformError::InvalidParameter`] when the plan is not dense and
+/// [`BeamformError::ShapeMismatch`] when the frame does not match the planned
+/// format.
+pub fn tof_correct_planned(data: &ChannelData, plan: &BeamformPlan) -> BeamformResult<TofCube> {
+    plan.tof_correct(data)
+}
+
+/// [`tof_correct_planned`] with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// Same as [`tof_correct_planned`].
+pub fn tof_correct_planned_with_threads(
+    data: &ChannelData,
+    plan: &BeamformPlan,
+    num_threads: usize,
+) -> BeamformResult<TofCube> {
+    plan.tof_correct_with_threads(data, num_threads)
 }
 
 #[cfg(test)]

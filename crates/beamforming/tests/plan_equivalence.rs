@@ -1,0 +1,180 @@
+//! Bitwise equivalence of the planned gather kernels against the direct
+//! DAS / ToF / MVDR paths, across thread counts, interpolation methods and
+//! apodization modes — the correctness contract of the `plan` subsystem.
+
+use beamforming::apodization::Apodization;
+use beamforming::das::DelayAndSum;
+use beamforming::grid::ImagingGrid;
+use beamforming::iq::IqImage;
+use beamforming::mvdr::Mvdr;
+use beamforming::pipeline::Beamformer;
+use beamforming::plan::{BeamformPlan, FrameFormat, PlannedDas, PlannedMvdr};
+use beamforming::tof::{tof_correct_planned_with_threads, tof_correct_with_threads};
+use ultrasound::{ChannelData, LinearArray, Medium, Phantom, PlaneWave, PlaneWaveSimulator};
+use usdsp::interp::InterpMethod;
+use usdsp::Window;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 5];
+
+fn test_frame() -> (ChannelData, LinearArray) {
+    let array = LinearArray::small_test_array();
+    let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), 0.03);
+    let phantom = Phantom::builder(0.012, 0.03)
+        .seed(11)
+        .speckle_density(40.0)
+        .add_point_target(0.0, 0.02, 1.0)
+        .add_point_target(-0.003, 0.014, 0.7)
+        .build();
+    (sim.simulate(&phantom, PlaneWave::zero_angle()).unwrap(), array)
+}
+
+fn assert_bits_eq(direct: &[f32], planned: &[f32], context: &str) {
+    assert_eq!(direct.len(), planned.len(), "{context}: length");
+    for (i, (a, b)) in direct.iter().zip(planned.iter()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{context}: sample {i} ({a} vs {b})");
+    }
+}
+
+fn assert_iq_bits_eq(direct: &IqImage, planned: &IqImage, context: &str) {
+    assert_bits_eq(&direct.to_interleaved(), &planned.to_interleaved(), context);
+}
+
+#[test]
+fn planned_das_rf_is_bitwise_identical_across_methods_apodizations_and_threads() {
+    let (data, array) = test_frame();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.014, 21, 13);
+    let frame = FrameFormat::of(&data);
+    let apodizations = [
+        ("boxcar", Apodization::boxcar()),
+        ("fixed-hann", Apodization::Fixed(Window::Hann)),
+        ("dynamic-hann", Apodization::hann_dynamic()),
+    ];
+    let methods = [InterpMethod::Nearest, InterpMethod::Linear, InterpMethod::Cubic];
+    for (apo_name, apodization) in apodizations {
+        for method in methods {
+            let das = DelayAndSum { apodization, interpolation: method, ..DelayAndSum::default() };
+            let plan = das.plan(&array, &grid, 1540.0, frame).unwrap();
+            for threads in THREAD_COUNTS {
+                let direct = das.beamform_rf_with_threads(&data, &array, &grid, 1540.0, threads).unwrap();
+                let planned = das.beamform_rf_planned_with_threads(&data, &plan, threads).unwrap();
+                assert_bits_eq(&direct, &planned, &format!("{apo_name}/{method:?}/threads {threads}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn planned_das_iq_is_bitwise_identical() {
+    let (data, array) = test_frame();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.014, 24, 10);
+    let das = DelayAndSum::with_hann_aperture();
+    let plan = das.plan(&array, &grid, 1540.0, FrameFormat::of(&data)).unwrap();
+    let direct = das.beamform_iq(&data, &array, &grid, 1540.0).unwrap();
+    for threads in THREAD_COUNTS {
+        let planned = das.beamform_iq_planned_with_threads(&data, &plan, threads).unwrap();
+        assert_iq_bits_eq(&direct, &planned, &format!("iq threads {threads}"));
+    }
+}
+
+#[test]
+fn planned_tof_cube_is_bitwise_identical_across_threads() {
+    let (data, array) = test_frame();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.014, 18, 9);
+    let plan =
+        BeamformPlan::for_tof(&array, &grid, PlaneWave::zero_angle(), 1540.0, FrameFormat::of(&data)).unwrap();
+    let direct = tof_correct_with_threads(&data, &array, &grid, PlaneWave::zero_angle(), 1540.0, 1).unwrap();
+    for threads in THREAD_COUNTS {
+        let reference =
+            tof_correct_with_threads(&data, &array, &grid, PlaneWave::zero_angle(), 1540.0, threads).unwrap();
+        let planned = tof_correct_planned_with_threads(&data, &plan, threads).unwrap();
+        assert_bits_eq(direct.as_slice(), reference.as_slice(), &format!("direct determinism, threads {threads}"));
+        assert_bits_eq(direct.as_slice(), planned.as_slice(), &format!("tof threads {threads}"));
+    }
+}
+
+#[test]
+fn planned_tof_handles_steered_transmit() {
+    let (data, array) = test_frame();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.012, 11, 7);
+    let tx = PlaneWave::from_degrees(4.0);
+    let plan = BeamformPlan::for_tof(&array, &grid, tx, 1540.0, FrameFormat::of(&data)).unwrap();
+    let direct = tof_correct_with_threads(&data, &array, &grid, tx, 1540.0, 3).unwrap();
+    let planned = plan.tof_correct_with_threads(&data, 3).unwrap();
+    assert_bits_eq(direct.as_slice(), planned.as_slice(), "steered tof");
+}
+
+#[test]
+fn planned_mvdr_is_bitwise_identical_across_methods_and_threads() {
+    let (data, array) = test_frame();
+    let grid = ImagingGrid::for_array(&array, 0.014, 0.01, 12, 8);
+    for method in [InterpMethod::Nearest, InterpMethod::Linear, InterpMethod::Cubic] {
+        let mvdr = Mvdr { interpolation: method, ..Mvdr::fast() };
+        let plan = BeamformPlan::for_mvdr(&mvdr, &array, &grid, 1540.0, FrameFormat::of(&data)).unwrap();
+        let direct = mvdr.beamform_iq_with_threads(&data, &array, &grid, 1540.0, 1).unwrap();
+        for threads in THREAD_COUNTS {
+            let reference = mvdr.beamform_iq_with_threads(&data, &array, &grid, 1540.0, threads).unwrap();
+            let planned = mvdr.beamform_iq_planned_with_threads(&data, &plan, threads).unwrap();
+            assert_iq_bits_eq(&direct, &reference, &format!("mvdr direct determinism {method:?}/{threads}"));
+            assert_iq_bits_eq(&direct, &planned, &format!("mvdr {method:?}/threads {threads}"));
+        }
+    }
+}
+
+#[test]
+fn planned_wrappers_match_direct_beamformers_through_the_trait() {
+    let (data, array) = test_frame();
+    let grid = ImagingGrid::for_array(&array, 0.014, 0.01, 12, 8);
+    let das_direct = DelayAndSum::default().beamform(&data, &array, &grid, 1540.0).unwrap();
+    let planned_das = PlannedDas::new(DelayAndSum::default());
+    let das_planned = planned_das.beamform(&data, &array, &grid, 1540.0).unwrap();
+    assert_iq_bits_eq(&das_direct, &das_planned, "PlannedDas");
+
+    let mvdr_direct = Mvdr::fast().beamform(&data, &array, &grid, 1540.0).unwrap();
+    let planned_mvdr = PlannedMvdr::new(Mvdr::fast());
+    let mvdr_planned = planned_mvdr.beamform(&data, &array, &grid, 1540.0).unwrap();
+    assert_iq_bits_eq(&mvdr_direct, &mvdr_planned, "PlannedMvdr");
+    assert_eq!(planned_das.plans_built(), 1);
+    assert_eq!(planned_mvdr.plans_built(), 1);
+}
+
+#[test]
+fn planned_batch_matches_direct_batch() {
+    let (data, array) = test_frame();
+    let grid = ImagingGrid::for_array(&array, 0.014, 0.01, 10, 6);
+    let frames = vec![data.clone(), data.clone(), data];
+    let direct = DelayAndSum::default().beamform_batch_with_threads(&frames, &array, &grid, 1540.0, 4).unwrap();
+    let planned = PlannedDas::new(DelayAndSum::default());
+    let planned_imgs = planned.beamform_batch_with_threads(&frames, &array, &grid, 1540.0, 4).unwrap();
+    assert_eq!(planned.plans_built(), 1, "one plan must serve the whole batch");
+    for (i, (a, b)) in direct.iter().zip(planned_imgs.iter()).enumerate() {
+        assert_iq_bits_eq(a, b, &format!("batch frame {i}"));
+    }
+}
+
+#[test]
+fn plan_rejects_mismatched_configurations() {
+    let (data, array) = test_frame();
+    let grid = ImagingGrid::for_array(&array, 0.014, 0.01, 8, 6);
+    let frame = FrameFormat::of(&data);
+    let das = DelayAndSum::default();
+    let plan = das.plan(&array, &grid, 1540.0, frame).unwrap();
+    // A different DAS configuration must not accept this plan.
+    let other = DelayAndSum::with_hann_aperture();
+    assert!(other.beamform_rf_planned(&data, &plan).is_err());
+    // MVDR must reject a DAS plan and a method-mismatched dense plan.
+    let mvdr = Mvdr::fast();
+    assert!(mvdr.beamform_iq_planned(&data, &plan).is_err());
+    let cubic_plan = BeamformPlan::for_mvdr(
+        &Mvdr { interpolation: InterpMethod::Cubic, ..Mvdr::fast() },
+        &array,
+        &grid,
+        1540.0,
+        frame,
+    )
+    .unwrap();
+    assert!(mvdr.beamform_iq_planned(&data, &cubic_plan).is_err());
+    // A frame with a different start time must be rejected.
+    let mut shifted = data.clone();
+    shifted.set_start_time(1e-6);
+    assert!(das.beamform_rf_planned(&shifted, &plan).is_err());
+}

@@ -1,0 +1,204 @@
+//! PR-3 precomputed-plan benchmark: per-frame latency of planned vs direct
+//! DAS beamforming at three grid sizes (up to the paper's 368 × 128 PICMUS
+//! grid on a 128-channel probe), plus served throughput and p50/p99 latency
+//! through the `serve` micro-batcher with and without plans.
+//!
+//! Writes `BENCH_pr3.json` into the current directory. Run with
+//! `cargo run --release -p bench --bin bench_pr3`; set `BENCH_PR3_FAST=1` for
+//! a quicker smoke configuration. Planned outputs are asserted **bitwise**
+//! identical to the direct path for every measured thread count before any
+//! timing is reported.
+
+use beamforming::das::DelayAndSum;
+use beamforming::grid::ImagingGrid;
+use beamforming::iq::IqImage;
+use beamforming::pipeline::Beamformer;
+use beamforming::plan::{FrameFormat, PlannedDas};
+use serve::service::BeamformEngine;
+use serve::{BatchConfig, Server, ServerStats};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ultrasound::{ChannelData, LinearArray};
+
+/// Deterministic pseudo-random RF frame (beamforming cost is independent of
+/// the sample values, so a cheap LCG replaces the full simulator at the
+/// paper-scale grid sizes).
+fn synthetic_frame(array: &LinearArray, num_samples: usize, seed: u64) -> ChannelData {
+    let mut data = ChannelData::zeros(num_samples, array.num_elements(), array.sampling_frequency());
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for v in data.as_mut_slice() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *v = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+    }
+    data
+}
+
+fn assert_bits_eq(direct: &[f32], planned: &[f32], context: &str) {
+    assert_eq!(direct.len(), planned.len(), "{context}: length");
+    for (i, (a, b)) in direct.iter().zip(planned.iter()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{context}: sample {i} ({a} vs {b})");
+    }
+}
+
+fn time_per_frame<F: FnMut(usize)>(frames: usize, repeats: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    for r in 0..repeats {
+        for i in 0..frames {
+            f(r * frames + i);
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e3 / (frames * repeats) as f64
+}
+
+struct ServeResult {
+    fps: f64,
+    stats: ServerStats,
+}
+
+fn serve_frames<B: Beamformer + Send + 'static>(
+    beamformer: B,
+    array: &LinearArray,
+    grid: &ImagingGrid,
+    frames: &[ChannelData],
+    reference: &[IqImage],
+) -> ServeResult {
+    let config = BatchConfig {
+        max_batch: 4,
+        linger: Duration::from_micros(200),
+        queue_capacity: frames.len().max(1),
+        workers: 1,
+    };
+    let engine = BeamformEngine::new(beamformer, array.clone(), grid.clone(), 1540.0);
+    engine.warm(&FrameFormat::of(&frames[0]));
+    let server = Server::new(config, engine);
+    let start = Instant::now();
+    let handles: Vec<_> = frames.iter().map(|f| server.submit(f.clone()).expect("submit")).collect();
+    let served: Vec<IqImage> = handles.into_iter().map(|h| h.wait().expect("wait")).collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    for (i, (a, b)) in reference.iter().zip(served.iter()).enumerate() {
+        assert_eq!(a, b, "served frame {i} != direct reference");
+    }
+    ServeResult { fps: frames.len() as f64 / elapsed, stats }
+}
+
+fn main() {
+    let fast = std::env::var("BENCH_PR3_FAST").is_ok();
+    let threads = runtime::default_threads();
+    let array = LinearArray::l11_5v();
+    // Covers the paper's 5–45 mm PICMUS depth span at 31.25 MHz.
+    let num_samples = 2048;
+    let num_frames = if fast { 2 } else { 4 };
+    let repeats = if fast { 1 } else { 3 };
+    let serve_count = if fast { 8 } else { 24 };
+    let das = DelayAndSum::default();
+
+    let grids: [(&str, usize, usize); 3] = [("small", 92, 32), ("medium", 184, 64), ("picmus", 368, 128)];
+    let mut entries = String::new();
+
+    for (name, rows, cols) in grids {
+        let grid = ImagingGrid::for_array(&array, 5.0e-3, 40.0e-3, rows, cols);
+        let frames: Vec<ChannelData> =
+            (0..num_frames).map(|i| synthetic_frame(&array, num_samples, 42 + i as u64)).collect();
+        let frame_format = FrameFormat::of(&frames[0]);
+
+        let build_start = Instant::now();
+        let plan = das.plan(&array, &grid, 1540.0, frame_format).expect("plan");
+        let plan_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+        let plan_mb = plan.memory_bytes() as f64 / (1024.0 * 1024.0);
+
+        // Bitwise identity before any timing, for serial and parallel runs.
+        let mut bitwise = true;
+        for t in [1, threads] {
+            let direct = das.beamform_rf_with_threads(&frames[0], &array, &grid, 1540.0, t).expect("direct");
+            let planned = das.beamform_rf_planned_with_threads(&frames[0], &plan, t).expect("planned");
+            assert_bits_eq(&direct, &planned, &format!("{name} threads {t}"));
+            bitwise &= direct == planned;
+        }
+
+        let direct_ms = time_per_frame(num_frames, repeats, |i| {
+            let frame = &frames[i % num_frames];
+            std::hint::black_box(das.beamform_rf_with_threads(frame, &array, &grid, 1540.0, threads).expect("direct"));
+        });
+        let planned_ms = time_per_frame(num_frames, repeats, |i| {
+            let frame = &frames[i % num_frames];
+            std::hint::black_box(das.beamform_rf_planned_with_threads(frame, &plan, threads).expect("planned"));
+        });
+        let speedup = direct_ms / planned_ms;
+
+        // Served throughput: the same stream through the micro-batcher, with
+        // the direct beamformer vs the plan-cached wrapper.
+        let serve_stream: Vec<ChannelData> = (0..serve_count).map(|i| frames[i % num_frames].clone()).collect();
+        let reference: Vec<IqImage> = serve_stream
+            .iter()
+            .map(|f| das.beamform(f, &array, &grid, 1540.0).expect("reference"))
+            .collect();
+        let direct_serve = serve_frames(das.clone(), &array, &grid, &serve_stream, &reference);
+        let planned_wrapper = Arc::new(PlannedDas::new(das.clone()));
+        let planned_serve = serve_frames(Arc::clone(&planned_wrapper), &array, &grid, &serve_stream, &reference);
+        assert_eq!(planned_wrapper.plans_built(), 1, "{name}: one plan must serve the whole stream");
+
+        println!(
+            "{name:>7} ({rows}x{cols}): direct {direct_ms:8.2} ms/frame | planned {planned_ms:8.2} ms/frame | \
+             {speedup:4.2}x | plan {plan_build_ms:7.1} ms, {plan_mb:6.1} MB | served {:6.1} -> {:6.1} fps \
+             (planned p50 {:.2} ms, p99 {:.2} ms)",
+            direct_serve.fps,
+            planned_serve.fps,
+            planned_serve.stats.latency.p50().as_secs_f64() * 1e3,
+            planned_serve.stats.latency.p99().as_secs_f64() * 1e3,
+        );
+
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        write!(
+            entries,
+            r#"    {{
+      "grid": "{name}",
+      "rows": {rows},
+      "cols": {cols},
+      "plan_build_ms": {plan_build_ms:.2},
+      "plan_entries": {},
+      "plan_megabytes": {plan_mb:.2},
+      "direct_ms_per_frame": {direct_ms:.3},
+      "planned_ms_per_frame": {planned_ms:.3},
+      "speedup": {speedup:.2},
+      "bitwise_identical": {bitwise},
+      "serving": {{
+        "direct_fps": {:.2},
+        "planned_fps": {:.2},
+        "direct_p50_ms": {:.3},
+        "direct_p99_ms": {:.3},
+        "planned_p50_ms": {:.3},
+        "planned_p99_ms": {:.3}
+      }}
+    }}"#,
+            plan.num_entries(),
+            direct_serve.fps,
+            planned_serve.fps,
+            direct_serve.stats.latency.p50().as_secs_f64() * 1e3,
+            direct_serve.stats.latency.p99().as_secs_f64() * 1e3,
+            planned_serve.stats.latency.p50().as_secs_f64() * 1e3,
+            planned_serve.stats.latency.p99().as_secs_f64() * 1e3,
+        )
+        .expect("format entry");
+    }
+
+    let json = format!(
+        r#"{{
+  "pr": 3,
+  "threads": {threads},
+  "channels": {},
+  "frame_samples": {num_samples},
+  "frames_per_measurement": {num_frames},
+  "grids": [
+{entries}
+  ]
+}}
+"#,
+        array.num_elements(),
+    );
+    std::fs::write("BENCH_pr3.json", json).expect("write BENCH_pr3.json");
+    println!("wrote BENCH_pr3.json");
+}

@@ -28,20 +28,33 @@ use crate::{DspError, DspResult};
 /// # Ok::<(), usdsp::DspError>(())
 /// ```
 pub fn analytic_signal(signal: &[f32]) -> DspResult<Vec<Complex32>> {
+    let mut scratch = Vec::new();
+    analytic_signal_scratch(signal, &mut scratch)?;
+    scratch.truncate(signal.len());
+    Ok(scratch)
+}
+
+/// Core of [`analytic_signal`] writing into a caller-provided scratch buffer.
+///
+/// On success `scratch` holds the analytic signal in its first `signal.len()`
+/// elements (the tail up to the padded FFT length is scratch space). Reusing
+/// one buffer across many same-length signals amortises the FFT allocation —
+/// this is what [`analytic_signal_batch`] does per worker thread.
+fn analytic_signal_scratch(signal: &[f32], scratch: &mut Vec<Complex32>) -> DspResult<()> {
     if signal.is_empty() {
         return Err(DspError::EmptyInput);
     }
-    let n_orig = signal.len();
-    let n = next_pow2(n_orig);
-    let mut data: Vec<Complex32> = Vec::with_capacity(n);
-    data.extend(signal.iter().map(|&x| Complex32::from_real(x)));
-    data.resize(n, Complex32::ZERO);
-    fft_in_place(&mut data, false)?;
+    let n = next_pow2(signal.len());
+    scratch.clear();
+    scratch.reserve(n);
+    scratch.extend(signal.iter().map(|&x| Complex32::from_real(x)));
+    scratch.resize(n, Complex32::ZERO);
+    fft_in_place(scratch, false)?;
 
     // One-sided spectrum weighting: keep DC and Nyquist, double positive frequencies,
     // zero negative frequencies.
     let half = n / 2;
-    for (k, value) in data.iter_mut().enumerate() {
+    for (k, value) in scratch.iter_mut().enumerate() {
         if k == 0 || (n % 2 == 0 && k == half) {
             // unchanged
         } else if k < half || (n % 2 == 1 && k == half) {
@@ -50,9 +63,48 @@ pub fn analytic_signal(signal: &[f32]) -> DspResult<Vec<Complex32>> {
             *value = Complex32::ZERO;
         }
     }
-    fft_in_place(&mut data, true)?;
-    data.truncate(n_orig);
-    Ok(data)
+    fft_in_place(scratch, true)?;
+    Ok(())
+}
+
+/// Analytic signal of many real-valued sequences at once, parallelised over
+/// signals via the shared `runtime` thread pool.
+///
+/// Each worker reuses one FFT scratch buffer across all the signals of its
+/// chunk, so a batch of equal-length signals (e.g. the receive channels of one
+/// acquisition, or the columns of a beamformed RF image) pays one allocation
+/// per worker instead of one per signal. Every output is **bitwise identical**
+/// to [`analytic_signal`] on the same input, for every `num_threads`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when any signal is empty (checked up
+/// front; no partial results).
+///
+/// ```
+/// use usdsp::hilbert::{analytic_signal, analytic_signal_batch};
+/// let signals: Vec<Vec<f32>> = (0..4)
+///     .map(|s| (0..64).map(|i| ((s + i) as f32 * 0.3).sin()).collect())
+///     .collect();
+/// let batch = analytic_signal_batch(&signals, 2)?;
+/// assert_eq!(batch[3], analytic_signal(&signals[3])?);
+/// # Ok::<(), usdsp::DspError>(())
+/// ```
+pub fn analytic_signal_batch(signals: &[Vec<f32>], num_threads: usize) -> DspResult<Vec<Vec<Complex32>>> {
+    if signals.iter().any(|s| s.is_empty()) {
+        return Err(DspError::EmptyInput);
+    }
+    let mut out: Vec<Vec<Complex32>> = vec![Vec::new(); signals.len()];
+    runtime::par_map_rows(&mut out, 1, num_threads, |offset, chunk| {
+        let mut scratch: Vec<Complex32> = Vec::new();
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            let signal = &signals[offset + i];
+            analytic_signal_scratch(signal, &mut scratch)
+                .expect("analytic_signal_batch: inputs validated non-empty");
+            *slot = scratch[..signal.len()].to_vec();
+        }
+    });
+    Ok(out)
 }
 
 /// Hilbert transform of a real sequence (the imaginary part of the analytic signal).
@@ -195,6 +247,34 @@ mod tests {
         assert_eq!(analytic_signal(&[]).unwrap_err(), DspError::EmptyInput);
         assert_eq!(envelope(&[]).unwrap_err(), DspError::EmptyInput);
         assert_eq!(hilbert(&[]).unwrap_err(), DspError::EmptyInput);
+    }
+
+    #[test]
+    fn batch_is_bitwise_identical_to_serial_for_every_thread_count() {
+        // Mixed lengths (different FFT paddings) exercise the scratch reuse.
+        let signals: Vec<Vec<f32>> = [33usize, 128, 100, 7, 512, 33]
+            .iter()
+            .enumerate()
+            .map(|(s, &len)| (0..len).map(|i| ((s * 31 + i) as f32 * 0.17).sin() * (i as f32 * 0.03).cos()).collect())
+            .collect();
+        let serial: Vec<Vec<Complex32>> = signals.iter().map(|s| analytic_signal(s).unwrap()).collect();
+        for threads in [1, 2, 3, 8] {
+            let batch = analytic_signal_batch(&signals, threads).unwrap();
+            for (i, (a, b)) in serial.iter().zip(batch.iter()).enumerate() {
+                assert_eq!(a.len(), b.len(), "threads {threads}, signal {i}");
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.re.to_bits(), y.re.to_bits(), "threads {threads}, signal {i}");
+                    assert_eq!(x.im.to_bits(), y.im.to_bits(), "threads {threads}, signal {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rejects_any_empty_signal() {
+        let signals = vec![vec![1.0f32, 2.0], Vec::new()];
+        assert_eq!(analytic_signal_batch(&signals, 4).unwrap_err(), DspError::EmptyInput);
+        assert!(analytic_signal_batch(&[], 4).unwrap().is_empty());
     }
 
     #[test]

@@ -103,7 +103,14 @@ pub fn sample_at_complex(signal: &[Complex32], index: f32, method: InterpMethod)
     }
 }
 
-fn catmull_rom(p0: f32, p1: f32, p2: f32, p3: f32, t: f32) -> f32 {
+/// Catmull-Rom cubic interpolation kernel over four neighbouring samples at
+/// fractional position `t ∈ [0, 1)` between `p1` and `p2`.
+///
+/// Exposed so that precomputed-plan gather kernels (see the `beamforming`
+/// crate) can reproduce [`sample_at`]'s cubic path bit-for-bit: the arithmetic
+/// (order of operations) here is the single source of truth.
+#[inline]
+pub fn catmull_rom(p0: f32, p1: f32, p2: f32, p3: f32, t: f32) -> f32 {
     let t2 = t * t;
     let t3 = t2 * t;
     0.5 * ((2.0 * p1)

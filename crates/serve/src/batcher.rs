@@ -96,6 +96,84 @@ where
     }
 }
 
+/// Fixed-bucket end-to-end latency histogram.
+///
+/// Bucket `i` counts requests whose submit→response latency fell in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 additionally absorbs sub-µs
+/// latencies), so percentile estimates carry at most one octave of
+/// quantisation error. The storage is a fixed inline array — recording is two
+/// integer increments with **no allocation on the hot path** — and the top
+/// bucket saturates at ≈ 71 minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; Self::NUM_BUCKETS],
+    count: u64,
+    total_micros: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self { buckets: [0; Self::NUM_BUCKETS], count: 0, total_micros: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Number of power-of-two-microsecond buckets.
+    pub const NUM_BUCKETS: usize = 32;
+
+    /// Records one request latency.
+    pub fn record(&mut self, latency: Duration) {
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = if micros <= 1 { 0 } else { (63 - micros.leading_zeros()) as usize }.min(Self::NUM_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_micros = self.total_micros.saturating_add(micros);
+    }
+
+    /// Number of recorded latencies.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean recorded latency ([`Duration::ZERO`] when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.total_micros / self.count)
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 < q <= 1.0`): the upper
+    /// edge of the bucket containing the rank-`⌈q·count⌉` latency. Returns
+    /// [`Duration::ZERO`] when nothing was recorded.
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Duration::from_micros(1u64 << (i + 1));
+            }
+        }
+        Duration::from_micros(1u64 << Self::NUM_BUCKETS)
+    }
+
+    /// Median latency estimate (see [`LatencyHistogram::percentile`]).
+    pub fn p50(&self) -> Duration {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile latency estimate (see
+    /// [`LatencyHistogram::percentile`]).
+    pub fn p99(&self) -> Duration {
+        self.percentile(0.99)
+    }
+}
+
 /// Counters describing what a server has done so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
@@ -107,6 +185,9 @@ pub struct ServerStats {
     pub batches: u64,
     /// Largest batch dispatched in one engine call.
     pub max_batch_observed: usize,
+    /// End-to-end (submit → response) latency distribution of completed
+    /// requests, including queueing, linger and engine time.
+    pub latency: LatencyHistogram,
 }
 
 impl ServerStats {
@@ -242,7 +323,7 @@ impl<I> TrySubmitError<I> {
 }
 
 struct QueueState<I, O> {
-    queue: VecDeque<(I, Arc<Slot<O>>)>,
+    queue: VecDeque<(I, Arc<Slot<O>>, Instant)>,
     shutting_down: bool,
     stats: ServerStats,
 }
@@ -354,7 +435,7 @@ impl<E: BatchEngine> Server<E> {
             state = self.shared.not_full.wait(state).expect("serve state poisoned");
         }
         let slot = Slot::new();
-        state.queue.push_back((request, Arc::clone(&slot)));
+        state.queue.push_back((request, Arc::clone(&slot), Instant::now()));
         state.stats.submitted += 1;
         drop(state);
         self.shared.not_empty.notify_one();
@@ -377,7 +458,7 @@ impl<E: BatchEngine> Server<E> {
             return Err(TrySubmitError::Full(request));
         }
         let slot = Slot::new();
-        state.queue.push_back((request, Arc::clone(&slot)));
+        state.queue.push_back((request, Arc::clone(&slot), Instant::now()));
         state.stats.submitted += 1;
         drop(state);
         self.shared.not_empty.notify_one();
@@ -474,7 +555,14 @@ fn worker_loop<E: BatchEngine>(shared: &Shared<E::Request, E::Response>, engine:
         };
         shared.not_full.notify_all();
 
-        let (requests, slots): (Vec<_>, Vec<_>) = batch.into_iter().unzip();
+        let mut requests = Vec::with_capacity(batch.len());
+        let mut slots = Vec::with_capacity(batch.len());
+        let mut submitted_at = Vec::with_capacity(batch.len());
+        for (request, slot, at) in batch {
+            requests.push(request);
+            slots.push(slot);
+            submitted_at.push(at);
+        }
         let count = requests.len();
         // A panicking engine must not kill the worker: requests still queued
         // (and future submissions) would hang with no one left to drain them.
@@ -491,5 +579,63 @@ fn worker_loop<E: BatchEngine>(shared: &Shared<E::Request, E::Response>, engine:
         }
         let mut state = shared.state.lock().expect("serve state poisoned");
         state.stats.completed += count as u64;
+        for at in &submitted_at {
+            state.stats.latency.record(at.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_histogram_percentiles_bracket_recorded_values() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        // 99 fast requests (~100 µs) and one slow outlier (~50 ms).
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+        assert_eq!(h.count(), 100);
+        // p50 sits in the [64, 128) µs bucket → upper bound 128 µs.
+        assert_eq!(h.p50(), Duration::from_micros(128));
+        // p99 is still a fast request; p100 must cover the outlier.
+        assert_eq!(h.p99(), Duration::from_micros(128));
+        assert!(h.percentile(1.0) >= Duration::from_millis(50));
+        assert!(h.mean() >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn latency_histogram_edge_cases_saturate() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::ZERO); // sub-µs → bucket 0
+        h.record(Duration::from_secs(60 * 60 * 24)); // beyond the top bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(0.5), Duration::from_micros(2));
+        assert!(h.percentile(1.0) >= Duration::from_micros(1 << 31));
+    }
+
+    #[test]
+    fn server_records_one_latency_per_request() {
+        let server = Server::from_fn(
+            BatchConfig { max_batch: 4, linger: Duration::ZERO, ..BatchConfig::default() },
+            |batch: Vec<u32>| {
+                std::thread::sleep(Duration::from_millis(2));
+                batch.into_iter().map(|v| Ok(v + 1)).collect()
+            },
+        );
+        let handles: Vec<_> = (0..6).map(|v| server.submit(v).unwrap()).collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.latency.count(), 6);
+        // Every request waited at least the 2 ms engine sleep.
+        assert!(stats.latency.percentile(0.01) >= Duration::from_millis(2), "{:?}", stats.latency.percentile(0.01));
+        assert!(stats.latency.p99() >= stats.latency.p50());
     }
 }

@@ -51,7 +51,7 @@
 pub mod batcher;
 pub mod service;
 
-pub use batcher::{BatchConfig, BatchEngine, ResponseHandle, Server, ServerStats, TrySubmitError};
+pub use batcher::{BatchConfig, BatchEngine, LatencyHistogram, ResponseHandle, Server, ServerStats, TrySubmitError};
 
 use std::error::Error;
 use std::fmt;

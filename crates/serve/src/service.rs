@@ -15,6 +15,7 @@ use crate::{ServeError, ServeResult};
 use beamforming::grid::ImagingGrid;
 use beamforming::iq::IqImage;
 use beamforming::pipeline::Beamformer;
+use beamforming::plan::FrameFormat;
 use ultrasound::{ChannelData, LinearArray};
 
 /// A [`BatchEngine`] that beamforms one [`ChannelData`] frame per request
@@ -55,6 +56,18 @@ impl<B: Beamformer + Send + 'static> BeamformEngine<B> {
     /// The imaging grid every served frame is reconstructed on.
     pub fn grid(&self) -> &ImagingGrid {
         &self.grid
+    }
+
+    /// Warms the beamformer's per-stream caches for frames of the given
+    /// format (see [`Beamformer::prepare`]).
+    ///
+    /// For the planned beamformers ([`beamforming::plan::PlannedDas`],
+    /// [`beamforming::plan::PlannedMvdr`]) this builds the
+    /// [`beamforming::plan::BeamformPlan`] once at engine construction, so
+    /// the stream's first frame doesn't pay the one-time delay-table setup.
+    /// Best-effort: configuration errors surface on the first served frame.
+    pub fn warm(&self, frame: &FrameFormat) {
+        self.beamformer.prepare(&self.array, &self.grid, self.sound_speed, frame);
     }
 }
 

@@ -1,0 +1,88 @@
+//! Plan lifecycle through the serving path: a planned beamformer engine
+//! builds its delay tables once per stream, serves frames bitwise identical
+//! to the direct beamformer, and rebuilds the plan exactly once when the
+//! stream's frame format changes mid-flight.
+
+use beamforming::grid::ImagingGrid;
+use beamforming::iq::IqImage;
+use beamforming::pipeline::{Beamformer, DelayAndSum};
+use beamforming::plan::{FrameFormat, PlannedDas};
+use serve::service::BeamformEngine;
+use serve::{BatchConfig, Server};
+use std::sync::Arc;
+use std::time::Duration;
+use ultrasound::{ChannelData, LinearArray, Medium, Phantom, PlaneWave, PlaneWaveSimulator};
+
+fn frames_with_depth(array: &LinearArray, max_depth: f32, count: usize, seed: u64) -> Vec<ChannelData> {
+    let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), max_depth);
+    (0..count)
+        .map(|i| {
+            let phantom = Phantom::builder(0.01, max_depth)
+                .seed(seed + i as u64)
+                .add_point_target(-0.002 + 0.001 * i as f32, 0.8 * max_depth, 1.0)
+                .build();
+            sim.simulate(&phantom, PlaneWave::zero_angle()).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn served_planned_das_rebuilds_once_on_frame_format_change() {
+    let array = LinearArray::small_test_array();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.008, 16, 8);
+    // Two stream segments with different acquisition depths → different
+    // sample counts → different frame formats.
+    let segment_a = frames_with_depth(&array, 0.024, 4, 100);
+    let segment_b = frames_with_depth(&array, 0.030, 4, 200);
+    assert_ne!(
+        FrameFormat::of(&segment_a[0]),
+        FrameFormat::of(&segment_b[0]),
+        "test needs two distinct frame formats"
+    );
+
+    let planned = Arc::new(PlannedDas::new(DelayAndSum::default()));
+    let engine = BeamformEngine::new(Arc::clone(&planned), array.clone(), grid.clone(), 1540.0);
+    // Warm the cache for the first segment: the plan exists before any frame.
+    engine.warm(&FrameFormat::of(&segment_a[0]));
+    assert_eq!(planned.plans_built(), 1, "warm must build the first plan");
+
+    let das = DelayAndSum::default();
+    let reference: Vec<IqImage> = segment_a
+        .iter()
+        .chain(segment_b.iter())
+        .map(|f| das.beamform(f, &array, &grid, 1540.0).unwrap())
+        .collect();
+
+    let config = BatchConfig { max_batch: 3, linger: Duration::from_micros(200), ..BatchConfig::default() };
+    let server = Server::new(config, engine);
+    let handles: Vec<_> = segment_a
+        .iter()
+        .chain(segment_b.iter())
+        .map(|f| server.submit(f.clone()).unwrap())
+        .collect();
+    let served: Vec<IqImage> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+    let stats = server.shutdown();
+
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.latency.count(), 8, "one latency sample per served frame");
+    for (i, (a, b)) in reference.iter().zip(served.iter()).enumerate() {
+        assert_eq!(a, b, "served frame {i} differs from the direct beamformer");
+    }
+    assert_eq!(
+        planned.plans_built(),
+        2,
+        "exactly one rebuild for the format change (no per-frame rebuilds)"
+    );
+}
+
+#[test]
+fn warm_is_idempotent_and_best_effort() {
+    let array = LinearArray::small_test_array();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.008, 8, 8);
+    let planned = Arc::new(PlannedDas::new(DelayAndSum::default()));
+    let engine = BeamformEngine::new(Arc::clone(&planned), array.clone(), grid, 1540.0);
+    let frame = FrameFormat { num_samples: 256, sampling_frequency: array.sampling_frequency(), start_time: 0.0 };
+    engine.warm(&frame);
+    engine.warm(&frame);
+    assert_eq!(planned.plans_built(), 1, "re-warming the same format must hit the cache");
+}
