@@ -7,7 +7,7 @@ pub use crate::plan::{PlannedDas, PlannedMvdr};
 use crate::bmode::BModeImage;
 use crate::grid::ImagingGrid;
 use crate::iq::IqImage;
-use crate::plan::FrameFormat;
+use crate::plan::{FrameFormat, PlanCacheStats};
 use crate::BeamformResult;
 use ultrasound::{ChannelData, LinearArray};
 
@@ -120,6 +120,17 @@ pub trait Beamformer: Sync {
     /// [`Beamformer::beamform`] call, not here).
     fn prepare(&self, _array: &LinearArray, _grid: &ImagingGrid, _sound_speed: f32, _frame: &FrameFormat) {}
 
+    /// Counters of this beamformer's internal plan cache, if it has one.
+    ///
+    /// The planned wrappers ([`PlannedDas`], [`PlannedMvdr`]) and the learned
+    /// adapters report their [`crate::plan::PlanCache`] here so a serving
+    /// layer can prove cache behaviour (e.g. zero rebuilds after warm-up)
+    /// through a `dyn Beamformer` without knowing the concrete type. The
+    /// default is `None` (no cache).
+    fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        None
+    }
+
     /// Convenience: beamform and log-compress to a B-mode image.
     ///
     /// # Errors
@@ -204,6 +215,10 @@ impl<B: Beamformer + Send + Sync + ?Sized> Beamformer for std::sync::Arc<B> {
 
     fn prepare(&self, array: &LinearArray, grid: &ImagingGrid, sound_speed: f32, frame: &FrameFormat) {
         (**self).prepare(array, grid, sound_speed, frame)
+    }
+
+    fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        (**self).plan_cache_stats()
     }
 }
 

@@ -41,11 +41,13 @@
 //! Build once per stream (construction parallelises over grid rows via
 //! [`runtime::par_collect`]), then reuse for every frame whose
 //! [`FrameFormat`] matches. [`PlannedDas`] and [`PlannedMvdr`] wrap the
-//! classical beamformers with an internal single-slot plan cache keyed on
-//! `(probe, grid, sound speed, frame format)` and implement
-//! [`crate::pipeline::Beamformer`], so the `serve` crate's `BeamformEngine`
-//! amortises the plan across a whole stream and transparently rebuilds it
-//! when the stream's frame format changes.
+//! classical beamformers with an internal capacity-bounded LRU [`PlanCache`]
+//! keyed on `(probe, grid, sound speed, frame format)` and implement
+//! [`crate::pipeline::Beamformer`], so the `serve` crate's engines amortise
+//! the plan across a whole stream, keep several interleaved stream shapes
+//! warm at once (the `serve::router` serves N shapes with zero rebuilds
+//! after warm-up for N ≤ capacity) and transparently rebuild only on a cold
+//! shape. [`PlanCacheStats`] exposes hit/miss/eviction counters.
 
 use crate::das::DelayAndSum;
 use crate::grid::ImagingGrid;
@@ -806,18 +808,104 @@ impl CachedPlan {
     }
 }
 
-/// Single-slot plan cache shared by the planned beamformer wrappers.
-struct PlanCache {
-    slot: Mutex<Option<CachedPlan>>,
-    builds: AtomicU64,
+/// Counters describing what a [`PlanCache`] has done so far.
+///
+/// `misses` equals the number of plans built; `hits + misses` equals the
+/// number of lookups; `evictions` counts plans dropped to make room once the
+/// cache reached its capacity. A warm steady-state stream shows only `hits`
+/// growing — a router serving N stream shapes through a cache of capacity
+/// ≥ N never rebuilds a plan after warm-up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from a cached plan.
+    pub hits: u64,
+    /// Lookups that had to build a plan (cold key).
+    pub misses: u64,
+    /// Plans evicted because the cache was at capacity.
+    pub evictions: u64,
+    /// Plans currently held.
+    pub entries: usize,
+    /// Maximum number of plans held at once.
+    pub capacity: usize,
+}
+
+impl PlanCacheStats {
+    /// Merges another cache's counters into this one (capacity and entries
+    /// are summed, so the aggregate still bounds total plan memory).
+    pub fn merge(&mut self, other: &PlanCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.entries += other.entries;
+        self.capacity += other.capacity;
+    }
+}
+
+/// Capacity-bounded LRU cache of [`BeamformPlan`]s keyed on
+/// `(probe, grid, sound speed, frame format)`.
+///
+/// The planned beamformer wrappers ([`PlannedDas`], [`PlannedMvdr`]) and the
+/// learned-beamformer adapters each own one, so a serving router that
+/// multiplexes N stream shapes over one beamformer instance keeps all N plans
+/// warm instead of thrashing a single slot on every shape change. Memory is
+/// bounded by `capacity × max plan size` (see [`BeamformPlan::memory_bytes`]);
+/// the least-recently-used plan is evicted when a build would exceed the
+/// capacity.
+///
+/// Lookups are serialized on an internal mutex; the expensive plan *build*
+/// also happens under it, so concurrent first-frames of the same stream build
+/// the plan once instead of racing.
+pub struct PlanCache {
+    slots: Mutex<Vec<CachedPlan>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("evictions", &stats.evictions)
+            .finish()
+    }
 }
 
 impl PlanCache {
-    fn new() -> Self {
-        Self { slot: Mutex::new(None), builds: AtomicU64::new(0) }
+    /// Default number of slots for the planned beamformer wrappers: enough
+    /// for a few interleaved stream shapes without letting paper-scale plans
+    /// (≈ 100 MB each) pile up unbounded.
+    pub const DEFAULT_CAPACITY: usize = 4;
+
+    /// Creates an empty cache holding at most `capacity` plans (clamped to
+    /// ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
-    fn get_or_build(
+    /// Maximum number of plans held at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the cached plan for the key, or builds (and caches) it with
+    /// `build`, evicting the least-recently-used plan when at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error; a failed build caches nothing.
+    pub fn get_or_build(
         &self,
         array: &LinearArray,
         grid: &ImagingGrid,
@@ -825,26 +913,62 @@ impl PlanCache {
         frame: &FrameFormat,
         build: impl FnOnce() -> BeamformResult<BeamformPlan>,
     ) -> BeamformResult<Arc<BeamformPlan>> {
-        let mut slot = self.slot.lock().expect("plan cache poisoned");
-        if let Some(cached) = slot.as_ref() {
-            if cached.matches(array, grid, sound_speed, frame) {
-                return Ok(Arc::clone(&cached.plan));
-            }
+        let mut slots = self.slots.lock().expect("plan cache poisoned");
+        if let Some(pos) = slots.iter().position(|c| c.matches(array, grid, sound_speed, frame)) {
+            // Move-to-front keeps the vector in recency order (front = MRU).
+            let cached = slots.remove(pos);
+            let plan = Arc::clone(&cached.plan);
+            slots.insert(0, cached);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan);
         }
         let plan = Arc::new(build()?);
-        self.builds.fetch_add(1, Ordering::Relaxed);
-        *slot = Some(CachedPlan {
-            array: array.clone(),
-            grid: grid.clone(),
-            sound_speed,
-            frame: *frame,
-            plan: Arc::clone(&plan),
-        });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if slots.len() >= self.capacity {
+            slots.truncate(self.capacity - 1);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        slots.insert(
+            0,
+            CachedPlan {
+                array: array.clone(),
+                grid: grid.clone(),
+                sound_speed,
+                frame: *frame,
+                plan: Arc::clone(&plan),
+            },
+        );
         Ok(plan)
     }
 
+    /// Whether a plan for the key is currently cached (does not touch the
+    /// recency order or the hit/miss counters).
+    pub fn contains(&self, array: &LinearArray, grid: &ImagingGrid, sound_speed: f32, frame: &FrameFormat) -> bool {
+        self.slots
+            .lock()
+            .expect("plan cache poisoned")
+            .iter()
+            .any(|c| c.matches(array, grid, sound_speed, frame))
+    }
+
+    /// Total heap footprint of the currently cached plans in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.lock().expect("plan cache poisoned").iter().map(|c| c.plan.memory_bytes()).sum()
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.slots.lock().expect("plan cache poisoned").len(),
+            capacity: self.capacity,
+        }
+    }
+
     fn builds(&self) -> u64 {
-        self.builds.load(Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -864,9 +988,17 @@ pub struct PlannedDas {
 }
 
 impl PlannedDas {
-    /// Wraps a DAS configuration with an (initially empty) plan cache.
+    /// Wraps a DAS configuration with an (initially empty) plan cache of
+    /// [`PlanCache::DEFAULT_CAPACITY`] slots.
     pub fn new(das: DelayAndSum) -> Self {
-        Self { das, cache: PlanCache::new() }
+        Self::with_cache_capacity(das, PlanCache::DEFAULT_CAPACITY)
+    }
+
+    /// [`PlannedDas::new`] with an explicit plan-cache capacity (clamped to
+    /// ≥ 1). Size it to the number of distinct stream shapes the wrapper will
+    /// serve concurrently; memory is bounded by `capacity × plan size`.
+    pub fn with_cache_capacity(das: DelayAndSum, capacity: usize) -> Self {
+        Self { das, cache: PlanCache::new(capacity) }
     }
 
     /// The wrapped DAS configuration.
@@ -875,9 +1007,15 @@ impl PlannedDas {
     }
 
     /// How many plans have been built over this wrapper's lifetime (1 for a
-    /// homogeneous stream; +1 per probe/grid/sound-speed/frame-format change).
+    /// homogeneous stream; +1 per cold probe/grid/sound-speed/frame-format
+    /// lookup).
     pub fn plans_built(&self) -> u64 {
         self.cache.builds()
+    }
+
+    /// Snapshot of the plan-cache counters (hits / misses / evictions).
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats()
     }
 
     fn plan_for(
@@ -915,6 +1053,10 @@ impl crate::pipeline::Beamformer for PlannedDas {
         // on the first real `beamform` call instead.
         let _ = self.plan_for(array, grid, sound_speed, frame);
     }
+
+    fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        Some(self.cache_stats())
+    }
 }
 
 /// An [`Mvdr`] beamformer that gathers its aligned channel vectors through a
@@ -927,9 +1069,16 @@ pub struct PlannedMvdr {
 }
 
 impl PlannedMvdr {
-    /// Wraps an MVDR configuration with an (initially empty) plan cache.
+    /// Wraps an MVDR configuration with an (initially empty) plan cache of
+    /// [`PlanCache::DEFAULT_CAPACITY`] slots.
     pub fn new(mvdr: Mvdr) -> Self {
-        Self { mvdr, cache: PlanCache::new() }
+        Self::with_cache_capacity(mvdr, PlanCache::DEFAULT_CAPACITY)
+    }
+
+    /// [`PlannedMvdr::new`] with an explicit plan-cache capacity (clamped to
+    /// ≥ 1); see [`PlannedDas::with_cache_capacity`].
+    pub fn with_cache_capacity(mvdr: Mvdr, capacity: usize) -> Self {
+        Self { mvdr, cache: PlanCache::new(capacity) }
     }
 
     /// The wrapped MVDR configuration.
@@ -940,6 +1089,11 @@ impl PlannedMvdr {
     /// How many plans have been built over this wrapper's lifetime.
     pub fn plans_built(&self) -> u64 {
         self.cache.builds()
+    }
+
+    /// Snapshot of the plan-cache counters (hits / misses / evictions).
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats()
     }
 
     fn plan_for(
@@ -974,6 +1128,10 @@ impl crate::pipeline::Beamformer for PlannedMvdr {
 
     fn prepare(&self, array: &LinearArray, grid: &ImagingGrid, sound_speed: f32, frame: &FrameFormat) {
         let _ = self.plan_for(array, grid, sound_speed, frame);
+    }
+
+    fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        Some(self.cache_stats())
     }
 }
 
@@ -1075,8 +1233,73 @@ mod tests {
         assert_eq!(planned.plans_built(), 1, "same stream must reuse the plan");
         let b = ChannelData::zeros(200, array.num_elements(), array.sampling_frequency());
         planned.beamform(&b, &array, &grid, 1540.0).unwrap();
-        assert_eq!(planned.plans_built(), 2, "format change must rebuild");
+        assert_eq!(planned.plans_built(), 2, "cold format must build");
         planned.prepare(&array, &grid, 1540.0, &FrameFormat::of(&b));
         assert_eq!(planned.plans_built(), 2, "prepare must hit the warm cache");
+        // Both formats now live in the multi-slot cache: returning to the
+        // first one is a hit, not a rebuild (the single-slot cache thrashed
+        // here before PR 4).
+        planned.beamform(&a, &array, &grid, 1540.0).unwrap();
+        assert_eq!(planned.plans_built(), 2, "returning to a warm format must not rebuild");
+        let stats = planned.cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(Beamformer::plan_cache_stats(&planned), Some(stats));
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let array = LinearArray::small_test_array();
+        let grid = ImagingGrid::for_array(&array, 0.01, 0.008, 4, 4);
+        let cache = PlanCache::new(2);
+        assert_eq!(cache.capacity(), 2);
+        let das = DelayAndSum::default();
+        let fs = array.sampling_frequency();
+        let format = |n: usize| FrameFormat { num_samples: n, sampling_frequency: fs, start_time: 0.0 };
+        let lookup = |frame: &FrameFormat| {
+            cache
+                .get_or_build(&array, &grid, 1540.0, frame, || {
+                    BeamformPlan::for_das(&das, &array, &grid, 1540.0, *frame)
+                })
+                .unwrap()
+        };
+        let (a, b, c) = (format(64), format(96), format(128));
+        lookup(&a); // build A          -> [A]
+        lookup(&b); // build B          -> [B, A]
+        lookup(&a); // hit A (refresh)  -> [A, B]
+        lookup(&c); // build C, evict B -> [C, A]
+        assert!(cache.contains(&array, &grid, 1540.0, &a), "recently used A must survive");
+        assert!(cache.contains(&array, &grid, 1540.0, &c));
+        assert!(!cache.contains(&array, &grid, 1540.0, &b), "LRU entry B must be evicted");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions, stats.entries), (1, 3, 1, 2));
+        // Refresh A (hit), then bring back evicted B: the miss evicts C,
+        // which is now the least recently used entry.
+        lookup(&a);
+        lookup(&b);
+        assert!(!cache.contains(&array, &grid, 1540.0, &c));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 4, 2));
+        assert!(cache.memory_bytes() > 0);
+        let mut merged = PlanCacheStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.misses, 8);
+        assert_eq!(merged.capacity, 4);
+    }
+
+    #[test]
+    fn plan_cache_failed_build_caches_nothing() {
+        let array = LinearArray::small_test_array();
+        let grid = ImagingGrid::for_array(&array, 0.01, 0.008, 4, 4);
+        let cache = PlanCache::new(1);
+        let frame = FrameFormat { num_samples: 64, sampling_frequency: array.sampling_frequency(), start_time: 0.0 };
+        let err = cache.get_or_build(&array, &grid, 1540.0, &frame, || {
+            Err(BeamformError::InvalidParameter { name: "test", reason: "boom".into() })
+        });
+        assert!(err.is_err());
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.entries), (0, 0), "a failed build must not occupy a slot");
     }
 }

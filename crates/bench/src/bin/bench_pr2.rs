@@ -50,6 +50,7 @@ fn run_config(
         linger: Duration::from_micros(500),
         queue_capacity: frames.len().max(1),
         workers: 1,
+        ..BatchConfig::default()
     };
     let server = beamform_server(config, beamformer.clone(), array.clone(), grid.clone(), sound_speed);
     let start = Instant::now();

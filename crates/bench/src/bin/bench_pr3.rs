@@ -68,6 +68,7 @@ fn serve_frames<B: Beamformer + Send + 'static>(
         linger: Duration::from_micros(200),
         queue_capacity: frames.len().max(1),
         workers: 1,
+        ..BatchConfig::default()
     };
     let engine = BeamformEngine::new(beamformer, array.clone(), grid.clone(), 1540.0);
     engine.warm(&FrameFormat::of(&frames[0]));

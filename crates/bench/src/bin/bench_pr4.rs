@@ -1,0 +1,263 @@
+//! PR-4 routing benchmark: mixed-stream offered load — 2 probes × 2 grids
+//! interleaved round-robin — through one `serve::router::Router`, with and
+//! without per-request deadlines, reporting end-to-end throughput plus
+//! p50/p99 latency and plan-cache counters **per stream**.
+//!
+//! Writes `BENCH_pr4.json` into the current directory. Run with
+//! `cargo run --release -p bench --bin bench_pr4`; set `BENCH_PR4_FAST=1` for
+//! a quicker smoke configuration. Before any timing, the no-deadline run is
+//! asserted **bitwise identical** to serial per-frame inference and the
+//! plan-cache counters are asserted to show zero rebuilds after warm-up.
+
+use beamforming::grid::ImagingGrid;
+use beamforming::iq::IqImage;
+use beamforming::pipeline::{Beamformer, DelayAndSum, PlannedDas};
+use beamforming::plan::FrameFormat;
+use serve::router::{Router, StreamSpec};
+use serve::{BatchConfig, ServeError, ServeResult};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ultrasound::{ChannelData, LinearArray};
+
+/// Deterministic pseudo-random RF frame (beamforming cost is independent of
+/// the sample values, so a cheap LCG replaces the full simulator).
+fn synthetic_frame(array: &LinearArray, num_samples: usize, seed: u64) -> ChannelData {
+    let mut data = ChannelData::zeros(num_samples, array.num_elements(), array.sampling_frequency());
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for v in data.as_mut_slice() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *v = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+    }
+    data
+}
+
+fn das_factory(spec: &StreamSpec) -> ServeResult<Arc<dyn Beamformer + Send + Sync>> {
+    match spec.backend.as_str() {
+        "das" => Ok(Arc::new(PlannedDas::new(DelayAndSum::default()))),
+        other => Err(ServeError::Engine(format!("unknown backend {other}"))),
+    }
+}
+
+struct Scenario {
+    name: &'static str,
+    deadline: Option<Duration>,
+}
+
+struct StreamOutcome {
+    label: String,
+    requests: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    plan_hits: u64,
+    plan_misses: u64,
+    plan_evictions: u64,
+}
+
+struct ScenarioOutcome {
+    achieved_fps: f64,
+    served: u64,
+    expired: u64,
+    streams: Vec<StreamOutcome>,
+}
+
+/// Round-robins every stream's frames through one fresh router and collects
+/// global + per-stream outcomes. With `reference = Some(..)` every served
+/// image is asserted bitwise identical to serial inference (deadline-free
+/// runs only — a timed-out request has no image to compare).
+fn run_scenario(
+    specs: &[StreamSpec],
+    frames: &[Vec<ChannelData>],
+    scenario: &Scenario,
+    reference: Option<&[Vec<IqImage>]>,
+) -> ScenarioOutcome {
+    let per_stream = frames[0].len();
+    let total = per_stream * specs.len();
+    let config = BatchConfig {
+        max_batch: 8,
+        linger: Duration::from_micros(300),
+        queue_capacity: total.max(1),
+        deadline: scenario.deadline,
+        ..BatchConfig::default()
+    };
+    let router = Router::new(config, das_factory);
+    for (spec, stream) in specs.iter().zip(frames) {
+        router.warm(spec, &FrameFormat::of(&stream[0])).expect("warm");
+    }
+    let warm_misses = router.stats().plan_cache_total().misses;
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(total);
+    for i in 0..per_stream {
+        for (s, spec) in specs.iter().enumerate() {
+            handles.push((s, router.submit(spec, frames[s][i].clone()).expect("submit")));
+        }
+    }
+    let mut served = 0u64;
+    let mut expired = 0u64;
+    for (i, (s, handle)) in handles.into_iter().enumerate() {
+        match handle.wait() {
+            Ok(image) => {
+                if let Some(reference) = reference {
+                    assert_eq!(reference[s][i / specs.len()], image, "routed frame {i} != serial reference");
+                }
+                served += 1;
+            }
+            Err(ServeError::DeadlineExceeded) => expired += 1,
+            Err(other) => panic!("unexpected serve error: {other}"),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = router.shutdown();
+    assert_eq!(stats.server.completed, total as u64);
+    assert_eq!(stats.server.deadline_expired, expired);
+    let cache_total = stats.plan_cache_total();
+    assert_eq!(cache_total.misses, warm_misses, "warm-up must leave zero plan rebuilds");
+    assert_eq!(cache_total.evictions, 0);
+
+    let streams = stats
+        .engines
+        .iter()
+        .map(|engine| {
+            let cache = engine.plan_cache.expect("planned DAS exposes cache stats");
+            StreamOutcome {
+                label: engine.spec.label(),
+                requests: engine.requests,
+                p50_ms: engine.latency.p50().as_secs_f64() * 1e3,
+                p99_ms: engine.latency.p99().as_secs_f64() * 1e3,
+                plan_hits: cache.hits,
+                plan_misses: cache.misses,
+                plan_evictions: cache.evictions,
+            }
+        })
+        .collect();
+    ScenarioOutcome { achieved_fps: served as f64 / elapsed, served, expired, streams }
+}
+
+fn main() {
+    let fast = std::env::var("BENCH_PR4_FAST").is_ok();
+    let threads = runtime::default_threads();
+    let per_stream = if fast { 6 } else { 24 };
+    let scale = if fast { 2 } else { 1 };
+
+    // 2 probes × 2 grids: the paper's 128-channel L11-5v and the 32-channel
+    // test probe, each reconstructing onto a small and a large grid.
+    let probe_big = LinearArray::l11_5v();
+    let probe_small = LinearArray::small_test_array();
+    let mut specs = Vec::new();
+    for (probe, samples) in [(&probe_big, 2048usize), (&probe_small, 1024usize)] {
+        for (rows, cols) in [(92usize, 32usize), (184, 64)] {
+            specs.push((
+                StreamSpec {
+                    array: probe.clone(),
+                    grid: ImagingGrid::for_array(probe, 5.0e-3, 40.0e-3, rows / scale, cols / scale),
+                    sound_speed: 1540.0,
+                    backend: "das".into(),
+                },
+                samples,
+            ));
+        }
+    }
+    let frames: Vec<Vec<ChannelData>> = specs
+        .iter()
+        .enumerate()
+        .map(|(s, (spec, samples))| {
+            (0..per_stream).map(|i| synthetic_frame(&spec.array, *samples, (s * 1000 + i) as u64)).collect()
+        })
+        .collect();
+    let specs: Vec<StreamSpec> = specs.into_iter().map(|(spec, _)| spec).collect();
+
+    // Serial per-frame reference for the bitwise assertion.
+    println!("serial reference for {} streams × {per_stream} frames…", specs.len());
+    let das = DelayAndSum::default();
+    let reference: Vec<Vec<IqImage>> = specs
+        .iter()
+        .zip(&frames)
+        .map(|(spec, stream)| {
+            stream.iter().map(|f| das.beamform(f, &spec.array, &spec.grid, spec.sound_speed).expect("serial")).collect()
+        })
+        .collect();
+
+    let scenarios = [
+        Scenario { name: "no_deadline", deadline: None },
+        Scenario { name: "deadline_25ms", deadline: Some(Duration::from_millis(25)) },
+    ];
+
+    let mut entries = String::new();
+    for scenario in &scenarios {
+        let check = if scenario.deadline.is_none() { Some(reference.as_slice()) } else { None };
+        let outcome = run_scenario(&specs, &frames, scenario, check);
+        println!(
+            "{:<14} | {:7.1} frames/sec | {} served, {} expired",
+            scenario.name, outcome.achieved_fps, outcome.served, outcome.expired
+        );
+        let mut stream_entries = String::new();
+        for stream in &outcome.streams {
+            println!(
+                "    {:<22} {:>3} frames | p50 {:8.2} ms | p99 {:8.2} ms | plans {} built / {} hits",
+                stream.label, stream.requests, stream.p50_ms, stream.p99_ms, stream.plan_misses, stream.plan_hits
+            );
+            if !stream_entries.is_empty() {
+                stream_entries.push_str(",\n");
+            }
+            write!(
+                stream_entries,
+                r#"        {{
+          "stream": "{}",
+          "requests": {},
+          "p50_ms": {:.3},
+          "p99_ms": {:.3},
+          "plan_hits": {},
+          "plan_misses": {},
+          "plan_evictions": {}
+        }}"#,
+                stream.label,
+                stream.requests,
+                stream.p50_ms,
+                stream.p99_ms,
+                stream.plan_hits,
+                stream.plan_misses,
+                stream.plan_evictions
+            )
+            .expect("format stream entry");
+        }
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        write!(
+            entries,
+            r#"    {{
+      "scenario": "{}",
+      "deadline_ms": {},
+      "achieved_fps": {:.2},
+      "served": {},
+      "deadline_expired": {},
+      "streams": [
+{stream_entries}
+      ]
+    }}"#,
+            scenario.name,
+            scenario.deadline.map_or("null".to_string(), |d| format!("{:.1}", d.as_secs_f64() * 1e3)),
+            outcome.achieved_fps,
+            outcome.served,
+            outcome.expired,
+        )
+        .expect("format scenario entry");
+    }
+
+    let json = format!(
+        r#"{{
+  "pr": 4,
+  "threads": {threads},
+  "streams": {},
+  "frames_per_stream": {per_stream},
+  "scenarios": [
+{entries}
+  ]
+}}
+"#,
+        specs.len(),
+    );
+    std::fs::write("BENCH_pr4.json", json).expect("write BENCH_pr4.json");
+    println!("wrote BENCH_pr4.json");
+}

@@ -10,9 +10,10 @@ use crate::{TinyVbfError, TinyVbfResult};
 use beamforming::grid::ImagingGrid;
 use beamforming::iq::{rf_to_iq, IqImage};
 use beamforming::pipeline::Beamformer;
-use beamforming::tof::{tof_correct, TofCube};
+use beamforming::plan::{BeamformPlan, FrameFormat, PlanCache, PlanCacheStats};
+use beamforming::tof::{tof_correct, tof_correct_planned, TofCube};
 use beamforming::{BeamformError, BeamformResult};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use ultrasound::{ChannelData, LinearArray, PlaneWave};
 use usdsp::Complex32;
 
@@ -98,20 +99,60 @@ fn beamform_rf_rows<M: Clone + Sync>(
 }
 
 /// Tiny-VBF as a drop-in beamformer.
+///
+/// The network consumes the ToF-corrected data cube, so the per-frame delay
+/// math is the same sqrt-heavy geometry the classical beamformers pay. This
+/// adapter routes the cube through a cached dense [`BeamformPlan`]
+/// ([`tof_correct_planned`], bitwise identical to the direct
+/// [`tof_correct`]), amortising that work across every frame of a stream —
+/// the learned-beamformer counterpart of [`beamforming::plan::PlannedDas`].
 #[derive(Debug, Clone)]
 pub struct TinyVbfBeamformer {
     model: TinyVbf,
+    /// Dense ToF plans keyed on (probe, grid, sound speed, frame format).
+    /// Shared by clones, so the per-worker model clones of a serving engine
+    /// all hit one warm cache.
+    tof_plans: Arc<PlanCache>,
 }
 
 impl TinyVbfBeamformer {
-    /// Wraps a (typically trained) Tiny-VBF model.
+    /// Wraps a (typically trained) Tiny-VBF model with a ToF plan cache of
+    /// [`PlanCache::DEFAULT_CAPACITY`] slots.
     pub fn new(model: TinyVbf) -> Self {
-        Self { model }
+        Self::with_cache_capacity(model, PlanCache::DEFAULT_CAPACITY)
+    }
+
+    /// [`TinyVbfBeamformer::new`] with an explicit ToF plan-cache capacity
+    /// (clamped to ≥ 1): size it to the number of distinct stream shapes the
+    /// adapter will serve concurrently.
+    pub fn with_cache_capacity(model: TinyVbf, capacity: usize) -> Self {
+        Self { model, tof_plans: Arc::new(PlanCache::new(capacity)) }
     }
 
     /// The wrapped model.
     pub fn model(&self) -> &TinyVbf {
         &self.model
+    }
+
+    /// Snapshot of the ToF plan-cache counters (hits / misses / evictions).
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.tof_plans.stats()
+    }
+
+    fn planned_cube(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<TofCube> {
+        let frame = FrameFormat::of(data);
+        let plan = self.tof_plans.get_or_build(array, grid, sound_speed, &frame, || {
+            BeamformPlan::for_tof(array, grid, PlaneWave::zero_angle(), sound_speed, frame)
+        })?;
+        let mut cube = tof_correct_planned(data, &plan)?;
+        cube.normalize();
+        Ok(cube)
     }
 
     /// Runs the model over every row of a (already normalized) ToF cube,
@@ -165,9 +206,21 @@ impl Beamformer for TinyVbfBeamformer {
         grid: &ImagingGrid,
         sound_speed: f32,
     ) -> BeamformResult<IqImage> {
-        let cube = normalized_cube(data, array, grid, sound_speed)?;
+        let cube = self.planned_cube(data, array, grid, sound_speed)?;
         self.beamform_cube(&cube, grid)
             .map_err(|e| BeamformError::InvalidParameter { name: "tiny_vbf", reason: e.to_string() })
+    }
+
+    fn prepare(&self, array: &LinearArray, grid: &ImagingGrid, sound_speed: f32, frame: &FrameFormat) {
+        // Best effort, like the planned classical wrappers: build the ToF
+        // plan now so the stream's first frame doesn't pay it.
+        let _ = self.tof_plans.get_or_build(array, grid, sound_speed, frame, || {
+            BeamformPlan::for_tof(array, grid, PlaneWave::zero_angle(), sound_speed, *frame)
+        });
+    }
+
+    fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        Some(self.cache_stats())
     }
 }
 
@@ -271,6 +324,38 @@ mod tests {
         assert_eq!(iq.num_pixels(), grid.num_pixels());
         assert!(iq.peak() <= (2.0f32).sqrt() + 1e-5); // tanh bounds both components
         assert!(beamformer.model().num_weights() > 0);
+    }
+
+    #[test]
+    fn tiny_vbf_planned_tof_is_bitwise_identical_to_direct() {
+        let (rf, array, grid) = small_frame();
+        let config = TinyVbfConfig::small().for_frame(array.num_elements(), grid.num_cols());
+        let model = TinyVbf::new(&config).unwrap();
+        let beamformer = TinyVbfBeamformer::new(model);
+
+        // Reference: the pre-PR-4 path — direct tof_correct + normalize.
+        let direct_cube = normalized_cube(&rf, &array, &grid, 1540.0).unwrap();
+        let planned_cube = beamformer.planned_cube(&rf, &array, &grid, 1540.0).unwrap();
+        for (i, (a, b)) in direct_cube.as_slice().iter().zip(planned_cube.as_slice()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "cube sample {i}: direct {a} vs planned {b}");
+        }
+
+        let direct_iq = beamformer.beamform_cube(&direct_cube, &grid).unwrap();
+        let served_iq = beamformer.beamform(&rf, &array, &grid, 1540.0).unwrap();
+        assert_eq!(direct_iq, served_iq, "planned ToF must not change the network output");
+
+        // The cache amortises: the two planned calls above share one plan.
+        let stats = beamformer.cache_stats();
+        assert_eq!(stats.misses, 1, "one stream shape must build exactly one ToF plan");
+        assert_eq!(stats.hits, 1);
+        // Clones (serving workers) share the warm cache.
+        let clone = beamformer.clone();
+        clone.beamform(&rf, &array, &grid, 1540.0).unwrap();
+        assert_eq!(clone.cache_stats().misses, 1, "clones must share the plan cache");
+        // prepare() warms the cache through the Beamformer trait.
+        beamformer.prepare(&array, &grid, 1540.0, &FrameFormat::of(&rf));
+        assert_eq!(beamformer.cache_stats().misses, 1);
+        assert_eq!(beamformer.plan_cache_stats().unwrap().misses, 1);
     }
 
     #[test]

@@ -25,7 +25,11 @@
 //! * [`par_map_rows_with_budget`] / [`par_collect_budgeted`] — like their
 //!   plain counterparts, but each spawned worker is granted `inner_threads`
 //!   for its own nested `par_*` calls (instead of the default nested grant
-//!   of 1, which runs nested regions inline).
+//!   of 1, which runs nested regions inline),
+//! * [`fair_shares`] / [`par_collect_shares`] — *heterogeneous* budgets: one
+//!   total divided proportionally to per-unit weights, each unit running
+//!   with its own nested grant (the `serve` router dispatches unequal
+//!   per-engine sub-batches this way).
 //!
 //! A nested call never exceeds the budget its thread was granted, so the total
 //! live worker count stays ≤ `outer_workers × inner_threads` ≤ the budget that
@@ -247,6 +251,111 @@ pub fn split_budget(total: usize, items: usize) -> (usize, usize) {
     let inner = total.div_ceil(items.clamp(1, total));
     let outer = (total / inner).max(1);
     (outer, inner)
+}
+
+/// Divides a total thread budget across work units proportionally to their
+/// `weights` (largest-remainder allocation): every unit receives at least 1,
+/// and the shares sum to exactly `total` when `total >= weights.len()`
+/// (otherwise every unit gets the minimum share of 1). Zero weights are
+/// treated as 1 so every unit stays schedulable. The allocation is
+/// deterministic — remainder ties break toward the lower index.
+///
+/// This is how a serving router shares one bounded thread budget across
+/// *heterogeneous* engines in one dispatch: a sub-batch with 3× the frames
+/// gets roughly 3× the threads, instead of the uniform split of
+/// [`split_budget`].
+///
+/// ```
+/// assert_eq!(runtime::fair_shares(8, &[3, 1]), vec![6, 2]);
+/// assert_eq!(runtime::fair_shares(16, &[2, 1, 1]), vec![8, 4, 4]);
+/// assert_eq!(runtime::fair_shares(2, &[5, 5, 5]), vec![1, 1, 1]); // floor of 1 each
+/// assert_eq!(runtime::fair_shares(5, &[0, 1]), vec![3, 2]); // zero weight -> weight 1, tie -> lower index
+/// ```
+pub fn fair_shares(total: usize, weights: &[usize]) -> Vec<usize> {
+    let k = weights.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let total = total.max(1);
+    if total <= k {
+        return vec![1; k];
+    }
+    let weights: Vec<usize> = weights.iter().map(|&w| w.max(1)).collect();
+    let weight_sum: usize = weights.iter().sum();
+    // Everyone starts at the floor of 1; the surplus is split proportionally,
+    // with the integer leftovers going to the largest remainders.
+    let surplus = total - k;
+    let mut shares = vec![1usize; k];
+    let mut used = 0;
+    for (share, &w) in shares.iter_mut().zip(&weights) {
+        let extra = surplus * w / weight_sum;
+        *share += extra;
+        used += extra;
+    }
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(surplus * weights[i] % weight_sum), i));
+    for &i in order.iter().take(surplus - used) {
+        shares[i] += 1;
+    }
+    shares
+}
+
+/// Runs `f(index)` for every index in `0..shares.len()` on scoped worker
+/// threads, granting worker `i` a nested thread budget of `shares[i]` —
+/// the *heterogeneous-grant* counterpart of [`par_collect_budgeted`], whose
+/// workers all receive the same inner budget.
+///
+/// Pair it with [`fair_shares`] to run unequal work units (e.g. a routing
+/// server's per-engine sub-batches) concurrently under one total budget:
+/// large units get proportionally more threads for their own nested `par_*`
+/// calls. Results are collected in index order, so the output is independent
+/// of scheduling, and — as with every helper here — `f`'s own determinism
+/// makes the result identical for every budget.
+///
+/// The caller's own nested budget is honoured: when the requested shares sum
+/// past the calling thread's grant they are rescaled with [`fair_shares`],
+/// and at most one item per live worker is in flight, so the concurrently
+/// active grants never sum past the caller's budget (each item always keeps
+/// the floor grant of 1, i.e. fully inline nesting).
+pub fn par_collect_shares<R, F>(shares: &[usize], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let count = shares.len();
+    if count == 0 {
+        return Vec::new();
+    }
+    let cap = NESTED_BUDGET.get().unwrap_or(usize::MAX);
+    // Compare the *clamped* shares against the cap: every item runs with a
+    // floor grant of 1, so zero shares still consume budget.
+    let budgets: Vec<usize> = shares.iter().map(|&s| s.max(1)).collect();
+    let budgets = if budgets.iter().sum::<usize>() > cap { fair_shares(cap, &budgets) } else { budgets };
+    let workers = count.min(cap.max(1));
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    if workers <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let _restore = BudgetGuard::grant(budgets[i]);
+            *slot = Some(f(i));
+        }
+    } else {
+        let per_worker = count.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (chunk_index, chunk) in slots.chunks_mut(per_worker).enumerate() {
+                let f = &f;
+                let budgets = &budgets;
+                scope.spawn(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let i = chunk_index * per_worker + j;
+                        NESTED_BUDGET.set(Some(budgets[i]));
+                        *slot = Some(f(i));
+                    }
+                });
+            }
+        });
+    }
+    slots.into_iter().map(|s| s.expect("par_collect_shares worker skipped a slot")).collect()
 }
 
 /// Runs `f(index)` for every index in `0..count` across at most `num_threads`
@@ -503,6 +612,77 @@ mod tests {
             });
             assert_eq!(calls.load(Ordering::Relaxed), 1, "num_threads 1 must mean fully serial");
         });
+    }
+
+    #[test]
+    fn fair_shares_cover_the_budget_with_a_floor_of_one() {
+        for total in 0..24 {
+            for k in 1..6 {
+                let weights: Vec<usize> = (0..k).map(|i| i * 3 % 5).collect();
+                let shares = fair_shares(total, &weights);
+                assert_eq!(shares.len(), k);
+                assert!(shares.iter().all(|&s| s >= 1), "total {total} k {k}");
+                if total >= k {
+                    assert_eq!(shares.iter().sum::<usize>(), total.max(1), "total {total} k {k}");
+                } else {
+                    assert_eq!(shares, vec![1; k]);
+                }
+                // Deterministic.
+                assert_eq!(shares, fair_shares(total, &weights));
+            }
+        }
+        assert!(fair_shares(7, &[]).is_empty());
+        // Heavier units never get fewer threads than lighter ones.
+        let shares = fair_shares(13, &[1, 4, 2]);
+        assert!(shares[1] >= shares[2] && shares[2] >= shares[0], "{shares:?}");
+    }
+
+    #[test]
+    fn par_collect_shares_orders_results_and_grants_each_share() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Item 0 gets 3 threads, item 1 gets 1: a nested call from item 0 may
+        // spawn up to 3 workers, item 1 must run nested regions inline.
+        let max_chunks = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        let out = par_collect_shares(&[3, 1], |i| {
+            assert!(in_parallel_region(), "share workers must carry their grant");
+            let mut data = vec![0usize; 12];
+            let chunks = AtomicUsize::new(0);
+            par_map_rows(&mut data, 1, 8, |off, chunk| {
+                chunks.fetch_add(1, Ordering::Relaxed);
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = off + j;
+                }
+            });
+            max_chunks[i].fetch_max(chunks.load(Ordering::Relaxed), Ordering::Relaxed);
+            assert_eq!(data, (0..12).collect::<Vec<_>>());
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10]);
+        assert!(max_chunks[0].load(Ordering::Relaxed) <= 3, "item 0 exceeded its grant of 3");
+        assert_eq!(max_chunks[1].load(Ordering::Relaxed), 1, "item 1's grant of 1 must run nesting inline");
+        assert!(par_collect_shares(&[], |_: usize| 0usize).is_empty());
+    }
+
+    #[test]
+    fn par_collect_shares_respects_the_callers_nested_budget() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // The caller is itself granted 2 threads but asks for shares summing
+        // to 16: the shares must be rescaled into the caller's grant, so no
+        // item may nest wider than 2.
+        let widest = AtomicUsize::new(0);
+        par_collect_budgeted(1, 1, 2, |_| {
+            let out = par_collect_shares(&[8, 8], |i| {
+                let mut data = vec![0u8; 8];
+                let chunks = AtomicUsize::new(0);
+                par_map_rows(&mut data, 1, 8, |_, _| {
+                    chunks.fetch_add(1, Ordering::Relaxed);
+                });
+                widest.fetch_max(chunks.load(Ordering::Relaxed), Ordering::Relaxed);
+                i
+            });
+            assert_eq!(out, vec![0, 1]);
+        });
+        assert!(widest.load(Ordering::Relaxed) <= 2, "rescaled shares must fit the caller's grant");
     }
 
     #[test]

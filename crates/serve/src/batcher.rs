@@ -30,11 +30,23 @@ pub struct BatchConfig {
     /// processes one batch at a time; the engine's own (frame/row) parallelism
     /// happens inside the batch call.
     pub workers: usize,
+    /// Latency-priority mode: default per-request deadline applied by
+    /// [`Server::submit`] / [`Server::try_submit`] (individual requests may
+    /// override it via [`Server::submit_with_deadline`]). `None` (the
+    /// default) disables deadlines entirely.
+    ///
+    /// A deadline bounds **time to dispatch**: the scheduler cuts a lingering
+    /// batch early when the oldest queued request's slack runs out, and a
+    /// request still queued when its deadline passes is dropped from its
+    /// batch and resolved with [`ServeError::DeadlineExceeded`] instead of
+    /// blocking younger requests. A request already handed to the engine
+    /// always completes normally.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        Self { max_batch: 8, linger: Duration::from_millis(2), queue_capacity: 64, workers: 1 }
+        Self { max_batch: 8, linger: Duration::from_millis(2), queue_capacity: 64, workers: 1, deadline: None }
     }
 }
 
@@ -185,18 +197,25 @@ pub struct ServerStats {
     pub batches: u64,
     /// Largest batch dispatched in one engine call.
     pub max_batch_observed: usize,
-    /// End-to-end (submit → response) latency distribution of completed
-    /// requests, including queueing, linger and engine time.
+    /// Requests whose deadline expired while queued; they resolved with
+    /// [`ServeError::DeadlineExceeded`] without reaching the engine (counted
+    /// in [`ServerStats::completed`] too — their handles were fulfilled).
+    pub deadline_expired: u64,
+    /// End-to-end (submit → response) latency distribution of requests the
+    /// engine actually served, including queueing, linger and engine time
+    /// (deadline-expired requests are excluded).
     pub latency: LatencyHistogram,
 }
 
 impl ServerStats {
     /// Mean requests per engine call so far (0 when no batch ran yet).
+    /// Deadline-expired requests never reach an engine call, so they are
+    /// excluded.
     pub fn mean_batch(&self) -> f64 {
         if self.batches == 0 {
             0.0
         } else {
-            self.completed as f64 / self.batches as f64
+            (self.completed - self.deadline_expired) as f64 / self.batches as f64
         }
     }
 }
@@ -322,10 +341,24 @@ impl<I> TrySubmitError<I> {
     }
 }
 
+/// One queued request: payload, response slot and its timing metadata.
+struct Pending<I, O> {
+    request: I,
+    slot: Arc<Slot<O>>,
+    submitted_at: Instant,
+    /// Absolute dispatch deadline (`None` = never expires).
+    deadline: Option<Instant>,
+}
+
 struct QueueState<I, O> {
-    queue: VecDeque<(I, Arc<Slot<O>>, Instant)>,
+    queue: VecDeque<Pending<I, O>>,
     shutting_down: bool,
     stats: ServerStats,
+}
+
+/// Earliest dispatch deadline among the queued requests, if any.
+fn earliest_deadline<I, O>(queue: &VecDeque<Pending<I, O>>) -> Option<Instant> {
+    queue.iter().filter_map(|p| p.deadline).min()
 }
 
 struct Shared<I, O> {
@@ -416,7 +449,8 @@ impl<E: BatchEngine> Server<E> {
     }
 
     /// Submits a request, blocking while the bounded queue is full
-    /// (backpressure).
+    /// (backpressure). The request carries the configured default deadline
+    /// ([`BatchConfig::deadline`]), if any.
     ///
     /// # Errors
     ///
@@ -424,22 +458,25 @@ impl<E: BatchEngine> Server<E> {
     /// the caller for failover instead of dropping it — once
     /// [`Server::shutdown`] has begun.
     pub fn submit(&self, request: E::Request) -> Result<ResponseHandle<E::Response>, TrySubmitError<E::Request>> {
-        let mut state = self.shared.state.lock().expect("serve state poisoned");
-        loop {
-            if state.shutting_down {
-                return Err(TrySubmitError::ShuttingDown(request));
-            }
-            if state.queue.len() < self.config.queue_capacity {
-                break;
-            }
-            state = self.shared.not_full.wait(state).expect("serve state poisoned");
-        }
-        let slot = Slot::new();
-        state.queue.push_back((request, Arc::clone(&slot), Instant::now()));
-        state.stats.submitted += 1;
-        drop(state);
-        self.shared.not_empty.notify_one();
-        Ok(ResponseHandle { slot })
+        self.enqueue(request, self.config.deadline, true)
+    }
+
+    /// [`Server::submit`] with an explicit per-request deadline overriding
+    /// [`BatchConfig::deadline`]. The deadline is measured from submission:
+    /// if the request is still queued `deadline` from now, it resolves with
+    /// [`ServeError::DeadlineExceeded`] instead of being dispatched, and a
+    /// lingering batch is cut early rather than letting the request's slack
+    /// run out (see [`BatchConfig::deadline`] for the exact semantics).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        request: E::Request,
+        deadline: Duration,
+    ) -> Result<ResponseHandle<E::Response>, TrySubmitError<E::Request>> {
+        self.enqueue(request, Some(deadline), true)
     }
 
     /// Non-blocking [`Server::submit`]: sheds load instead of waiting.
@@ -450,15 +487,49 @@ impl<E: BatchEngine> Server<E> {
     /// [`TrySubmitError::ShuttingDown`] after shutdown began — both return
     /// the request so the caller can retry or drop it.
     pub fn try_submit(&self, request: E::Request) -> Result<ResponseHandle<E::Response>, TrySubmitError<E::Request>> {
+        self.enqueue(request, self.config.deadline, false)
+    }
+
+    /// Non-blocking [`Server::submit_with_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::try_submit`].
+    pub fn try_submit_with_deadline(
+        &self,
+        request: E::Request,
+        deadline: Duration,
+    ) -> Result<ResponseHandle<E::Response>, TrySubmitError<E::Request>> {
+        self.enqueue(request, Some(deadline), false)
+    }
+
+    fn enqueue(
+        &self,
+        request: E::Request,
+        deadline: Option<Duration>,
+        block: bool,
+    ) -> Result<ResponseHandle<E::Response>, TrySubmitError<E::Request>> {
         let mut state = self.shared.state.lock().expect("serve state poisoned");
-        if state.shutting_down {
-            return Err(TrySubmitError::ShuttingDown(request));
-        }
-        if state.queue.len() >= self.config.queue_capacity {
-            return Err(TrySubmitError::Full(request));
+        loop {
+            if state.shutting_down {
+                return Err(TrySubmitError::ShuttingDown(request));
+            }
+            if state.queue.len() < self.config.queue_capacity {
+                break;
+            }
+            if !block {
+                return Err(TrySubmitError::Full(request));
+            }
+            state = self.shared.not_full.wait(state).expect("serve state poisoned");
         }
         let slot = Slot::new();
-        state.queue.push_back((request, Arc::clone(&slot), Instant::now()));
+        let submitted_at = Instant::now();
+        state.queue.push_back(Pending {
+            request,
+            slot: Arc::clone(&slot),
+            submitted_at,
+            deadline: deadline.map(|d| submitted_at + d),
+        });
         state.stats.submitted += 1;
         drop(state);
         self.shared.not_empty.notify_one();
@@ -510,7 +581,7 @@ impl<E: BatchEngine> Drop for Server<E> {
 
 fn worker_loop<E: BatchEngine>(shared: &Shared<E::Request, E::Response>, engine: &E, config: &BatchConfig) {
     loop {
-        let batch = {
+        let (batch, expired) = {
             let mut state = shared.state.lock().expect("serve state poisoned");
             // Sleep until there is work or the server is shutting down.
             loop {
@@ -522,46 +593,80 @@ fn worker_loop<E: BatchEngine>(shared: &Shared<E::Request, E::Response>, engine:
                 }
                 state = shared.not_empty.wait(state).expect("serve state poisoned");
             }
+            // Expiry reference point: a request times out only if its
+            // deadline had already passed when this dispatch cycle began —
+            // i.e. it spent a whole engine call (or longer) stuck in the
+            // queue. A deadline that fires *during* the linger below cuts
+            // the batch and the request dispatches immediately instead, so
+            // the boundary between "cut early and serve" and "expire" is
+            // never racy.
+            let cycle_start = Instant::now();
             // Linger: give late arrivals a chance to coalesce into this batch.
             // Skipped once the batch is full, the queue is at capacity (no
             // further arrival is possible — submitters are parked on
-            // `not_full`), or the server is draining for shutdown.
+            // `not_full`), or the server is draining for shutdown. In
+            // latency-priority mode the wait is additionally capped by the
+            // oldest queued request's deadline: once its slack runs out the
+            // batch is cut early and dispatched with whatever coalesced.
             if !config.linger.is_zero() {
-                let deadline = Instant::now() + config.linger;
+                let linger_until = Instant::now() + config.linger;
                 while state.queue.len() < config.max_batch.min(config.queue_capacity) && !state.shutting_down {
                     let now = Instant::now();
-                    if now >= deadline {
+                    let cut = earliest_deadline(&state.queue).map_or(linger_until, |d| d.min(linger_until));
+                    if now >= cut {
                         break;
                     }
                     let (next, timeout) =
-                        shared.not_empty.wait_timeout(state, deadline - now).expect("serve state poisoned");
+                        shared.not_empty.wait_timeout(state, cut - now).expect("serve state poisoned");
                     state = next;
                     if timeout.timed_out() {
                         break;
                     }
                 }
             }
-            let take = state.queue.len().min(config.max_batch);
-            if take == 0 {
+            // Drain up to max_batch live requests; requests whose deadline
+            // passed before this cycle began are pulled aside to time out
+            // instead of occupying batch slots.
+            let mut batch = Vec::new();
+            let mut expired = Vec::new();
+            while batch.len() < config.max_batch {
+                match state.queue.front() {
+                    Some(p) if p.deadline.is_some_and(|d| cycle_start >= d) => {
+                        expired.push(state.queue.pop_front().expect("front checked"));
+                    }
+                    Some(_) => batch.push(state.queue.pop_front().expect("front checked")),
+                    None => break,
+                }
+            }
+            if batch.is_empty() && expired.is_empty() {
                 // Another worker drained the queue while this one lingered
                 // (the linger wait releases the lock); go back to sleep
                 // instead of dispatching an empty batch.
                 continue;
             }
-            let batch: Vec<_> = state.queue.drain(..take).collect();
-            state.stats.batches += 1;
-            state.stats.max_batch_observed = state.stats.max_batch_observed.max(batch.len());
-            batch
+            if !batch.is_empty() {
+                state.stats.batches += 1;
+                state.stats.max_batch_observed = state.stats.max_batch_observed.max(batch.len());
+            }
+            state.stats.deadline_expired += expired.len() as u64;
+            state.stats.completed += expired.len() as u64;
+            (batch, expired)
         };
         shared.not_full.notify_all();
+        for p in expired {
+            p.slot.fulfill(Err(ServeError::DeadlineExceeded));
+        }
+        if batch.is_empty() {
+            continue;
+        }
 
         let mut requests = Vec::with_capacity(batch.len());
         let mut slots = Vec::with_capacity(batch.len());
         let mut submitted_at = Vec::with_capacity(batch.len());
-        for (request, slot, at) in batch {
-            requests.push(request);
-            slots.push(slot);
-            submitted_at.push(at);
+        for p in batch {
+            requests.push(p.request);
+            slots.push(p.slot);
+            submitted_at.push(p.submitted_at);
         }
         let count = requests.len();
         // A panicking engine must not kill the worker: requests still queued
@@ -617,6 +722,95 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.percentile(0.5), Duration::from_micros(2));
         assert!(h.percentile(1.0) >= Duration::from_micros(1 << 31));
+    }
+
+    #[test]
+    fn expired_deadline_resolves_with_timeout_instead_of_blocking_the_batch() {
+        // A slow engine call occupies the single worker; requests queued
+        // behind it with a tiny deadline expire before the worker drains
+        // them, while a deadline-free request in the same drain is served.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let entered = Arc::new(AtomicBool::new(false));
+        let server = {
+            let entered = Arc::clone(&entered);
+            Server::from_fn(
+                BatchConfig { max_batch: 4, linger: Duration::ZERO, ..BatchConfig::default() },
+                move |batch: Vec<u32>| {
+                    entered.store(true, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(40));
+                    batch.into_iter().map(|v| Ok(v * 10)).collect()
+                },
+            )
+        };
+        let plug = server.submit(1).unwrap();
+        // Only submit behind the worker once it is provably inside the engine,
+        // so the doomed request cannot sneak into the first batch.
+        while !entered.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let doomed = server.submit_with_deadline(2, Duration::from_millis(10)).unwrap();
+        let survivor = server.submit(3).unwrap();
+        assert_eq!(plug.wait(), Ok(10));
+        assert_eq!(doomed.wait(), Err(ServeError::DeadlineExceeded));
+        assert_eq!(survivor.wait(), Ok(30));
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 3, "expired requests still resolve their handles");
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.latency.count(), 2, "timed-out requests must not pollute the latency histogram");
+        assert!(stats.mean_batch() <= 2.0);
+    }
+
+    #[test]
+    fn deadline_cuts_a_lingering_batch_early() {
+        // Linger is far longer than the request's slack: the scheduler must
+        // dispatch when the slack runs out, not when the linger ends.
+        let server = Server::from_fn(
+            BatchConfig {
+                max_batch: 64,
+                linger: Duration::from_secs(5),
+                deadline: Some(Duration::from_millis(30)),
+                ..BatchConfig::default()
+            },
+            |batch: Vec<u32>| batch.into_iter().map(Ok).collect(),
+        );
+        let start = Instant::now();
+        let handle = server.submit(7).unwrap();
+        assert_eq!(handle.wait(), Ok(7), "the request must be served, not timed out");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "batch must be cut at the ~30 ms deadline, not the 5 s linger (took {elapsed:?})"
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.deadline_expired, 0);
+    }
+
+    #[test]
+    fn config_default_deadline_applies_to_plain_submit() {
+        let server = Server::from_fn(
+            BatchConfig {
+                max_batch: 1,
+                linger: Duration::ZERO,
+                deadline: Some(Duration::ZERO),
+                ..BatchConfig::default()
+            },
+            |batch: Vec<u32>| {
+                std::thread::sleep(Duration::from_millis(20));
+                batch.into_iter().map(Ok).collect()
+            },
+        );
+        // First request is picked up immediately (may be served before its
+        // zero deadline is checked); everything queued behind the busy worker
+        // has already expired by the next drain.
+        let first = server.submit(0).unwrap();
+        let rest: Vec<_> = (1..5).map(|v| server.submit(v).unwrap()).collect();
+        let _ = first.wait();
+        let timed_out =
+            rest.into_iter().filter(|h| matches!(h.try_take(), Some(Err(ServeError::DeadlineExceeded)))).count();
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 5);
+        assert!(stats.deadline_expired >= timed_out as u64);
+        assert!(stats.deadline_expired >= 3, "zero default deadline must expire queued requests");
     }
 
     #[test]

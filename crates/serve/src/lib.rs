@@ -21,7 +21,18 @@
 //!   yields [`beamforming::iq::IqImage`]s through any
 //!   [`beamforming::pipeline::Beamformer`] (DAS, MVDR, Tiny-VBF, …), batching
 //!   frames through `beamform_batch_with_threads` so frames run concurrently
-//!   while each stays internally row-parallel under one bounded thread budget.
+//!   while each stays internally row-parallel under one bounded thread budget,
+//! * [`router`] — the multi-engine layer on top: a [`router::Router`]
+//!   dispatches *heterogeneous* streams (distinct probes, grids, sound
+//!   speeds, frame formats and backends) from one shared queue to lazily
+//!   spun-up engines, dividing one thread budget across each batch's
+//!   sub-streams and reporting per-engine latency and plan-cache counters.
+//!
+//! Latency policy: requests may carry **deadlines**
+//! ([`Server::submit_with_deadline`], [`BatchConfig::deadline`]) — the
+//! scheduler cuts a lingering batch early when the oldest request's slack
+//! runs out, and a request stuck past its deadline resolves with
+//! [`ServeError::DeadlineExceeded`] instead of blocking younger traffic.
 //!
 //! Everything is synchronous-core `std`: no async runtime, plain
 //! `Mutex`/`Condvar` scheduling, deterministic results — an image produced
@@ -49,9 +60,11 @@
 #![deny(missing_docs)]
 
 pub mod batcher;
+pub mod router;
 pub mod service;
 
 pub use batcher::{BatchConfig, BatchEngine, LatencyHistogram, ResponseHandle, Server, ServerStats, TrySubmitError};
+pub use router::{EngineFactory, EngineStats, Router, RouterStats, StreamSpec};
 
 use std::error::Error;
 use std::fmt;
@@ -78,6 +91,11 @@ pub enum ServeError {
     /// The batch engine panicked while processing this request's batch (the
     /// worker survives; only the batch in flight resolves with this error).
     WorkerDied,
+    /// The request's deadline passed while it was still queued, so it was
+    /// dropped from its batch and resolved with this timeout instead of
+    /// blocking younger requests (see
+    /// [`Server::submit_with_deadline`](batcher::Server::submit_with_deadline)).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ServeError {
@@ -91,6 +109,7 @@ impl fmt::Display for ServeError {
                 write!(f, "batch engine returned {actual} results for {expected} requests")
             }
             Self::WorkerDied => write!(f, "worker died before fulfilling the request"),
+            Self::DeadlineExceeded => write!(f, "request deadline expired before dispatch"),
         }
     }
 }

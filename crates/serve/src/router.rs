@@ -1,0 +1,445 @@
+//! Multi-engine serving router: one submission queue, one thread budget,
+//! many heterogeneous beamforming streams.
+//!
+//! A [`crate::service::BeamformEngine`] pins one probe, grid, sound speed and
+//! beamformer per server. Production front-ends see *heterogeneous* traffic —
+//! different probes, imaging grids, frame formats and backends (DAS, MVDR,
+//! Tiny-VBF) interleaved on one wire. The [`Router`] serves them all from a
+//! single micro-batching [`Server`]:
+//!
+//! * every request names its [`StreamSpec`] (probe + grid + sound speed +
+//!   backend); requests of *all* streams share one bounded submission queue,
+//!   so backpressure and deadlines apply globally,
+//! * a drained batch is partitioned by spec and dispatched to the matching
+//!   engines **concurrently**, the total thread budget divided across the
+//!   sub-batches proportionally to their sizes
+//!   ([`runtime::fair_shares`] + [`runtime::par_collect_shares`]),
+//! * engines spin up **lazily**: the first request of an unseen spec invokes
+//!   the [`EngineFactory`] and the built beamformer joins the
+//!   [`EngineRegistry`]; [`Router::warm`] spins one up (and builds its
+//!   beamforming plan) ahead of traffic,
+//! * underneath, the planned beamformers' multi-slot LRU
+//!   [`beamforming::plan::PlanCache`] keeps every stream shape's delay table
+//!   warm, so N interleaved shapes cause zero plan rebuilds after warm-up
+//!   (capacity permitting) — [`RouterStats`] proves it with per-engine
+//!   hit/miss/eviction counters.
+//!
+//! Routing is pure scheduling: each frame's image depends only on its own
+//! payload and its stream's configuration, so a routed image is **bitwise
+//! identical** to a serial `beamform` call with the same spec, for every mix
+//! of streams, batch size, linger, deadline and thread budget
+//! (`examples/route_demo.rs` and `serve/tests/router.rs` assert this).
+
+use crate::batcher::{BatchConfig, BatchEngine, LatencyHistogram, ResponseHandle, Server, ServerStats, TrySubmitError};
+use crate::{ServeError, ServeResult};
+use beamforming::grid::ImagingGrid;
+use beamforming::iq::IqImage;
+use beamforming::pipeline::Beamformer;
+use beamforming::plan::{FrameFormat, PlanCacheStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use ultrasound::{ChannelData, LinearArray};
+
+/// Everything that identifies one stream shape to the router: which engine
+/// must serve a frame and with what acquisition geometry.
+///
+/// Two requests belong to the same stream iff their specs compare equal
+/// (probe geometry, imaging grid, sound speed and backend label). The frame
+/// format — the remaining axis of the full stream key — is carried by each
+/// [`ChannelData`] itself and resolved *inside* the engine by the multi-slot
+/// plan cache, so one engine serves a stream whose sample count changes
+/// mid-flight without respawning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSpec {
+    /// Probe geometry of the stream's acquisitions.
+    pub array: LinearArray,
+    /// Imaging grid the stream's frames are reconstructed on.
+    pub grid: ImagingGrid,
+    /// Assumed speed of sound in m/s.
+    pub sound_speed: f32,
+    /// Which beamformer backend serves the stream (a label the
+    /// [`EngineFactory`] understands, e.g. `"das"`, `"mvdr"`, `"tiny-vbf"`).
+    pub backend: String,
+}
+
+impl StreamSpec {
+    /// Compact human-readable identifier used in stats and reports, e.g.
+    /// `"das/128ch/368x128"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}ch/{}x{}",
+            self.backend,
+            self.array.num_elements(),
+            self.grid.num_rows(),
+            self.grid.num_cols()
+        )
+    }
+}
+
+/// Builds the beamformer for a [`StreamSpec`] the first time the router sees
+/// it (lazy engine spin-up).
+///
+/// Implemented for closures, so a match over the backend label is enough:
+///
+/// ```
+/// use beamforming::pipeline::{DelayAndSum, PlannedDas};
+/// use serve::router::StreamSpec;
+/// use serve::{ServeError, ServeResult};
+/// use std::sync::Arc;
+///
+/// let factory = |spec: &StreamSpec| -> ServeResult<Arc<dyn beamforming::pipeline::Beamformer + Send + Sync>> {
+///     match spec.backend.as_str() {
+///         "das" => Ok(Arc::new(PlannedDas::new(DelayAndSum::default()))),
+///         other => Err(ServeError::Engine(format!("unknown backend {other}"))),
+///     }
+/// };
+/// # let _ = factory;
+/// ```
+pub trait EngineFactory: Send + Sync + 'static {
+    /// Builds the beamformer serving `spec`'s stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServeError`] (typically [`ServeError::Engine`]) when the
+    /// spec names an unknown backend or an unsupported configuration; every
+    /// queued request of that spec resolves with the error.
+    fn build(&self, spec: &StreamSpec) -> ServeResult<Arc<dyn Beamformer + Send + Sync>>;
+}
+
+impl<F> EngineFactory for F
+where
+    F: Fn(&StreamSpec) -> ServeResult<Arc<dyn Beamformer + Send + Sync>> + Send + Sync + 'static,
+{
+    fn build(&self, spec: &StreamSpec) -> ServeResult<Arc<dyn Beamformer + Send + Sync>> {
+        self(spec)
+    }
+}
+
+/// One spun-up engine: the beamformer plus its serving counters.
+struct EngineEntry {
+    spec: StreamSpec,
+    beamformer: Arc<dyn Beamformer + Send + Sync>,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+}
+
+impl EngineEntry {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            spec: self.spec.clone(),
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            latency: *self.latency.lock().expect("engine latency poisoned"),
+            plan_cache: self.beamformer.plan_cache_stats(),
+        }
+    }
+}
+
+/// The set of engines a router has spun up, in spin-up order.
+///
+/// Lookup is a linear scan over [`StreamSpec`] equality — routers serve a
+/// handful of stream shapes, not thousands, and the scan avoids imposing
+/// `Eq`/`Hash` on floating-point probe geometry.
+pub struct EngineRegistry {
+    engines: Mutex<Vec<Arc<EngineEntry>>>,
+    factory: Box<dyn EngineFactory>,
+}
+
+impl EngineRegistry {
+    fn new(factory: impl EngineFactory) -> Self {
+        Self { engines: Mutex::new(Vec::new()), factory: Box::new(factory) }
+    }
+
+    /// Returns the engine serving `spec`, spinning it up through the factory
+    /// on first sight. The factory runs under the registry lock, so
+    /// concurrent first-requests of one spec build one engine.
+    fn get_or_spawn(&self, spec: &StreamSpec) -> ServeResult<Arc<EngineEntry>> {
+        let mut engines = self.engines.lock().expect("engine registry poisoned");
+        if let Some(entry) = engines.iter().find(|e| e.spec == *spec) {
+            return Ok(Arc::clone(entry));
+        }
+        let beamformer = self.factory.build(spec)?;
+        let entry = Arc::new(EngineEntry {
+            spec: spec.clone(),
+            beamformer,
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            latency: Mutex::new(LatencyHistogram::default()),
+        });
+        engines.push(Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    fn len(&self) -> usize {
+        self.engines.lock().expect("engine registry poisoned").len()
+    }
+
+    fn snapshots(&self) -> Vec<EngineStats> {
+        self.engines.lock().expect("engine registry poisoned").iter().map(|e| e.snapshot()).collect()
+    }
+}
+
+/// One queued routed frame (the router's [`BatchEngine::Request`]).
+pub struct RoutedRequest {
+    spec: StreamSpec,
+    frame: ChannelData,
+    submitted_at: Instant,
+}
+
+/// The [`BatchEngine`] behind a [`Router`]: partitions each drained batch by
+/// [`StreamSpec`] and dispatches the sub-batches to their engines
+/// concurrently under one shared thread budget.
+pub struct RouterEngine {
+    registry: Arc<EngineRegistry>,
+    /// Total thread budget per dispatched batch, divided across the
+    /// sub-batches with [`runtime::fair_shares`].
+    threads: usize,
+}
+
+impl BatchEngine for RouterEngine {
+    type Request = RoutedRequest;
+    type Response = IqImage;
+
+    fn process_batch(&self, batch: Vec<RoutedRequest>) -> Vec<ServeResult<IqImage>> {
+        let n = batch.len();
+        // Partition by spec, preserving submission order within each group.
+        let mut groups: Vec<(StreamSpec, Vec<usize>)> = Vec::new();
+        for (i, request) in batch.iter().enumerate() {
+            match groups.iter_mut().find(|(spec, _)| *spec == request.spec) {
+                Some((_, indices)) => indices.push(i),
+                None => groups.push((request.spec.clone(), vec![i])),
+            }
+        }
+        // Move the frames out of the batch, grouped (no clones).
+        let mut frames: Vec<Option<ChannelData>> = batch.iter().map(|_| None).collect();
+        let mut submitted_at = Vec::with_capacity(n);
+        for (i, request) in batch.into_iter().enumerate() {
+            frames[i] = Some(request.frame);
+            submitted_at.push(request.submitted_at);
+        }
+        let group_frames: Vec<Vec<ChannelData>> = groups
+            .iter()
+            .map(|(_, indices)| {
+                indices.iter().map(|&i| frames[i].take().expect("frame moved twice")).collect()
+            })
+            .collect();
+        // Resolve engines up front (lazy spin-up happens here, serialized by
+        // the registry lock); a factory failure fails only its own group.
+        let engines: Vec<ServeResult<Arc<EngineEntry>>> =
+            groups.iter().map(|(spec, _)| self.registry.get_or_spawn(spec)).collect();
+
+        // Dispatch the sub-batches concurrently, sharing the router's thread
+        // budget proportionally to sub-batch size: frames of every stream run
+        // frame-concurrent and row-parallel inside their engine's share.
+        let sizes: Vec<usize> = group_frames.iter().map(Vec::len).collect();
+        let shares = runtime::fair_shares(self.threads, &sizes);
+        let group_results: Vec<Vec<ServeResult<IqImage>>> = runtime::par_collect_shares(&shares, |g| {
+            let engine = match &engines[g] {
+                Ok(engine) => engine,
+                Err(e) => return group_frames[g].iter().map(|_| Err(e.clone())).collect(),
+            };
+            let spec = &engine.spec;
+            engine
+                .beamformer
+                .beamform_batch_results(&group_frames[g], &spec.array, &spec.grid, spec.sound_speed, shares[g])
+                .into_iter()
+                .map(|r| r.map_err(|e| ServeError::Engine(e.to_string())))
+                .collect()
+        });
+
+        // Per-engine accounting, then scatter back to submission order.
+        let now = Instant::now();
+        let mut out: Vec<Option<ServeResult<IqImage>>> = (0..n).map(|_| None).collect();
+        for ((engine, (_, indices)), results) in engines.iter().zip(&groups).zip(group_results) {
+            if let Ok(engine) = engine {
+                engine.requests.fetch_add(indices.len() as u64, Ordering::Relaxed);
+                engine.batches.fetch_add(1, Ordering::Relaxed);
+                let mut latency = engine.latency.lock().expect("engine latency poisoned");
+                for &i in indices {
+                    latency.record(now.saturating_duration_since(submitted_at[i]));
+                }
+            }
+            for (&i, result) in indices.iter().zip(results) {
+                out[i] = Some(result);
+            }
+        }
+        out.into_iter().map(|r| r.expect("router dropped a request")).collect()
+    }
+}
+
+/// Per-engine serving counters (one element of [`RouterStats`]).
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// The stream shape the engine serves.
+    pub spec: StreamSpec,
+    /// Frames this engine beamformed.
+    pub requests: u64,
+    /// Dispatches (sub-batches) this engine executed.
+    pub batches: u64,
+    /// Submit → beamformed latency distribution of this engine's frames.
+    pub latency: LatencyHistogram,
+    /// The engine beamformer's plan-cache counters, when it has a cache
+    /// (see [`Beamformer::plan_cache_stats`]). Zero `misses` growth after
+    /// warm-up proves the multi-slot cache never thrashes.
+    pub plan_cache: Option<PlanCacheStats>,
+}
+
+/// Snapshot of a [`Router`]'s work: the shared server counters plus the
+/// per-engine breakdown.
+#[derive(Debug, Clone)]
+pub struct RouterStats {
+    /// Counters of the shared submission queue / scheduler (including
+    /// [`ServerStats::deadline_expired`]).
+    pub server: ServerStats,
+    /// One entry per spun-up engine, in spin-up order.
+    pub engines: Vec<EngineStats>,
+}
+
+impl RouterStats {
+    /// Aggregated plan-cache counters over every engine that has a cache.
+    pub fn plan_cache_total(&self) -> PlanCacheStats {
+        let mut total = PlanCacheStats::default();
+        for engine in &self.engines {
+            if let Some(stats) = &engine.plan_cache {
+                total.merge(stats);
+            }
+        }
+        total
+    }
+}
+
+/// A multi-stream beamforming server: heterogeneous
+/// `(probe, grid, sound speed, backend)` streams in, [`IqImage`]s out, one
+/// bounded queue and one thread budget across all of them.
+///
+/// See the [module documentation](self) for the architecture and
+/// `examples/route_demo.rs` for an end-to-end run.
+pub struct Router {
+    server: Server<RouterEngine>,
+    registry: Arc<EngineRegistry>,
+}
+
+impl Router {
+    /// Spawns a router over the factory with the workspace-default thread
+    /// budget split across the batch workers (`default_threads / workers`
+    /// per dispatch, at least 1), like
+    /// [`beamform_server`](crate::service::beamform_server).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`BatchConfig`] (zero `max_batch`, capacity or
+    /// workers).
+    pub fn new(config: BatchConfig, factory: impl EngineFactory) -> Self {
+        let per_dispatch = (runtime::default_threads() / config.workers.max(1)).max(1);
+        Self::with_threads(config, factory, per_dispatch)
+    }
+
+    /// [`Router::new`] with an explicit total thread budget per dispatched
+    /// batch (shared by that batch's sub-batches via
+    /// [`runtime::fair_shares`]).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Router::new`].
+    pub fn with_threads(config: BatchConfig, factory: impl EngineFactory, threads: usize) -> Self {
+        let registry = Arc::new(EngineRegistry::new(factory));
+        let engine = RouterEngine { registry: Arc::clone(&registry), threads: threads.max(1) };
+        Self { server: Server::new(config, engine), registry }
+    }
+
+    /// Submits one frame of `spec`'s stream, blocking while the shared queue
+    /// is full (backpressure). Carries the configured default deadline, if
+    /// any.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::ShuttingDown`] (with the frame returned) once
+    /// [`Router::shutdown`] has begun.
+    pub fn submit(
+        &self,
+        spec: &StreamSpec,
+        frame: ChannelData,
+    ) -> Result<ResponseHandle<IqImage>, TrySubmitError<ChannelData>> {
+        self.server.submit(self.routed(spec, frame)).map_err(strip_routing)
+    }
+
+    /// [`Router::submit`] with an explicit per-request deadline (see
+    /// [`Server::submit_with_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Router::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        spec: &StreamSpec,
+        frame: ChannelData,
+        deadline: Duration,
+    ) -> Result<ResponseHandle<IqImage>, TrySubmitError<ChannelData>> {
+        self.server.submit_with_deadline(self.routed(spec, frame), deadline).map_err(strip_routing)
+    }
+
+    /// Non-blocking [`Router::submit`]: sheds load instead of waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::Full`] at capacity, [`TrySubmitError::ShuttingDown`]
+    /// after shutdown — both return the frame.
+    pub fn try_submit(
+        &self,
+        spec: &StreamSpec,
+        frame: ChannelData,
+    ) -> Result<ResponseHandle<IqImage>, TrySubmitError<ChannelData>> {
+        self.server.try_submit(self.routed(spec, frame)).map_err(strip_routing)
+    }
+
+    fn routed(&self, spec: &StreamSpec, frame: ChannelData) -> RoutedRequest {
+        RoutedRequest { spec: spec.clone(), frame, submitted_at: Instant::now() }
+    }
+
+    /// Spins up (or finds) the engine for `spec` and warms its per-stream
+    /// caches for the given frame format, so the stream's first frame pays
+    /// neither the factory nor the plan build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the factory's error; plan building itself is best-effort
+    /// (see [`Beamformer::prepare`]).
+    pub fn warm(&self, spec: &StreamSpec, frame: &FrameFormat) -> ServeResult<()> {
+        let entry = self.registry.get_or_spawn(spec)?;
+        entry.beamformer.prepare(&spec.array, &spec.grid, spec.sound_speed, frame);
+        Ok(())
+    }
+
+    /// Number of engines spun up so far.
+    pub fn num_engines(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Number of requests currently queued (all streams share this queue).
+    pub fn queue_depth(&self) -> usize {
+        self.server.queue_depth()
+    }
+
+    /// Snapshot of the shared server counters and the per-engine breakdown.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats { server: self.server.stats(), engines: self.registry.snapshots() }
+    }
+
+    /// Graceful shutdown: stops intake, drains every accepted request
+    /// (expired deadlines resolve as timeouts), joins the workers and
+    /// returns the final counters.
+    pub fn shutdown(self) -> RouterStats {
+        let registry = Arc::clone(&self.registry);
+        let server = self.server.shutdown();
+        RouterStats { server, engines: registry.snapshots() }
+    }
+}
+
+fn strip_routing(e: TrySubmitError<RoutedRequest>) -> TrySubmitError<ChannelData> {
+    match e {
+        TrySubmitError::Full(r) => TrySubmitError::Full(r.frame),
+        TrySubmitError::ShuttingDown(r) => TrySubmitError::ShuttingDown(r.frame),
+    }
+}

@@ -83,7 +83,7 @@ fn pending_requests_coalesce_into_one_batch() {
         let gate = Arc::clone(&gate);
         let sizes = Arc::clone(&sizes);
         Server::from_fn(
-            BatchConfig { max_batch: 8, linger: Duration::ZERO, queue_capacity: 16, workers: 1 },
+            BatchConfig { max_batch: 8, linger: Duration::ZERO, queue_capacity: 16, ..BatchConfig::default() },
             move |batch: Vec<usize>| {
                 sizes.lock().unwrap().push(batch.len());
                 // Only the plug request (value 0) blocks on the gate.
@@ -115,7 +115,7 @@ fn full_queue_rejects_try_submit_and_backpressures_submit() {
     let server = {
         let gate = Arc::clone(&gate);
         Server::from_fn(
-            BatchConfig { max_batch: 1, linger: Duration::ZERO, queue_capacity: 2, workers: 1 },
+            BatchConfig { max_batch: 1, linger: Duration::ZERO, queue_capacity: 2, ..BatchConfig::default() },
             move |batch: Vec<usize>| {
                 gate.enter_and_wait();
                 batch.into_iter().map(Ok).collect()
@@ -166,6 +166,7 @@ fn shutdown_drains_in_flight_requests() {
         linger: Duration::from_millis(50),
         queue_capacity: 64,
         workers: 2,
+        ..BatchConfig::default()
     });
     let handles: Vec<_> = (0..40).map(|v| server.submit(v).unwrap()).collect();
     // Shut down immediately: every accepted request must still resolve.
@@ -222,7 +223,7 @@ fn wrong_result_count_is_reported_not_hung() {
     let server = {
         let gate = Arc::clone(&gate);
         Server::from_fn(
-            BatchConfig { max_batch: 4, linger: Duration::ZERO, queue_capacity: 16, workers: 1 },
+            BatchConfig { max_batch: 4, linger: Duration::ZERO, queue_capacity: 16, ..BatchConfig::default() },
             move |batch: Vec<usize>| {
                 if batch[0] == 0 {
                     gate.enter_and_wait();
@@ -247,7 +248,7 @@ fn wrong_result_count_is_reported_not_hung() {
 #[test]
 fn engine_panic_resolves_its_batch_and_the_worker_survives() {
     let server = Server::from_fn(
-        BatchConfig { max_batch: 1, linger: Duration::ZERO, queue_capacity: 8, workers: 1 },
+        BatchConfig { max_batch: 1, linger: Duration::ZERO, queue_capacity: 8, ..BatchConfig::default() },
         |batch: Vec<usize>| {
             assert!(!batch.is_empty(), "empty batches must never be dispatched");
             if batch[0] == 13 {

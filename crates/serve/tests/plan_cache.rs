@@ -76,6 +76,70 @@ fn served_planned_das_rebuilds_once_on_frame_format_change() {
 }
 
 #[test]
+fn served_alternating_formats_stay_warm_in_the_multi_slot_cache() {
+    // A stream that interleaves two acquisition depths frame by frame: the
+    // single-slot cache of PR 3 would rebuild the plan on *every* frame;
+    // the multi-slot LRU keeps both plans warm after the two cold builds.
+    let array = LinearArray::small_test_array();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.008, 16, 8);
+    let segment_a = frames_with_depth(&array, 0.024, 4, 300);
+    let segment_b = frames_with_depth(&array, 0.030, 4, 400);
+    let interleaved: Vec<ChannelData> =
+        segment_a.iter().zip(&segment_b).flat_map(|(a, b)| [a.clone(), b.clone()]).collect();
+
+    let planned = Arc::new(PlannedDas::new(DelayAndSum::default()));
+    let engine = BeamformEngine::new(Arc::clone(&planned), array.clone(), grid.clone(), 1540.0);
+    engine.warm(&FrameFormat::of(&segment_a[0]));
+    engine.warm(&FrameFormat::of(&segment_b[0]));
+    assert_eq!(planned.plans_built(), 2, "warm-up must build one plan per format");
+
+    let das = DelayAndSum::default();
+    let reference: Vec<IqImage> =
+        interleaved.iter().map(|f| das.beamform(f, &array, &grid, 1540.0).unwrap()).collect();
+    let server = Server::new(BatchConfig { max_batch: 4, ..BatchConfig::default() }, engine);
+    let handles: Vec<_> = interleaved.iter().map(|f| server.submit(f.clone()).unwrap()).collect();
+    let served: Vec<IqImage> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+    server.shutdown();
+
+    assert_eq!(reference, served, "alternating formats must not change any pixel");
+    assert_eq!(planned.plans_built(), 2, "zero plan rebuilds after warm-up");
+    let stats = planned.cache_stats();
+    assert_eq!(stats.misses, 2);
+    assert_eq!(stats.hits, 8, "every served frame must hit a warm plan");
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(stats.entries, 2);
+}
+
+#[test]
+fn lru_eviction_order_holds_through_the_serving_path() {
+    // Capacity 2 under three interleaved formats: the least-recently-served
+    // format is the one evicted, and returning to it is the only rebuild.
+    let array = LinearArray::small_test_array();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.008, 8, 8);
+    let planned = Arc::new(PlannedDas::with_cache_capacity(DelayAndSum::default(), 2));
+    let engine = BeamformEngine::new(Arc::clone(&planned), array.clone(), grid, 1540.0);
+    let frame = |n: usize| ChannelData::zeros(n, array.num_elements(), array.sampling_frequency());
+    let (a, b, c) = (frame(128), frame(160), frame(192));
+
+    let serve_one = |f: &ChannelData| {
+        let results = serve::BatchEngine::process_batch(&engine, vec![f.clone()]);
+        results.into_iter().next().unwrap().unwrap()
+    };
+    serve_one(&a); // build A            -> [A]
+    serve_one(&b); // build B            -> [B, A]
+    serve_one(&a); // hit A (refresh)    -> [A, B]
+    serve_one(&c); // build C, evict B   -> [C, A]
+    serve_one(&a); // hit A              -> [A, C]
+    let stats = planned.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 3, 1));
+    serve_one(&b); // B was evicted: rebuild, evicting C (the LRU entry)
+    serve_one(&a); // A stayed warm through everything
+    let stats = planned.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.evictions), (3, 4, 2));
+    assert_eq!(stats.entries, 2);
+}
+
+#[test]
 fn warm_is_idempotent_and_best_effort() {
     let array = LinearArray::small_test_array();
     let grid = ImagingGrid::for_array(&array, 0.012, 0.008, 8, 8);

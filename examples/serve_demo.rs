@@ -48,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         linger: Duration::from_millis(1),
         queue_capacity: 32,
         workers: 1,
+        ..BatchConfig::default()
     };
     println!(
         "serving (max_batch {}, linger {:?}, queue {}, {} worker)…",

@@ -24,6 +24,7 @@ pub mod prelude {
     pub use beamforming::pipeline::{Beamformer, DelayAndSum, Mvdr};
     pub use beamforming::BModeImage;
     pub use quantize::QuantScheme;
+    pub use serve::router::{Router, StreamSpec};
     pub use serve::service::{beamform_server, BeamformEngine, BeamformServer};
     pub use serve::{BatchConfig, Server};
     pub use tiny_vbf::config::TinyVbfConfig;
