@@ -11,6 +11,45 @@ use crate::plan::{FrameFormat, PlanCacheStats};
 use crate::BeamformResult;
 use ultrasound::{ChannelData, LinearArray};
 
+/// Accuracy-proxy counters a lossy beamformer (e.g. a fixed-point Tiny-VBF
+/// backend) accumulates while serving, so quality degradation is observable
+/// under load without re-running a float reference per frame.
+///
+/// Energies are accumulated as `f64` sums across frames; the aggregate
+/// signal-to-quantization-noise ratio follows as
+/// `10·log10(signal/noise)` ([`QuantQualityStats::sqnr_db`]). A pure
+/// floating-point backend accumulates zero noise and reports an infinite
+/// SQNR.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QuantQualityStats {
+    /// Frames the counters cover.
+    pub frames: u64,
+    /// Accumulated signal energy (sum of squared reference values).
+    pub signal_energy: f64,
+    /// Accumulated quantization-noise energy (sum of squared
+    /// reference − quantized differences).
+    pub noise_energy: f64,
+}
+
+impl QuantQualityStats {
+    /// Aggregate signal-to-quantization-noise ratio in dB over every counted
+    /// frame. `f64::INFINITY` when no noise was accumulated (floating-point
+    /// backends, or no frames yet).
+    pub fn sqnr_db(&self) -> f64 {
+        if self.noise_energy <= 0.0 {
+            return f64::INFINITY;
+        }
+        10.0 * (self.signal_energy / self.noise_energy).log10()
+    }
+
+    /// Folds another snapshot into this one (for totals across engines).
+    pub fn merge(&mut self, other: &QuantQualityStats) {
+        self.frames += other.frames;
+        self.signal_energy += other.signal_energy;
+        self.noise_energy += other.noise_energy;
+    }
+}
+
 /// Anything that turns raw channel data into an IQ image on a grid.
 ///
 /// The `tiny-vbf` crate implements this trait for its learned beamformers so the
@@ -131,6 +170,17 @@ pub trait Beamformer: Sync {
         None
     }
 
+    /// Accuracy-proxy counters of a lossy (e.g. fixed-point) beamformer, if
+    /// it tracks them.
+    ///
+    /// Quantized backends report accumulated signal/quantization-noise
+    /// energies here so a serving layer can surface per-backend SQNR under
+    /// load through a `dyn Beamformer` (see `serve::router::EngineStats`).
+    /// The default is `None` (exact beamformer, nothing to report).
+    fn quant_quality_stats(&self) -> Option<QuantQualityStats> {
+        None
+    }
+
     /// Convenience: beamform and log-compress to a B-mode image.
     ///
     /// # Errors
@@ -219,6 +269,10 @@ impl<B: Beamformer + Send + Sync + ?Sized> Beamformer for std::sync::Arc<B> {
 
     fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
         (**self).plan_cache_stats()
+    }
+
+    fn quant_quality_stats(&self) -> Option<QuantQualityStats> {
+        (**self).quant_quality_stats()
     }
 }
 

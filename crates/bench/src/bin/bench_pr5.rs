@@ -1,0 +1,228 @@
+//! PR-5 quantized-serving benchmark: every Table III quantization scheme as
+//! its own `serve::router::Router` backend — float plus the uniform 24/20/16
+//! bit and Hybrid-1/2 fixed-point schemes — load-tested through **one** queue
+//! and thread budget at the paper's 368 × 128 PICMUS grid on the 128-channel
+//! L11-5v probe, reporting per-scheme throughput, p50/p99 latency and the
+//! accumulated input-quantization SQNR accuracy proxy.
+//!
+//! Writes `BENCH_pr5.json` into the current directory. Run with
+//! `cargo run --release -p bench --bin bench_pr5`; set `BENCH_PR5_FAST=1` for
+//! a quicker smoke configuration (reduced probe/grid/model) and
+//! `BENCH_PR5_FRAMES=n` to override the frames per scheme. Before any
+//! timing, every served image is asserted **bitwise identical** to serial
+//! per-frame quantized inference, and all per-scheme engines are asserted to
+//! replay **one shared ToF plan** (the plan depends on the stream geometry,
+//! not the scheme). In the JSON, `quality_frames` counts reference + served
+//! frames (the reference clones share the engines' quality accumulators),
+//! so it reads 2× `requests`.
+
+use beamforming::grid::ImagingGrid;
+use beamforming::iq::IqImage;
+use beamforming::pipeline::Beamformer;
+use beamforming::plan::{FrameFormat, PlanCache};
+use quantize::QuantScheme;
+use serve::router::{Router, StreamSpec};
+use serve::{BatchConfig, ServeError, ServeResult};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tiny_vbf::config::TinyVbfConfig;
+use tiny_vbf::model::TinyVbf;
+use tiny_vbf::quantized::{QuantizedTinyVbf, QuantizedTinyVbfBeamformer};
+use ultrasound::{ChannelData, LinearArray};
+
+/// Deterministic pseudo-random RF frame (inference cost is independent of
+/// the sample values, so a cheap LCG replaces the full simulator at the
+/// paper-scale grid).
+fn synthetic_frame(array: &LinearArray, num_samples: usize, seed: u64) -> ChannelData {
+    let mut data = ChannelData::zeros(num_samples, array.num_elements(), array.sampling_frequency());
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for v in data.as_mut_slice() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *v = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+    }
+    data
+}
+
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let fast = std::env::var("BENCH_PR5_FAST").is_ok();
+    let threads = runtime::default_threads();
+
+    // Full mode runs the paper deployment shape: L11-5v, 368 × 128 grid,
+    // 128-channel / 128-token Tiny-VBF. Fast mode shrinks everything.
+    let (array, rows, cols, depth_extent, num_samples, frames_per_scheme) = if fast {
+        (LinearArray::small_test_array(), 46, 32, 15.0e-3, 1024, 3)
+    } else {
+        (LinearArray::l11_5v(), 368, 128, 40.0e-3, 2048, 6)
+    };
+    let frames_per_scheme = std::env::var("BENCH_PR5_FRAMES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(frames_per_scheme);
+    let grid = ImagingGrid::for_array(&array, 5.0e-3, depth_extent, rows, cols);
+    let config = TinyVbfConfig::paper().for_frame(array.num_elements(), grid.num_cols());
+    let model = TinyVbf::new(&config).expect("model");
+
+    let schemes = QuantScheme::all();
+    let specs: Vec<StreamSpec> = schemes
+        .iter()
+        .map(|scheme| StreamSpec {
+            array: array.clone(),
+            grid: grid.clone(),
+            sound_speed: 1540.0,
+            backend: scheme.backend_label().into(),
+        })
+        .collect();
+
+    // One per-scheme backend each, all replaying one shared ToF plan.
+    println!("quantizing {} backends ({} weights each)…", schemes.len(), model.num_weights());
+    let shared_tof = Arc::new(PlanCache::new(2));
+    let backends: Vec<QuantizedTinyVbfBeamformer> = schemes
+        .iter()
+        .map(|scheme| {
+            QuantizedTinyVbfBeamformer::with_tof_cache(
+                QuantizedTinyVbf::from_model(&model, *scheme),
+                Arc::clone(&shared_tof),
+            )
+        })
+        .collect();
+
+    let frames: Vec<ChannelData> =
+        (0..frames_per_scheme).map(|i| synthetic_frame(&array, num_samples, 2024 + i as u64)).collect();
+
+    // Serial per-frame quantized reference for the bitwise assertion. The
+    // served engines are clones sharing weights, the ToF plan cache AND the
+    // quality accumulators, so the reported `quality_frames` counts
+    // reference + served frames (2× `requests`).
+    println!("serial reference: {} schemes × {frames_per_scheme} frames at {rows}x{cols}…", schemes.len());
+    let reference: Vec<Vec<IqImage>> = backends
+        .iter()
+        .map(|backend| {
+            frames.iter().map(|f| backend.beamform(f, &array, &grid, 1540.0).expect("reference")).collect()
+        })
+        .collect();
+
+    let total = schemes.len() * frames_per_scheme;
+    let factory = {
+        let backends = backends.clone();
+        let schemes = schemes.clone();
+        move |spec: &StreamSpec| -> ServeResult<Arc<dyn Beamformer + Send + Sync>> {
+            match schemes.iter().position(|s| s.backend_label() == spec.backend) {
+                Some(i) => Ok(Arc::new(backends[i].clone())),
+                None => Err(ServeError::Engine(format!("unknown backend {}", spec.backend))),
+            }
+        }
+    };
+    let router = Router::new(
+        BatchConfig {
+            max_batch: 8,
+            linger: Duration::from_micros(300),
+            queue_capacity: total.max(1),
+            ..BatchConfig::default()
+        },
+        factory,
+    );
+    for spec in &specs {
+        router.warm(spec, &FrameFormat::of(&frames[0])).expect("warm");
+    }
+    // Every engine shares `shared_tof`, so assert on the cache itself (the
+    // per-engine snapshots in RouterStats would each re-count it).
+    let warm_misses = shared_tof.stats().misses;
+    assert_eq!(warm_misses, 1, "all schemes must share one ToF plan");
+
+    // Offered load: every scheme's stream interleaved frame by frame.
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(total);
+    for i in 0..frames_per_scheme {
+        for (s, spec) in specs.iter().enumerate() {
+            handles.push((s, i, router.submit(spec, frames[i].clone()).expect("submit")));
+        }
+    }
+    for (s, i, handle) in handles {
+        let image = handle.wait().expect("serve");
+        assert_eq!(reference[s][i], image, "scheme {} frame {i} != serial quantized inference", schemes[s].name);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let achieved_fps = total as f64 / elapsed;
+
+    let stats = router.shutdown();
+    assert_eq!(stats.server.completed, total as u64);
+    assert_eq!(shared_tof.stats().misses, warm_misses, "zero ToF plan rebuilds after warm-up");
+    assert_eq!(shared_tof.stats().evictions, 0);
+
+    println!(
+        "{total} frames served in {elapsed:.2} s ({achieved_fps:.1} frames/sec, {threads} threads, {rows}x{cols})"
+    );
+    let mut entries = String::new();
+    for (scheme, spec) in schemes.iter().zip(&specs) {
+        let engine = stats.engines.iter().find(|e| e.spec == *spec).expect("engine");
+        let quality = engine.quant_quality.expect("quantized backends report quality");
+        let sqnr = quality.sqnr_db();
+        println!(
+            "  {:<10} ({:<15}) {:>3} frames | p50 {:>8.2} ms | p99 {:>8.2} ms | input SQNR {:>8.2} dB",
+            scheme.name,
+            spec.backend,
+            engine.requests,
+            engine.latency.p50().as_secs_f64() * 1e3,
+            engine.latency.p99().as_secs_f64() * 1e3,
+            sqnr,
+        );
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        write!(
+            entries,
+            r#"    {{
+      "scheme": "{}",
+      "backend": "{}",
+      "weight_bits": {},
+      "datapath_bits": {},
+      "requests": {},
+      "p50_ms": {:.3},
+      "p99_ms": {:.3},
+      "input_sqnr_db": {},
+      "quality_frames": {}
+    }}"#,
+            scheme.name,
+            spec.backend,
+            scheme.weight_bits(),
+            scheme.datapath_bits(),
+            engine.requests,
+            engine.latency.p50().as_secs_f64() * 1e3,
+            engine.latency.p99().as_secs_f64() * 1e3,
+            json_f64(sqnr),
+            quality.frames,
+        )
+        .expect("format scheme entry");
+    }
+
+    let json = format!(
+        r#"{{
+  "pr": 5,
+  "threads": {threads},
+  "grid_rows": {rows},
+  "grid_cols": {cols},
+  "channels": {},
+  "frames_per_scheme": {frames_per_scheme},
+  "achieved_fps": {achieved_fps:.2},
+  "tof_plans_built": {},
+  "schemes": [
+{entries}
+  ]
+}}
+"#,
+        array.num_elements(),
+        warm_misses,
+    );
+    std::fs::write("BENCH_pr5.json", json).expect("write BENCH_pr5.json");
+    println!("wrote BENCH_pr5.json");
+}

@@ -28,6 +28,49 @@ fn normalized_cube(
     Ok(cube)
 }
 
+/// The planned counterpart of [`normalized_cube`]: fetches (or builds) the
+/// dense ToF plan from `plans` and replays it — bitwise identical to the
+/// direct path. Shared by the float and quantized serving adapters.
+pub(crate) fn planned_normalized_cube(
+    plans: &PlanCache,
+    data: &ChannelData,
+    array: &LinearArray,
+    grid: &ImagingGrid,
+    sound_speed: f32,
+) -> BeamformResult<TofCube> {
+    let frame = FrameFormat::of(data);
+    let plan = plans.get_or_build(array, grid, sound_speed, &frame, || {
+        BeamformPlan::for_tof(array, grid, PlaneWave::zero_angle(), sound_speed, frame)
+    })?;
+    let mut cube = tof_correct_planned(data, &plan)?;
+    cube.normalize();
+    Ok(cube)
+}
+
+/// Best-effort [`Beamformer::prepare`] body for a dense-ToF plan cache:
+/// builds the plan now so a stream's first frame doesn't pay it
+/// (configuration errors surface on the next beamform call instead).
+pub(crate) fn warm_tof_plan(
+    plans: &PlanCache,
+    array: &LinearArray,
+    grid: &ImagingGrid,
+    sound_speed: f32,
+    frame: &FrameFormat,
+) {
+    let _ = plans.get_or_build(array, grid, sound_speed, frame, || {
+        BeamformPlan::for_tof(array, grid, PlaneWave::zero_angle(), sound_speed, *frame)
+    });
+}
+
+/// Writes one `(cols, 2)` network output row as the (I, Q) pixels of an
+/// image row — the [`parallel_row_sweep`] writer of the IQ-predicting
+/// beamformers.
+pub(crate) fn write_iq_row(out: &neural::tensor::Tensor, out_row: &mut [Complex32]) {
+    for (col, px) in out_row.iter_mut().enumerate() {
+        *px = Complex32::new(out.at(col, 0), out.at(col, 1));
+    }
+}
+
 /// Sweeps a row-streaming network over every depth row of `cube` in parallel.
 ///
 /// Image rows are split into disjoint chunks across `num_threads` scoped
@@ -36,7 +79,7 @@ fn normalized_cube(
 /// runs `infer` per row and converts the `(cols, …)` output tensor into the
 /// pixel values of that row via `write`. Each row's output depends only on its
 /// own input, so the image is bitwise identical for every thread count.
-fn parallel_row_sweep<T, M>(
+pub(crate) fn parallel_row_sweep<T, M>(
     cube: &TofCube,
     out: &mut [T],
     num_threads: usize,
@@ -146,13 +189,7 @@ impl TinyVbfBeamformer {
         grid: &ImagingGrid,
         sound_speed: f32,
     ) -> BeamformResult<TofCube> {
-        let frame = FrameFormat::of(data);
-        let plan = self.tof_plans.get_or_build(array, grid, sound_speed, &frame, || {
-            BeamformPlan::for_tof(array, grid, PlaneWave::zero_angle(), sound_speed, frame)
-        })?;
-        let mut cube = tof_correct_planned(data, &plan)?;
-        cube.normalize();
-        Ok(cube)
+        planned_normalized_cube(&self.tof_plans, data, array, grid, sound_speed)
     }
 
     /// Runs the model over every row of a (already normalized) ToF cube,
@@ -184,11 +221,7 @@ impl TinyVbfBeamformer {
             num_threads,
             &|| self.model.clone(),
             &|model, input| model.infer_row(input),
-            &|out, out_row| {
-                for (col, px) in out_row.iter_mut().enumerate() {
-                    *px = Complex32::new(out.at(col, 0), out.at(col, 1));
-                }
-            },
+            &write_iq_row,
         )?;
         Ok(IqImage::from_data(data, grid.clone())?)
     }
@@ -214,9 +247,7 @@ impl Beamformer for TinyVbfBeamformer {
     fn prepare(&self, array: &LinearArray, grid: &ImagingGrid, sound_speed: f32, frame: &FrameFormat) {
         // Best effort, like the planned classical wrappers: build the ToF
         // plan now so the stream's first frame doesn't pay it.
-        let _ = self.tof_plans.get_or_build(array, grid, sound_speed, frame, || {
-            BeamformPlan::for_tof(array, grid, PlaneWave::zero_angle(), sound_speed, *frame)
-        });
+        warm_tof_plan(&self.tof_plans, array, grid, sound_speed, frame);
     }
 
     fn plan_cache_stats(&self) -> Option<PlanCacheStats> {

@@ -6,19 +6,34 @@
 //! multiply-accumulate result, every softmax, and every intermediate activation
 //! (Table III). Evaluating the resulting images against the float model reproduces
 //! Tables IV and V and Fig. 15.
+//!
+//! Two entry points consume a quantized model:
+//!
+//! * [`QuantizedTinyVbf`] — the raw fixed-point network (row / cube / batch
+//!   inference) plus a direct [`Beamformer`] impl used by the evaluation
+//!   harness,
+//! * [`QuantizedTinyVbfBeamformer`] — the **serving** adapter: planned ToF
+//!   (shared [`PlanCache`], like [`crate::inference::TinyVbfBeamformer`]),
+//!   row-parallel sweeps, and per-stream SQNR accuracy-proxy counters
+//!   surfaced through [`Beamformer::quant_quality_stats`] so a
+//!   `serve::router::Router` can expose quantization degradation per backend
+//!   label under load.
 
+use crate::inference::parallel_row_sweep;
 use crate::model::{TinyVbf, TinyVbfWeights, TransformerBlockWeights};
 use crate::training::cube_row;
-use crate::TinyVbfResult;
+use crate::{TinyVbfError, TinyVbfResult};
 use beamforming::grid::ImagingGrid;
 use beamforming::iq::IqImage;
-use beamforming::pipeline::Beamformer;
+use beamforming::pipeline::{Beamformer, QuantQualityStats};
+use beamforming::plan::{FrameFormat, PlanCache, PlanCacheStats};
 use beamforming::tof::{tof_correct, TofCube};
 use beamforming::{BeamformError, BeamformResult};
 use neural::activation::softmax_rows;
 use neural::tensor::Tensor;
 use quantize::quantizer::quantize_for_role;
 use quantize::{QuantScheme, TensorRole};
+use std::sync::{Arc, Mutex};
 use ultrasound::{ChannelData, LinearArray, PlaneWave};
 use usdsp::Complex32;
 
@@ -162,6 +177,48 @@ impl QuantizedTinyVbf {
         self.q_inter(out.map(|v| v.tanh()))
     }
 
+    fn check_row(&self, row: &Tensor) -> TinyVbfResult<()> {
+        if row.shape().len() != 2 || row.cols() != self.weights.config.channels {
+            return Err(TinyVbfError::ShapeMismatch {
+                expected: format!("(tokens, {}) row", self.weights.config.channels),
+                actual: format!("{:?}", row.shape()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Quantized inference over a batch of independent depth rows, split
+    /// across the workspace-default worker threads — the fixed-point
+    /// counterpart of [`TinyVbf::forward_batch`].
+    ///
+    /// Each row's output depends only on that row, so batch results are
+    /// **bitwise identical** to serial per-row [`QuantizedTinyVbf::infer_row`]
+    /// calls for every thread count (asserted by this module's tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyVbfError::ShapeMismatch`] (for the first offending row in
+    /// input order) when any row's width differs from the configured channel
+    /// count.
+    pub fn forward_batch(&self, rows: &[Tensor]) -> TinyVbfResult<Vec<Tensor>> {
+        self.forward_batch_with_threads(rows, runtime::default_threads())
+    }
+
+    /// [`QuantizedTinyVbf::forward_batch`] with an explicit *total* thread
+    /// budget, split via [`runtime::split_budget`] (rows concurrent across
+    /// the outer workers, each row's matmuls capped at the inner share).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedTinyVbf::forward_batch`].
+    pub fn forward_batch_with_threads(&self, rows: &[Tensor], num_threads: usize) -> TinyVbfResult<Vec<Tensor>> {
+        for row in rows {
+            self.check_row(row)?;
+        }
+        let (outer, inner) = runtime::split_budget(num_threads, rows.len());
+        Ok(runtime::par_collect_budgeted(rows.len(), outer, inner, |i| self.infer_row(&rows[i])))
+    }
+
     /// Runs quantized inference over every row of a normalized ToF cube.
     ///
     /// # Errors
@@ -196,6 +253,225 @@ impl Beamformer for QuantizedTinyVbf {
         cube.normalize();
         self.beamform_cube(&cube, grid)
             .map_err(|e| BeamformError::InvalidParameter { name: "quantized_tiny_vbf", reason: e.to_string() })
+    }
+}
+
+/// Fixed-point Tiny-VBF as a first-class **serving** backend.
+///
+/// Where the raw [`QuantizedTinyVbf`] beamforms serially through the direct
+/// [`tof_correct`] (fine for the evaluation harness), this adapter is built
+/// for the `serve` stack:
+///
+/// * the ToF cube goes through a cached dense
+///   [`BeamformPlan`](beamforming::plan::BeamformPlan)
+///   ([`tof_correct_planned`](beamforming::tof::tof_correct_planned),
+///   bitwise identical to the direct path), with
+///   the [`PlanCache`] shareable across backends — the ToF geometry does not
+///   depend on the quantization scheme, so every per-scheme engine of a
+///   router can replay **one** plan ([`QuantizedTinyVbfBeamformer::with_tof_cache`]),
+/// * the row sweep is parallel via `runtime` (bitwise identical for every
+///   thread count), and batches inherit the frame-concurrent × row-parallel
+///   default of [`Beamformer::beamform_batch_results`],
+/// * every served frame accumulates an SQNR **accuracy proxy** — the
+///   signal/noise energies of rounding the normalized ToF cube onto the
+///   scheme's intermediate grid (the first quantization the datapath
+///   applies) — surfaced through [`Beamformer::quant_quality_stats`] so
+///   `RouterStats` can report per-backend degradation under load.
+///
+/// [`Beamformer::name`] returns the scheme's serving label
+/// ([`QuantScheme::backend_label`]), so registering one engine per Table III
+/// scheme under `"tiny-vbf-fp"`, `"tiny-vbf-fx16"`, … is a one-line factory
+/// match.
+///
+/// ```
+/// use beamforming::pipeline::Beamformer;
+/// use quantize::QuantScheme;
+/// use tiny_vbf::config::TinyVbfConfig;
+/// use tiny_vbf::model::TinyVbf;
+/// use tiny_vbf::quantized::QuantizedTinyVbfBeamformer;
+///
+/// let model = TinyVbf::new(&TinyVbfConfig::tiny_test())?;
+/// let backend = QuantizedTinyVbfBeamformer::new(&model, QuantScheme::hybrid2());
+/// assert_eq!(backend.name(), "tiny-vbf-w8a16");
+/// assert_eq!(backend.name(), QuantScheme::hybrid2().backend_label());
+/// # Ok::<(), tiny_vbf::TinyVbfError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedTinyVbfBeamformer {
+    model: QuantizedTinyVbf,
+    /// Dense ToF plans keyed on (probe, grid, sound speed, frame format);
+    /// shared by clones and, optionally, across per-scheme backends.
+    tof_plans: Arc<PlanCache>,
+    /// Input-quantization SQNR accumulators; shared by clones so serving
+    /// worker clones feed one per-backend counter.
+    quality: Arc<Mutex<QuantQualityStats>>,
+}
+
+impl QuantizedTinyVbfBeamformer {
+    /// Quantizes `model`'s weights under `scheme` and wraps the result as a
+    /// serving backend with a ToF plan cache of
+    /// [`PlanCache::DEFAULT_CAPACITY`] slots.
+    pub fn new(model: &TinyVbf, scheme: QuantScheme) -> Self {
+        Self::from_quantized(QuantizedTinyVbf::from_model(model, scheme))
+    }
+
+    /// Wraps an already-quantized model with a fresh default-capacity ToF
+    /// plan cache.
+    pub fn from_quantized(model: QuantizedTinyVbf) -> Self {
+        Self::with_tof_cache(model, Arc::new(PlanCache::new(PlanCache::DEFAULT_CAPACITY)))
+    }
+
+    /// [`QuantizedTinyVbfBeamformer::from_quantized`] with an explicit —
+    /// possibly shared — ToF plan cache.
+    ///
+    /// The dense ToF plan depends only on the stream geometry, never on the
+    /// quantization scheme, so a router serving all Table III schemes on one
+    /// probe/grid should hand every per-scheme backend the same
+    /// `Arc<PlanCache>`: one plan build serves N engines instead of N
+    /// rebuilding identical tables.
+    pub fn with_tof_cache(model: QuantizedTinyVbf, tof_plans: Arc<PlanCache>) -> Self {
+        Self { model, tof_plans, quality: Arc::new(Mutex::new(QuantQualityStats::default())) }
+    }
+
+    /// The wrapped quantized model.
+    pub fn quantized(&self) -> &QuantizedTinyVbf {
+        &self.model
+    }
+
+    /// The quantization scheme in use.
+    pub fn scheme(&self) -> &QuantScheme {
+        self.model.scheme()
+    }
+
+    /// Snapshot of the ToF plan-cache counters (hits / misses / evictions).
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.tof_plans.stats()
+    }
+
+    /// Snapshot of the accumulated input-quantization accuracy proxy.
+    pub fn quality_stats(&self) -> QuantQualityStats {
+        *self.quality.lock().expect("quantized quality mutex poisoned")
+    }
+
+    fn planned_cube(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<TofCube> {
+        crate::inference::planned_normalized_cube(&self.tof_plans, data, array, grid, sound_speed)
+    }
+
+    /// Accumulates the SQNR proxy for one served frame: the energy of the
+    /// normalized cube versus the noise of rounding it onto the scheme's
+    /// intermediate-activation grid. One pass over the cube, no model
+    /// evaluation. Float backends quantize nothing, so only the frame
+    /// counter advances (their SQNR stays infinite whatever the signal) and
+    /// their signal energy never dilutes an aggregated lossy SQNR.
+    fn record_input_quality(&self, cube: &TofCube) {
+        let quality_for = |signal: f64, noise: f64| {
+            let mut quality = self.quality.lock().expect("quantized quality mutex poisoned");
+            quality.frames += 1;
+            quality.signal_energy += signal;
+            quality.noise_energy += noise;
+        };
+        let Some(format) = self.model.scheme().format_for(TensorRole::Intermediate) else {
+            quality_for(0.0, 0.0);
+            return;
+        };
+        let mut signal = 0.0f64;
+        let mut noise = 0.0f64;
+        for &v in cube.as_slice() {
+            signal += f64::from(v) * f64::from(v);
+            let error = f64::from(v - format.quantize(v));
+            noise += error * error;
+        }
+        quality_for(signal, noise);
+    }
+
+    /// Runs the quantized model over every row of an (already normalized)
+    /// ToF cube, distributing rows over the workspace-default worker
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TinyVbfError::ShapeMismatch`] when the cube's channel count
+    /// differs from the model's.
+    pub fn beamform_cube(&self, cube: &TofCube, grid: &ImagingGrid) -> TinyVbfResult<IqImage> {
+        self.beamform_cube_with_threads(cube, grid, runtime::default_threads())
+    }
+
+    /// [`QuantizedTinyVbfBeamformer::beamform_cube`] with an explicit worker
+    /// thread count. Bitwise identical for every count: each depth row
+    /// depends only on its own cube row.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedTinyVbfBeamformer::beamform_cube`].
+    pub fn beamform_cube_with_threads(
+        &self,
+        cube: &TofCube,
+        grid: &ImagingGrid,
+        num_threads: usize,
+    ) -> TinyVbfResult<IqImage> {
+        let channels = self.model.weights().config.channels;
+        if cube.channels() != channels {
+            return Err(TinyVbfError::ShapeMismatch {
+                expected: format!("{channels}-channel ToF cube"),
+                actual: format!("{} channels", cube.channels()),
+            });
+        }
+        let mut data = vec![Complex32::new(0.0, 0.0); cube.rows() * cube.cols()];
+        // `infer_row` needs no mutable layer caches, so "cloning" the model
+        // per worker chunk is just reborrowing it.
+        parallel_row_sweep(
+            cube,
+            &mut data,
+            num_threads,
+            &|| &self.model,
+            &|model: &mut &QuantizedTinyVbf, input| Ok(model.infer_row(input)),
+            &crate::inference::write_iq_row,
+        )?;
+        Ok(IqImage::from_data(data, grid.clone())?)
+    }
+}
+
+impl Beamformer for QuantizedTinyVbfBeamformer {
+    /// The scheme's serving backend label (e.g. `"tiny-vbf-w8a16"`), so a
+    /// router factory can register one engine per scheme by name.
+    fn name(&self) -> &str {
+        self.model.scheme().backend_label()
+    }
+
+    fn beamform(
+        &self,
+        data: &ChannelData,
+        array: &LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> BeamformResult<IqImage> {
+        let cube = self.planned_cube(data, array, grid, sound_speed)?;
+        let image = self
+            .beamform_cube(&cube, grid)
+            .map_err(|e| BeamformError::InvalidParameter { name: "quantized_tiny_vbf", reason: e.to_string() })?;
+        // Count quality only for frames that actually served: the counters
+        // mean "served frames", so a failing stream must not inflate them.
+        self.record_input_quality(&cube);
+        Ok(image)
+    }
+
+    fn prepare(&self, array: &LinearArray, grid: &ImagingGrid, sound_speed: f32, frame: &FrameFormat) {
+        // Best effort, like the other planned wrappers.
+        crate::inference::warm_tof_plan(&self.tof_plans, array, grid, sound_speed, frame);
+    }
+
+    fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        Some(self.cache_stats())
+    }
+
+    fn quant_quality_stats(&self) -> Option<QuantQualityStats> {
+        Some(self.quality_stats())
     }
 }
 
@@ -276,6 +552,103 @@ mod tests {
             assert_eq!(v, format.quantize(v));
         }
         assert_eq!(q.scheme(), &QuantScheme::hybrid2());
+    }
+
+    fn small_frame() -> (ChannelData, LinearArray, ImagingGrid) {
+        use ultrasound::{Medium, Phantom, PlaneWaveSimulator};
+        let array = LinearArray::small_test_array();
+        let sim = PlaneWaveSimulator::new(array.clone(), Medium::soft_tissue(), 0.025);
+        let phantom = Phantom::builder(0.01, 0.025).add_point_target(0.0, 0.018, 1.0).build();
+        let rf = sim.simulate(&phantom, PlaneWave::zero_angle()).unwrap();
+        let grid = ImagingGrid::for_array(&array, 0.014, 0.008, 18, 12);
+        (rf, array, grid)
+    }
+
+    fn small_quantized(scheme: QuantScheme) -> (QuantizedTinyVbf, ChannelData, LinearArray, ImagingGrid) {
+        let (rf, array, grid) = small_frame();
+        let config = crate::config::TinyVbfConfig::small().for_frame(array.num_elements(), grid.num_cols());
+        let model = TinyVbf::new(&config).unwrap();
+        (QuantizedTinyVbf::from_model(&model, scheme), rf, array, grid)
+    }
+
+    #[test]
+    fn forward_batch_is_bitwise_identical_to_serial_rows() {
+        let (quantized, rf, array, grid) = small_quantized(QuantScheme::hybrid2());
+        let mut cube = tof_correct(&rf, &array, &grid, PlaneWave::zero_angle(), 1540.0).unwrap();
+        cube.normalize();
+        let rows: Vec<Tensor> = (0..cube.rows()).map(|r| cube_row(&cube, r)).collect();
+        let serial: Vec<Tensor> = rows.iter().map(|row| quantized.infer_row(row)).collect();
+        for threads in [1, 2, 3, 8] {
+            let batch = quantized.forward_batch_with_threads(&rows, threads).unwrap();
+            assert_eq!(batch, serial, "threads {threads}");
+        }
+        assert_eq!(quantized.forward_batch(&rows).unwrap(), serial);
+    }
+
+    #[test]
+    fn forward_batch_reports_bad_rows_in_input_order() {
+        let (quantized, _, _, _) = small_quantized(QuantScheme::w16());
+        let channels = quantized.weights().config.channels;
+        let rows = vec![Tensor::zeros(&[4, channels]), Tensor::zeros(&[4, channels + 1])];
+        assert!(matches!(quantized.forward_batch(&rows), Err(TinyVbfError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn serving_adapter_is_bitwise_identical_to_direct_quantized_inference() {
+        let (quantized, rf, array, grid) = small_quantized(QuantScheme::hybrid1());
+        // Reference: the evaluation-harness path (direct ToF, serial rows).
+        let direct = quantized.beamform(&rf, &array, &grid, 1540.0).unwrap();
+        let backend = QuantizedTinyVbfBeamformer::from_quantized(quantized);
+        let served = backend.beamform(&rf, &array, &grid, 1540.0).unwrap();
+        assert_eq!(direct, served, "planned ToF + parallel sweep must not change quantized output");
+
+        // Thread count must not change the cube sweep either.
+        let cube = backend.planned_cube(&rf, &array, &grid, 1540.0).unwrap();
+        let serial = backend.beamform_cube_with_threads(&cube, &grid, 1).unwrap();
+        for threads in [2, 3, 8] {
+            assert_eq!(serial, backend.beamform_cube_with_threads(&cube, &grid, threads).unwrap(), "threads {threads}");
+        }
+
+        // The serving label comes from the scheme.
+        assert_eq!(backend.name(), QuantScheme::hybrid1().backend_label());
+        assert_eq!(backend.scheme(), &QuantScheme::hybrid1());
+        // Channel mismatches are reported, not panicked.
+        let wrong = TofCube::zeros(4, grid.num_cols(), array.num_elements() + 1);
+        assert!(backend.beamform_cube(&wrong, &grid).is_err());
+    }
+
+    #[test]
+    fn serving_adapter_accumulates_quality_and_shares_caches() {
+        let (quantized, rf, array, grid) = small_quantized(QuantScheme::w16());
+        let shared = Arc::new(PlanCache::new(2));
+        let fixed = QuantizedTinyVbfBeamformer::with_tof_cache(quantized.clone(), Arc::clone(&shared));
+        let float =
+            QuantizedTinyVbfBeamformer::with_tof_cache(QuantizedTinyVbf { scheme: QuantScheme::float(), ..quantized }, shared);
+
+        fixed.beamform(&rf, &array, &grid, 1540.0).unwrap();
+        fixed.beamform(&rf, &array, &grid, 1540.0).unwrap();
+        float.beamform(&rf, &array, &grid, 1540.0).unwrap();
+
+        // One stream shape across both backends: the shared cache builds one plan.
+        let cache = fixed.cache_stats();
+        assert_eq!(cache.misses, 1, "per-scheme backends must share the ToF plan");
+        assert_eq!(cache.hits, 2);
+        assert_eq!(fixed.plan_cache_stats().unwrap().misses, 1);
+
+        // Fixed-point backends accumulate finite SQNR; float stays noiseless.
+        let q = fixed.quality_stats();
+        assert_eq!(q.frames, 2);
+        assert!(q.noise_energy > 0.0 && q.signal_energy > 0.0);
+        assert!(q.sqnr_db().is_finite() && q.sqnr_db() > 0.0, "sqnr {}", q.sqnr_db());
+        let f = float.quality_stats();
+        assert_eq!(f.frames, 1);
+        assert_eq!(f.noise_energy, 0.0);
+        assert!(f.sqnr_db().is_infinite());
+        assert_eq!(float.quant_quality_stats().unwrap(), f);
+
+        // Clones (serving workers) feed the same counters.
+        fixed.clone().beamform(&rf, &array, &grid, 1540.0).unwrap();
+        assert_eq!(fixed.quality_stats().frames, 3);
     }
 
     #[test]

@@ -103,6 +103,61 @@ impl QuantScheme {
         vec![Self::float(), Self::w24(), Self::w20(), Self::w16(), Self::hybrid1(), Self::hybrid2()]
     }
 
+    /// The serving-router backend label for this scheme.
+    ///
+    /// Each paper scheme maps 1:1 to a label a `serve::router` engine factory
+    /// can register quantized Tiny-VBF backends under: `fp` is floating
+    /// point, `fxN` the uniform N-bit schemes and `w8aN` the hybrids (8-bit
+    /// weights, N-bit datapath). A custom scheme (any scheme not equal —
+    /// formats included — to a named Table III constructor) reports
+    /// `"tiny-vbf-custom"` and is not round-trippable through
+    /// [`QuantScheme::from_backend_label`].
+    ///
+    /// ```
+    /// use quantize::QuantScheme;
+    ///
+    /// assert_eq!(QuantScheme::float().backend_label(), "tiny-vbf-fp");
+    /// assert_eq!(QuantScheme::w16().backend_label(), "tiny-vbf-fx16");
+    /// assert_eq!(QuantScheme::hybrid2().backend_label(), "tiny-vbf-w8a16");
+    /// ```
+    pub fn backend_label(&self) -> &'static str {
+        // Match the whole scheme, not just the name: a hand-built scheme
+        // reusing a paper name must not silently serve under (and be rebuilt
+        // from) the paper scheme's label.
+        Self::labeled()
+            .into_iter()
+            .find(|(scheme, _)| scheme == self)
+            .map_or("tiny-vbf-custom", |(_, label)| label)
+    }
+
+    /// Resolves a serving backend label back to its scheme — the inverse of
+    /// [`QuantScheme::backend_label`] over the named Table III schemes.
+    ///
+    /// Returns `None` for labels no paper scheme claims, which an engine
+    /// factory should surface as an unknown-backend error.
+    ///
+    /// ```
+    /// use quantize::QuantScheme;
+    ///
+    /// let scheme = QuantScheme::from_backend_label("tiny-vbf-w8a20").unwrap();
+    /// assert_eq!(scheme, QuantScheme::hybrid1());
+    /// assert!(QuantScheme::from_backend_label("tiny-vbf-int4").is_none());
+    /// ```
+    pub fn from_backend_label(label: &str) -> Option<QuantScheme> {
+        Self::labeled().into_iter().find(|(_, l)| *l == label).map(|(scheme, _)| scheme)
+    }
+
+    fn labeled() -> [(QuantScheme, &'static str); 6] {
+        [
+            (Self::float(), "tiny-vbf-fp"),
+            (Self::w24(), "tiny-vbf-fx24"),
+            (Self::w20(), "tiny-vbf-fx20"),
+            (Self::w16(), "tiny-vbf-fx16"),
+            (Self::hybrid1(), "tiny-vbf-w8a20"),
+            (Self::hybrid2(), "tiny-vbf-w8a16"),
+        ]
+    }
+
     /// The format assigned to a tensor role (`None` = floating point).
     pub fn format_for(&self, role: TensorRole) -> Option<FixedFormat> {
         match role {
@@ -209,6 +264,30 @@ mod tests {
         let softmax_q = h2.quantize_value(x, TensorRole::Softmax);
         // Softmax keeps far more fractional bits than the 8-bit weights.
         assert!((softmax_q - x).abs() < (weight_q - x).abs());
+    }
+
+    #[test]
+    fn backend_labels_round_trip_for_every_paper_scheme() {
+        for scheme in QuantScheme::all() {
+            let label = scheme.backend_label();
+            assert!(label.starts_with("tiny-vbf-"), "{label}");
+            assert_ne!(label, "tiny-vbf-custom", "{}: named schemes need distinct labels", scheme.name);
+            assert_eq!(QuantScheme::from_backend_label(label), Some(scheme));
+        }
+        // Labels are distinct (1:1 mapping).
+        let labels: Vec<&str> = QuantScheme::all().iter().map(|s| s.backend_label()).collect();
+        let mut deduped = labels.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), labels.len());
+        // Unknown labels and hand-built schemes fall out of the mapping.
+        assert_eq!(QuantScheme::from_backend_label("das"), None);
+        let custom = QuantScheme { name: "bespoke", ..QuantScheme::hybrid1() };
+        assert_eq!(custom.backend_label(), "tiny-vbf-custom");
+        assert_eq!(QuantScheme::from_backend_label("tiny-vbf-custom"), None);
+        // A paper name over non-paper formats must not claim the paper label.
+        let impostor = QuantScheme { name: "Float", ..QuantScheme::w16() };
+        assert_eq!(impostor.backend_label(), "tiny-vbf-custom");
     }
 
     #[test]

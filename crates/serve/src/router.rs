@@ -22,7 +22,12 @@
 //!   [`beamforming::plan::PlanCache`] keeps every stream shape's delay table
 //!   warm, so N interleaved shapes cause zero plan rebuilds after warm-up
 //!   (capacity permitting) — [`RouterStats`] proves it with per-engine
-//!   hit/miss/eviction counters.
+//!   hit/miss/eviction counters,
+//! * lossy backends — the per-scheme quantized Tiny-VBF engines registered
+//!   under `quantize::QuantScheme::backend_label` labels — additionally
+//!   report accumulated SQNR accuracy-proxy counters per engine
+//!   ([`EngineStats::quant_quality`]), so fixed-point degradation is
+//!   observable under load next to the latency percentiles.
 //!
 //! Routing is pure scheduling: each frame's image depends only on its own
 //! payload and its stream's configuration, so a routed image is **bitwise
@@ -34,7 +39,7 @@ use crate::batcher::{BatchConfig, BatchEngine, LatencyHistogram, ResponseHandle,
 use crate::{ServeError, ServeResult};
 use beamforming::grid::ImagingGrid;
 use beamforming::iq::IqImage;
-use beamforming::pipeline::Beamformer;
+use beamforming::pipeline::{Beamformer, QuantQualityStats};
 use beamforming::plan::{FrameFormat, PlanCacheStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -59,7 +64,9 @@ pub struct StreamSpec {
     /// Assumed speed of sound in m/s.
     pub sound_speed: f32,
     /// Which beamformer backend serves the stream (a label the
-    /// [`EngineFactory`] understands, e.g. `"das"`, `"mvdr"`, `"tiny-vbf"`).
+    /// [`EngineFactory`] understands, e.g. `"das"`, `"mvdr"`, `"tiny-vbf"`,
+    /// or a per-quantization-scheme label like `"tiny-vbf-fx16"` — see
+    /// `quantize::QuantScheme::backend_label`).
     pub backend: String,
 }
 
@@ -133,6 +140,7 @@ impl EngineEntry {
             batches: self.batches.load(Ordering::Relaxed),
             latency: *self.latency.lock().expect("engine latency poisoned"),
             plan_cache: self.beamformer.plan_cache_stats(),
+            quant_quality: self.beamformer.quant_quality_stats(),
         }
     }
 }
@@ -284,6 +292,16 @@ pub struct EngineStats {
     /// (see [`Beamformer::plan_cache_stats`]). Zero `misses` growth after
     /// warm-up proves the multi-slot cache never thrashes.
     pub plan_cache: Option<PlanCacheStats>,
+    /// The engine beamformer's accuracy-proxy counters, when it is a lossy
+    /// (e.g. fixed-point Tiny-VBF) backend — accumulated SQNR so
+    /// quantization degradation is observable per backend label under load
+    /// (see [`Beamformer::quant_quality_stats`]). `None` for exact backends.
+    ///
+    /// Like the plan-cache counters, this is a snapshot of whatever the
+    /// beamformer reports: when several engines are clones sharing one
+    /// accumulator (or out-of-router clones also serve frames), each
+    /// snapshot covers the shared total, not only this engine's requests.
+    pub quant_quality: Option<QuantQualityStats>,
 }
 
 /// Snapshot of a [`Router`]'s work: the shared server counters plus the
@@ -303,6 +321,22 @@ impl RouterStats {
         let mut total = PlanCacheStats::default();
         for engine in &self.engines {
             if let Some(stats) = &engine.plan_cache {
+                total.merge(stats);
+            }
+        }
+        total
+    }
+
+    /// Aggregated accuracy-proxy counters over every lossy (quantized)
+    /// engine. Exact backends contribute nothing; with no lossy engine at
+    /// all the total is the noiseless default (infinite SQNR, zero frames).
+    /// Engines that share one accumulator (clones of one backend) are each
+    /// merged as reported, so shared counters are re-counted per engine —
+    /// see [`EngineStats::quant_quality`].
+    pub fn quant_quality_total(&self) -> QuantQualityStats {
+        let mut total = QuantQualityStats::default();
+        for engine in &self.engines {
+            if let Some(stats) = &engine.quant_quality {
                 total.merge(stats);
             }
         }

@@ -31,6 +31,7 @@ pub mod prelude {
     pub use tiny_vbf::evaluation::EvaluationConfig;
     pub use tiny_vbf::inference::TinyVbfBeamformer;
     pub use tiny_vbf::model::TinyVbf;
+    pub use tiny_vbf::quantized::{QuantizedTinyVbf, QuantizedTinyVbfBeamformer};
     pub use ultrasound::picmus::{PicmusDataset, PicmusKind};
     pub use ultrasound::{LinearArray, Medium, Phantom, PlaneWave, PlaneWaveSimulator};
 }

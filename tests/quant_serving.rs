@@ -1,0 +1,146 @@
+//! Quantized-inference serving: fixed-point Tiny-VBF backends behind the
+//! `serve::router::Router`, asserted bitwise identical to direct quantized
+//! inference, with per-backend SQNR accuracy-proxy counters.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tiny_vbf_repro::beamforming::iq::IqImage;
+use tiny_vbf_repro::beamforming::plan::{FrameFormat, PlanCache};
+use tiny_vbf_repro::prelude::*;
+use tiny_vbf_repro::serve::{ServeError, ServeResult};
+use tiny_vbf_repro::ultrasound::ChannelData;
+
+/// Deterministic pseudo-random frame (serving identity only needs the values
+/// to be fixed, not physical).
+fn synthetic_frame(array: &LinearArray, num_samples: usize, seed: u64) -> ChannelData {
+    let mut data = ChannelData::zeros(num_samples, array.num_elements(), array.sampling_frequency());
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for v in data.as_mut_slice() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *v = ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+    }
+    data
+}
+
+fn scheme_factory(
+    model: TinyVbf,
+    shared_tof: Arc<PlanCache>,
+) -> impl Fn(&StreamSpec) -> ServeResult<Arc<dyn Beamformer + Send + Sync>> + Send + Sync + 'static {
+    move |spec: &StreamSpec| match QuantScheme::from_backend_label(&spec.backend) {
+        Some(scheme) => Ok(Arc::new(QuantizedTinyVbfBeamformer::with_tof_cache(
+            QuantizedTinyVbf::from_model(&model, scheme),
+            Arc::clone(&shared_tof),
+        ))),
+        None => Err(ServeError::Engine(format!("unknown backend {}", spec.backend))),
+    }
+}
+
+#[test]
+fn router_serves_quantized_backends_bitwise_identical_to_direct_calls() {
+    let array = LinearArray::small_test_array();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.010, 20, 12);
+    let config = TinyVbfConfig::small().for_frame(array.num_elements(), grid.num_cols());
+    let model = TinyVbf::new(&config).unwrap();
+
+    // Four Table III schemes interleaved as four streams on one geometry.
+    let schemes = [QuantScheme::float(), QuantScheme::w24(), QuantScheme::w16(), QuantScheme::hybrid2()];
+    let specs: Vec<StreamSpec> = schemes
+        .iter()
+        .map(|scheme| StreamSpec {
+            array: array.clone(),
+            grid: grid.clone(),
+            sound_speed: 1540.0,
+            backend: scheme.backend_label().into(),
+        })
+        .collect();
+    // 1024 samples at 31.25 MHz cover the grid's 12–22 mm round trips.
+    let frames: Vec<ChannelData> = (0..4).map(|i| synthetic_frame(&array, 1024, 11 + i as u64)).collect();
+
+    // Direct (unserved) quantized reference: independent backend instances —
+    // weight quantization is deterministic, so served engines built by the
+    // factory from the same float model must match bit for bit.
+    let reference: Vec<Vec<IqImage>> = schemes
+        .iter()
+        .map(|scheme| {
+            let direct = QuantizedTinyVbfBeamformer::new(&model, *scheme);
+            frames.iter().map(|f| direct.beamform(f, &array, &grid, 1540.0).unwrap()).collect()
+        })
+        .collect();
+
+    let shared_tof = Arc::new(PlanCache::new(2));
+    let router = Router::new(
+        BatchConfig { max_batch: 5, linger: Duration::from_micros(400), queue_capacity: 32, ..BatchConfig::default() },
+        scheme_factory(model, Arc::clone(&shared_tof)),
+    );
+    for spec in &specs {
+        router.warm(spec, &FrameFormat::of(&frames[0])).unwrap();
+    }
+    assert_eq!(router.num_engines(), specs.len());
+    assert_eq!(shared_tof.stats().misses, 1, "per-scheme engines must share one ToF plan");
+
+    let handles: Vec<(usize, usize, _)> = frames
+        .iter()
+        .enumerate()
+        .flat_map(|(i, frame)| {
+            specs
+                .iter()
+                .enumerate()
+                .map(|(s, spec)| (s, i, router.submit(spec, frame.clone()).unwrap()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for (s, i, handle) in handles {
+        let image = handle.wait().unwrap();
+        assert_eq!(reference[s][i], image, "scheme {} frame {i} served != direct", schemes[s].name);
+    }
+
+    let stats = router.shutdown();
+    assert_eq!(stats.server.completed, (schemes.len() * frames.len()) as u64);
+    assert_eq!(shared_tof.stats().misses, 1, "no ToF plan rebuilds under mixed quantized load");
+
+    // Per-backend accuracy proxy: float noiseless, fixed point finite, and
+    // the wider 24-bit datapath keeps more SQNR than the 16-bit one.
+    let quality_of = |label: &str| {
+        stats
+            .engines
+            .iter()
+            .find(|e| e.spec.backend == label)
+            .and_then(|e| e.quant_quality)
+            .unwrap_or_else(|| panic!("no quality counters for {label}"))
+    };
+    for spec in &specs {
+        assert_eq!(quality_of(&spec.backend).frames, frames.len() as u64, "{}", spec.backend);
+    }
+    assert!(quality_of("tiny-vbf-fp").sqnr_db().is_infinite());
+    let s24 = quality_of("tiny-vbf-fx24").sqnr_db();
+    let s16 = quality_of("tiny-vbf-fx16").sqnr_db();
+    assert!(s24.is_finite() && s16.is_finite() && s24 > s16, "fx24 {s24} dB vs fx16 {s16} dB");
+    assert!(stats.quant_quality_total().frames >= (schemes.len() - 1) as u64);
+}
+
+#[test]
+fn unknown_quantized_backend_label_fails_only_its_stream() {
+    let array = LinearArray::small_test_array();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.010, 12, 8);
+    let config = TinyVbfConfig::small().for_frame(array.num_elements(), grid.num_cols());
+    let model = TinyVbf::new(&config).unwrap();
+
+    let good = StreamSpec {
+        array: array.clone(),
+        grid: grid.clone(),
+        sound_speed: 1540.0,
+        backend: QuantScheme::hybrid1().backend_label().into(),
+    };
+    let bad = StreamSpec { backend: "tiny-vbf-int4".into(), ..good.clone() };
+
+    let router = Router::new(
+        BatchConfig { max_batch: 4, queue_capacity: 8, ..BatchConfig::default() },
+        scheme_factory(model, Arc::new(PlanCache::new(1))),
+    );
+    let frame = synthetic_frame(&array, 256, 3);
+    let ok = router.submit(&good, frame.clone()).unwrap();
+    let err = router.submit(&bad, frame).unwrap();
+    assert!(ok.wait().is_ok());
+    assert!(matches!(err.wait(), Err(ServeError::Engine(reason)) if reason.contains("tiny-vbf-int4")));
+    router.shutdown();
+}
