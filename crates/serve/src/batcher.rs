@@ -7,10 +7,20 @@
 //! never reorder relative to their submission within a worker's batch, and
 //! every request's result depends only on its own payload, so serving adds
 //! latency policy (coalescing) without changing any numeric result.
+//!
+//! The pool is **supervised**: every worker carries a death watch, and a
+//! supervisor thread resolves a dead worker's in-flight requests with
+//! [`ServeError::WorkerDied`] and respawns the worker
+//! ([`ServerStats::workers_respawned`]), so a single runaway batch can never
+//! silently halve the pool or strand a handle. Engine panics are additionally
+//! contained per batch by default ([`BatchConfig::contain_panics`]), in which
+//! case the worker survives and only the panicking batch resolves with an
+//! error.
 
-use crate::{ServeError, ServeResult};
+use crate::{recover, ServeError, ServeResult};
 use std::collections::VecDeque;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -42,11 +52,26 @@ pub struct BatchConfig {
     /// blocking younger requests. A request already handed to the engine
     /// always completes normally.
     pub deadline: Option<Duration>,
+    /// Whether an engine panic is contained at the *batch* boundary (the
+    /// default): the panicking batch resolves with
+    /// [`ServeError::WorkerDied`] and the worker thread survives. With
+    /// `false` the panic unwinds the worker instead, exercising the
+    /// supervisor path: the dead worker's in-flight requests are resolved by
+    /// the supervisor and the worker is respawned
+    /// ([`ServerStats::workers_respawned`]).
+    pub contain_panics: bool,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        Self { max_batch: 8, linger: Duration::from_millis(2), queue_capacity: 64, workers: 1, deadline: None }
+        Self {
+            max_batch: 8,
+            linger: Duration::from_millis(2),
+            queue_capacity: 64,
+            workers: 1,
+            deadline: None,
+            contain_panics: true,
+        }
     }
 }
 
@@ -85,6 +110,13 @@ pub trait BatchEngine: Send + Sync + 'static {
     /// Processes one coalesced batch, returning one result per request in
     /// request order.
     fn process_batch(&self, batch: Vec<Self::Request>) -> Vec<ServeResult<Self::Response>>;
+
+    /// Hook invoked once per request dropped from a batch because its
+    /// deadline expired before dispatch (the request's handle resolves with
+    /// [`ServeError::DeadlineExceeded`] separately). The router feeds its
+    /// load-shedding ladder from this signal. Must be cheap and non-blocking;
+    /// a panic here is swallowed. The default does nothing.
+    fn on_expired(&self, _request: &Self::Request) {}
 }
 
 /// Adapter implementing [`BatchEngine`] from a plain closure
@@ -205,6 +237,9 @@ pub struct ServerStats {
     /// engine actually served, including queueing, linger and engine time
     /// (deadline-expired requests are excluded).
     pub latency: LatencyHistogram,
+    /// Workers that died mid-batch and were respawned by the supervisor
+    /// (their in-flight requests resolved with [`ServeError::WorkerDied`]).
+    pub workers_respawned: u64,
 }
 
 impl ServerStats {
@@ -237,7 +272,7 @@ impl<O> Slot<O> {
     }
 
     fn fulfill(&self, result: ServeResult<O>) {
-        let mut state = self.state.lock().expect("serve slot poisoned");
+        let mut state = recover(self.state.lock());
         if matches!(*state, SlotState::Pending) {
             *state = SlotState::Done(result);
             self.ready.notify_all();
@@ -264,18 +299,19 @@ impl<O> ResponseHandle<O> {
     /// [`ResponseHandle::try_take`] — take a handle out of any polling sweep
     /// once `try_take` has returned `Some` for it.
     pub fn wait(self) -> ServeResult<O> {
-        let mut state = self.slot.state.lock().expect("serve slot poisoned");
+        let mut state = recover(self.slot.state.lock());
         loop {
             match std::mem::replace(&mut *state, SlotState::Taken) {
                 SlotState::Done(result) => return result,
                 SlotState::Taken => panic!("ResponseHandle polled after the result was taken"),
                 SlotState::Pending => {
                     *state = SlotState::Pending;
-                    // Waiting is sound: workers contain engine panics (the
-                    // batch resolves with WorkerDied and the worker survives),
-                    // and shutdown drains the queue before the pool exits, so
-                    // every accepted request is eventually fulfilled.
-                    state = self.slot.ready.wait(state).expect("serve slot poisoned");
+                    // Waiting is sound: engine panics resolve the batch with
+                    // an error (contained per batch or via the supervisor's
+                    // WorkerDied sweep), and shutdown drains the queue before
+                    // the pool exits, so every accepted request is eventually
+                    // fulfilled.
+                    state = recover(self.slot.ready.wait(state));
                 }
             }
         }
@@ -286,7 +322,7 @@ impl<O> ResponseHandle<O> {
     /// flight — and `None` again once the result has been consumed, so
     /// polling a set of handles in a loop is safe after some have resolved.
     pub fn try_take(&self) -> Option<ServeResult<O>> {
-        let mut state = self.slot.state.lock().expect("serve slot poisoned");
+        let mut state = recover(self.slot.state.lock());
         match std::mem::replace(&mut *state, SlotState::Taken) {
             SlotState::Done(result) => Some(result),
             SlotState::Pending => {
@@ -300,7 +336,7 @@ impl<O> ResponseHandle<O> {
     /// Whether a result is currently available to take (`false` while the
     /// request is in flight and after the result has been consumed).
     pub fn is_ready(&self) -> bool {
-        matches!(*self.slot.state.lock().expect("serve slot poisoned"), SlotState::Done(_))
+        matches!(*recover(self.slot.state.lock()), SlotState::Done(_))
     }
 }
 
@@ -361,12 +397,50 @@ fn earliest_deadline<I, O>(queue: &VecDeque<Pending<I, O>>) -> Option<Instant> {
     queue.iter().filter_map(|p| p.deadline).min()
 }
 
+/// Worker-supervision bookkeeping: which workers are mid-batch with which
+/// response slots, and which have died.
+struct SupervisorPlane<O> {
+    /// Per worker index: the response slots of the batch it is currently
+    /// executing (`None` between batches). A worker that dies mid-batch
+    /// leaves its entry set; the supervisor resolves those slots with
+    /// [`ServeError::WorkerDied`].
+    in_flight: Vec<Option<Vec<Arc<Slot<O>>>>>,
+    /// Indices of workers whose death watch fired, awaiting the supervisor.
+    dead: Vec<usize>,
+    /// Set by [`Server::shutdown`] once the pool is fully joined; the
+    /// supervisor exits after processing any remaining deaths.
+    shutdown: bool,
+}
+
 struct Shared<I, O> {
     state: Mutex<QueueState<I, O>>,
     /// Signalled when a request is enqueued or shutdown begins (wakes workers).
     not_empty: Condvar,
     /// Signalled when queue space frees up (wakes blocked submitters).
     not_full: Condvar,
+    supervisor: Mutex<SupervisorPlane<O>>,
+    /// Signalled when a worker dies or supervisor shutdown begins.
+    supervisor_wake: Condvar,
+    /// Join handles of the live workers, indexed by worker; `None` while a
+    /// slot's thread is being reaped/respawned (or after shutdown joined it).
+    handles: Mutex<Vec<Option<std::thread::JoinHandle<()>>>>,
+}
+
+/// Drop guard signalling the supervisor when a worker thread unwinds without
+/// reaching its normal exit (`armed` is cleared on the normal path).
+struct DeathWatch<I, O> {
+    shared: Arc<Shared<I, O>>,
+    index: usize,
+    armed: bool,
+}
+
+impl<I, O> Drop for DeathWatch<I, O> {
+    fn drop(&mut self) {
+        if self.armed {
+            recover(self.shared.supervisor.lock()).dead.push(self.index);
+            self.shared.supervisor_wake.notify_all();
+        }
+    }
 }
 
 /// A synchronous streaming micro-batching server over a [`BatchEngine`].
@@ -391,7 +465,7 @@ struct Shared<I, O> {
 pub struct Server<E: BatchEngine> {
     shared: Arc<Shared<E::Request, E::Response>>,
     config: BatchConfig,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl<I, O, F> Server<FnEngine<I, O, F>>
@@ -427,20 +501,31 @@ impl<E: BatchEngine> Server<E> {
             state: Mutex::new(QueueState { queue: VecDeque::new(), shutting_down: false, stats: ServerStats::default() }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            supervisor: Mutex::new(SupervisorPlane {
+                in_flight: (0..config.workers).map(|_| None).collect(),
+                dead: Vec::new(),
+                shutdown: false,
+            }),
+            supervisor_wake: Condvar::new(),
+            handles: Mutex::new((0..config.workers).map(|_| None).collect()),
         });
         let engine = Arc::new(engine);
-        let workers = (0..config.workers)
-            .map(|worker_index| {
-                let shared = Arc::clone(&shared);
-                let engine = Arc::clone(&engine);
-                let config = config.clone();
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{worker_index}"))
-                    .spawn(move || worker_loop(&shared, engine.as_ref(), &config))
-                    .expect("failed to spawn serve worker")
-            })
-            .collect();
-        Self { shared, config, workers }
+        {
+            let mut handles = recover(shared.handles.lock());
+            for index in 0..config.workers {
+                handles[index] = Some(spawn_worker(&shared, &engine, &config, index));
+            }
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let engine = Arc::clone(&engine);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("serve-supervisor".into())
+                .spawn(move || supervisor_loop(&shared, &engine, &config))
+                .expect("failed to spawn serve supervisor")
+        };
+        Self { shared, config, supervisor: Some(supervisor) }
     }
 
     /// The configuration the server was built with.
@@ -509,7 +594,7 @@ impl<E: BatchEngine> Server<E> {
         deadline: Option<Duration>,
         block: bool,
     ) -> Result<ResponseHandle<E::Response>, TrySubmitError<E::Request>> {
-        let mut state = self.shared.state.lock().expect("serve state poisoned");
+        let mut state = recover(self.shared.state.lock());
         loop {
             if state.shutting_down {
                 return Err(TrySubmitError::ShuttingDown(request));
@@ -520,7 +605,7 @@ impl<E: BatchEngine> Server<E> {
             if !block {
                 return Err(TrySubmitError::Full(request));
             }
-            state = self.shared.not_full.wait(state).expect("serve state poisoned");
+            state = recover(self.shared.not_full.wait(state));
         }
         let slot = Slot::new();
         let submitted_at = Instant::now();
@@ -538,12 +623,12 @@ impl<E: BatchEngine> Server<E> {
 
     /// Snapshot of the work counters.
     pub fn stats(&self) -> ServerStats {
-        self.shared.state.lock().expect("serve state poisoned").stats
+        recover(self.shared.state.lock()).stats
     }
 
     /// Number of requests currently queued (not yet drained into a batch).
     pub fn queue_depth(&self) -> usize {
-        self.shared.state.lock().expect("serve state poisoned").queue.len()
+        recover(self.shared.state.lock()).queue.len()
     }
 
     /// Graceful shutdown: stops accepting new requests, lets the workers
@@ -556,16 +641,58 @@ impl<E: BatchEngine> Server<E> {
 
     fn stop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("serve state poisoned");
+            let mut state = recover(self.shared.state.lock());
             state.shutting_down = true;
         }
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
-        for worker in self.workers.drain(..) {
-            // Engine panics are contained inside the loop, so a join error
-            // means a bug in the worker itself — surface it to the caller.
-            if let Err(payload) = worker.join() {
-                std::panic::resume_unwind(payload);
+        // Join the pool. Loop through the handle table (instead of iterating
+        // once) because the supervisor may still be reaping/respawning a
+        // worker concurrently; a join failure is a worker death the
+        // supervisor observes through the death watch, so it is not
+        // propagated here.
+        self.join_workers();
+        // Pool drained; release the supervisor (it first finishes any death
+        // still queued, resolving the dead worker's in-flight requests).
+        {
+            let mut plane = recover(self.shared.supervisor.lock());
+            plane.shutdown = true;
+        }
+        self.shared.supervisor_wake.notify_all();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        // The supervisor may have respawned one last worker between the first
+        // sweep and its exit; reap any straggler.
+        self.join_workers();
+        // Last resort: if the final worker died mid-drain with no supervisor
+        // left to respawn it, its in-flight batch and the remaining queue
+        // would strand their handles — resolve them with WorkerDied instead.
+        let stranded: Vec<_> = {
+            let mut plane = recover(self.shared.supervisor.lock());
+            plane.in_flight.iter_mut().filter_map(Option::take).flatten().collect()
+        };
+        let queued: Vec<_> = recover(self.shared.state.lock()).queue.drain(..).collect();
+        let resolved = (stranded.len() + queued.len()) as u64;
+        for slot in &stranded {
+            slot.fulfill(Err(ServeError::WorkerDied));
+        }
+        for pending in &queued {
+            pending.slot.fulfill(Err(ServeError::WorkerDied));
+        }
+        if resolved > 0 {
+            recover(self.shared.state.lock()).stats.completed += resolved;
+        }
+    }
+
+    fn join_workers(&self) {
+        loop {
+            let handle = recover(self.shared.handles.lock()).iter_mut().find_map(Option::take);
+            match handle {
+                Some(handle) => {
+                    let _ = handle.join();
+                }
+                None => break,
             }
         }
     }
@@ -573,16 +700,81 @@ impl<E: BatchEngine> Server<E> {
 
 impl<E: BatchEngine> Drop for Server<E> {
     fn drop(&mut self) {
-        if !self.workers.is_empty() && !std::thread::panicking() {
+        if self.supervisor.is_some() && !std::thread::panicking() {
             self.stop();
         }
     }
 }
 
-fn worker_loop<E: BatchEngine>(shared: &Shared<E::Request, E::Response>, engine: &E, config: &BatchConfig) {
+fn spawn_worker<E: BatchEngine>(
+    shared: &Arc<Shared<E::Request, E::Response>>,
+    engine: &Arc<E>,
+    config: &BatchConfig,
+    index: usize,
+) -> std::thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let engine = Arc::clone(engine);
+    let config = config.clone();
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{index}"))
+        .spawn(move || {
+            let mut watch = DeathWatch { shared: Arc::clone(&shared), index, armed: true };
+            worker_loop(&shared, engine.as_ref(), &config, index);
+            watch.armed = false;
+        })
+        .expect("failed to spawn serve worker")
+}
+
+/// The supervisor: waits for worker deaths, resolves the dead worker's
+/// in-flight requests with [`ServeError::WorkerDied`], reaps the thread and
+/// respawns a replacement (unless the server is shutting down).
+fn supervisor_loop<E: BatchEngine>(shared: &Arc<Shared<E::Request, E::Response>>, engine: &Arc<E>, config: &BatchConfig) {
+    loop {
+        let index = {
+            let mut plane = recover(shared.supervisor.lock());
+            loop {
+                if let Some(index) = plane.dead.pop() {
+                    break index;
+                }
+                if plane.shutdown {
+                    return;
+                }
+                plane = recover(shared.supervisor_wake.wait(plane));
+            }
+        };
+        // The worker died mid-batch (its normal exit disarms the watch):
+        // resolve whatever it had in flight so no handle hangs.
+        let orphans = recover(shared.supervisor.lock()).in_flight[index].take();
+        if let Some(slots) = orphans {
+            let count = slots.len() as u64;
+            for slot in &slots {
+                slot.fulfill(Err(ServeError::WorkerDied));
+            }
+            recover(shared.state.lock()).stats.completed += count;
+        }
+        // Reap the dead thread (shutdown may have raced us to the handle).
+        let stale = recover(shared.handles.lock())[index].take();
+        if let Some(handle) = stale {
+            let _ = handle.join();
+        }
+        let shutting_down = recover(shared.state.lock()).shutting_down;
+        if !shutting_down {
+            let replacement = spawn_worker(shared, engine, config, index);
+            recover(shared.handles.lock())[index] = Some(replacement);
+            recover(shared.state.lock()).stats.workers_respawned += 1;
+        }
+    }
+}
+
+fn worker_loop<E: BatchEngine>(
+    shared: &Shared<E::Request, E::Response>,
+    engine: &E,
+    config: &BatchConfig,
+    index: usize,
+) {
     loop {
         let (batch, expired) = {
-            let mut state = shared.state.lock().expect("serve state poisoned");
+            let mut state = recover(shared.state.lock());
             // Sleep until there is work or the server is shutting down.
             loop {
                 if !state.queue.is_empty() {
@@ -591,7 +783,7 @@ fn worker_loop<E: BatchEngine>(shared: &Shared<E::Request, E::Response>, engine:
                 if state.shutting_down {
                     return;
                 }
-                state = shared.not_empty.wait(state).expect("serve state poisoned");
+                state = recover(shared.not_empty.wait(state));
             }
             // Expiry reference point: a request times out only if its
             // deadline had already passed when this dispatch cycle began —
@@ -616,8 +808,7 @@ fn worker_loop<E: BatchEngine>(shared: &Shared<E::Request, E::Response>, engine:
                     if now >= cut {
                         break;
                     }
-                    let (next, timeout) =
-                        shared.not_empty.wait_timeout(state, cut - now).expect("serve state poisoned");
+                    let (next, timeout) = recover(shared.not_empty.wait_timeout(state, cut - now));
                     state = next;
                     if timeout.timed_out() {
                         break;
@@ -654,6 +845,10 @@ fn worker_loop<E: BatchEngine>(shared: &Shared<E::Request, E::Response>, engine:
         };
         shared.not_full.notify_all();
         for p in expired {
+            // Feed the expiry signal to the engine (the router's ladder
+            // listens here) before resolving the timeout; a panicking hook
+            // must not take the worker down with it.
+            let _ = catch_unwind(AssertUnwindSafe(|| engine.on_expired(&p.request)));
             p.slot.fulfill(Err(ServeError::DeadlineExceeded));
         }
         if batch.is_empty() {
@@ -669,12 +864,23 @@ fn worker_loop<E: BatchEngine>(shared: &Shared<E::Request, E::Response>, engine:
             submitted_at.push(p.submitted_at);
         }
         let count = requests.len();
-        // A panicking engine must not kill the worker: requests still queued
-        // (and future submissions) would hang with no one left to drain them.
-        // Contain the panic to this batch instead — its requests resolve with
-        // WorkerDied and the worker lives on.
-        let mut results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.process_batch(requests)))
-            .unwrap_or_else(|_| (0..count).map(|_| Err(ServeError::WorkerDied)).collect());
+        // Register the batch's slots with the supervisor: if this worker dies
+        // inside the engine call, the supervisor resolves them with
+        // WorkerDied and respawns the worker. The entry is cleared after the
+        // slots are fulfilled (fulfil is idempotent, but clearing before the
+        // stats bump keeps `completed` exactly-once: the only code that can
+        // unwind runs inside the engine call, before fulfilment).
+        recover(shared.supervisor.lock()).in_flight[index] = Some(slots.clone());
+        // A panicking engine must not strand the batch. By default the panic
+        // is contained here: the batch resolves with WorkerDied and the
+        // worker lives on. With `contain_panics: false` the panic unwinds the
+        // worker and the supervisor takes over (death-watch path).
+        let mut results = if config.contain_panics {
+            catch_unwind(AssertUnwindSafe(|| engine.process_batch(requests)))
+                .unwrap_or_else(|_| (0..count).map(|_| Err(ServeError::WorkerDied)).collect())
+        } else {
+            engine.process_batch(requests)
+        };
         if results.len() != count {
             let actual = results.len();
             results = (0..count).map(|_| Err(ServeError::BatchSizeMismatch { expected: count, actual })).collect();
@@ -682,7 +888,8 @@ fn worker_loop<E: BatchEngine>(shared: &Shared<E::Request, E::Response>, engine:
         for (slot, result) in slots.iter().zip(results) {
             slot.fulfill(result);
         }
-        let mut state = shared.state.lock().expect("serve state poisoned");
+        recover(shared.supervisor.lock()).in_flight[index] = None;
+        let mut state = recover(shared.state.lock());
         state.stats.completed += count as u64;
         for at in &submitted_at {
             state.stats.latency.record(at.elapsed());

@@ -60,14 +60,32 @@
 #![deny(missing_docs)]
 
 pub mod batcher;
+pub mod chaos;
+pub mod degrade;
 pub mod router;
 pub mod service;
 
 pub use batcher::{BatchConfig, BatchEngine, LatencyHistogram, ResponseHandle, Server, ServerStats, TrySubmitError};
-pub use router::{EngineFactory, EngineStats, Router, RouterStats, StreamSpec};
+pub use chaos::{ChaosBeamformer, ChaosFactory, ChaosFactoryProbe, ChaosFault, ChaosSchedule, ChaosStats};
+pub use degrade::{DegradeConfig, DegradeStats};
+pub use router::{EngineFactory, EngineStats, FaultPolicy, ResilienceStats, Router, RouterStats, StreamSpec};
 
 use std::error::Error;
 use std::fmt;
+use std::sync::{LockResult, PoisonError};
+
+/// Recovers the guard from a possibly-poisoned lock.
+///
+/// A poisoned serve-crate lock means some thread panicked while holding it;
+/// every guarded mutation in this crate is a single-step counter bump, queue
+/// push/pop or slot write, so the protected state is never left half-updated
+/// and recovery is sound. Cascading the poison panic instead would kill every
+/// other worker and submitter touching the lock — exactly the amplification
+/// the worker supervisor exists to prevent (the original death is still
+/// observed and counted there; see `ServerStats::workers_respawned`).
+pub(crate) fn recover<T>(result: LockResult<T>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Errors produced by the serving front-end.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,7 +108,27 @@ pub enum ServeError {
     },
     /// The batch engine panicked while processing this request's batch (the
     /// worker survives; only the batch in flight resolves with this error).
+    /// Also produced by the worker supervisor when a worker thread itself
+    /// dies mid-batch: the supervisor resolves the orphaned requests with
+    /// this error and respawns the worker (see
+    /// `ServerStats::workers_respawned`).
     WorkerDied,
+    /// One routed engine panicked while beamforming its sub-batch. The panic
+    /// is contained at the engine boundary: only the panicking engine's
+    /// requests resolve with this error, every other stream in the same
+    /// dispatched batch completes normally (see `serve::router`).
+    EnginePanicked {
+        /// Backend label of the engine that panicked.
+        backend: String,
+    },
+    /// The stream's engine is quarantined by the circuit breaker: its factory
+    /// (or dispatch) failed too many consecutive times, so requests fail fast
+    /// until the quarantine window elapses instead of hammering a broken
+    /// backend (see [`router::FaultPolicy`]).
+    Quarantined {
+        /// Backend label of the quarantined engine.
+        backend: String,
+    },
     /// The request's deadline passed while it was still queued, so it was
     /// dropped from its batch and resolved with this timeout instead of
     /// blocking younger requests (see
@@ -109,6 +147,12 @@ impl fmt::Display for ServeError {
                 write!(f, "batch engine returned {actual} results for {expected} requests")
             }
             Self::WorkerDied => write!(f, "worker died before fulfilling the request"),
+            Self::EnginePanicked { backend } => {
+                write!(f, "engine `{backend}` panicked while processing the request's sub-batch")
+            }
+            Self::Quarantined { backend } => {
+                write!(f, "engine `{backend}` is quarantined after repeated failures")
+            }
             Self::DeadlineExceeded => write!(f, "request deadline expired before dispatch"),
         }
     }

@@ -24,9 +24,9 @@ pub mod prelude {
     pub use beamforming::pipeline::{Beamformer, DelayAndSum, Mvdr};
     pub use beamforming::BModeImage;
     pub use quantize::QuantScheme;
-    pub use serve::router::{Router, StreamSpec};
+    pub use serve::router::{FaultPolicy, Router, StreamSpec};
     pub use serve::service::{beamform_server, BeamformEngine, BeamformServer};
-    pub use serve::{BatchConfig, Server};
+    pub use serve::{BatchConfig, ChaosBeamformer, ChaosSchedule, DegradeConfig, Server};
     pub use tiny_vbf::config::TinyVbfConfig;
     pub use tiny_vbf::evaluation::EvaluationConfig;
     pub use tiny_vbf::inference::TinyVbfBeamformer;
