@@ -1,0 +1,125 @@
+//! Bench regression gate: diff a `bench_scenarios` run against the
+//! committed baseline, exit non-zero on regression.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare --baseline BENCH_baseline.json [--dir bench_out] \
+//!               [--tolerance-file ci_tolerances.json] [--write-baseline]
+//! ```
+//!
+//! * `--baseline` — the committed baseline document,
+//! * `--dir` — directory of `*.summary.json` files from `bench_scenarios`
+//!   (default `bench_out`),
+//! * `--tolerance-file` — per-metric `{rel, abs}` slacks with per-scenario
+//!   overrides (optional; defaults are intentionally loose),
+//! * `--write-baseline` — instead of comparing, rebuild the baseline from
+//!   the run and write it to the `--baseline` path (the refresh workflow
+//!   after an intentional perf change).
+//!
+//! Exit status: 0 when every metric is within tolerance, 1 on any
+//! regression (including a baseline scenario missing from the run), 2 on
+//! usage or parse errors. See `docs/BENCHMARKS.md`.
+
+use bench::compare::{baseline_from_summaries, compare, Tolerances};
+use runtime::json::Json;
+use std::path::{Path, PathBuf};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_compare --baseline FILE [--dir DIR] [--tolerance-file FILE] [--write-baseline]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("bench_compare: {message}");
+    std::process::exit(2);
+}
+
+fn read_json(path: &Path) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("reading {}: {e}", path.display())));
+    Json::parse(&text).unwrap_or_else(|e| fail(&format!("parsing {}: {e}", path.display())))
+}
+
+/// Loads every `*.summary.json` of the run directory, sorted by name for
+/// stable report order.
+fn read_summaries(dir: &Path) -> Vec<Json> {
+    let entries = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| fail(&format!("reading run directory {}: {e}", dir.display())));
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.ends_with(".summary.json")))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        fail(&format!("no *.summary.json files in {}", dir.display()));
+    }
+    paths.iter().map(|p| read_json(p)).collect()
+}
+
+fn main() {
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut dir = PathBuf::from("bench_out");
+    let mut tolerance_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--dir" => dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--tolerance-file" => {
+                tolerance_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--write-baseline" => write_baseline = true,
+            _ => usage(),
+        }
+    }
+    let Some(baseline_path) = baseline_path else { usage() };
+
+    let summaries = read_summaries(&dir);
+    let profile = summaries[0]
+        .get("profile")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("first summary has no profile field"))
+        .to_string();
+
+    if write_baseline {
+        let baseline = baseline_from_summaries(&profile, &summaries)
+            .unwrap_or_else(|e| fail(&format!("building baseline: {e}")));
+        std::fs::write(&baseline_path, baseline.to_string_pretty() + "\n")
+            .unwrap_or_else(|e| fail(&format!("writing {}: {e}", baseline_path.display())));
+        println!(
+            "wrote baseline for {} scenario(s) ({profile} profile) to {}",
+            summaries.len(),
+            baseline_path.display()
+        );
+        return;
+    }
+
+    let baseline = read_json(&baseline_path);
+    if let Some(baseline_profile) = baseline.get("profile").and_then(Json::as_str) {
+        if baseline_profile != profile {
+            fail(&format!(
+                "baseline is a {baseline_profile}-profile document but the run used the {profile} profile"
+            ));
+        }
+    }
+    let tolerances = match &tolerance_path {
+        Some(path) => Tolerances::from_json(&read_json(path))
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", path.display()))),
+        None => Tolerances::default(),
+    };
+
+    let report = compare(&baseline, &summaries, &tolerances)
+        .unwrap_or_else(|e| fail(&format!("comparing: {e}")));
+    print!("{}", report.render());
+    if report.regressed() {
+        let count = report.regressions().count() + report.missing_scenarios.len();
+        eprintln!("bench_compare: {count} regression(s) against {}", baseline_path.display());
+        std::process::exit(1);
+    }
+    println!("no regressions against {}", baseline_path.display());
+}

@@ -4,7 +4,7 @@
 //!
 //! Writes `BENCH_pr1.json` into the current directory with the measured
 //! medians so CI (and the PR description) can track the speedups. Run with
-//! `cargo run --release -p bench --bin bench_pr1`; set `BENCH_PR1_FAST=1` for
+//! `cargo run --release -p bench --bin bench_pr1`; set `BENCH_PR1_FAST=1` (or the `BENCH_FAST=1` umbrella) for
 //! a quicker smoke configuration.
 
 use beamforming::das::DelayAndSum;
@@ -113,7 +113,7 @@ fn max_rel_diff(a: &[f32], b: &[f32]) -> f32 {
 }
 
 fn main() {
-    let fast = std::env::var("BENCH_PR1_FAST").is_ok();
+    let fast = bench::report::fast_mode(1);
     let iters = if fast { 3 } else { 9 };
     let threads = runtime::default_threads();
 

@@ -3,7 +3,7 @@
 //! configurations, against the serial per-frame baseline.
 //!
 //! Writes `BENCH_pr2.json` into the current directory. Run with
-//! `cargo run --release -p bench --bin bench_pr2`; set `BENCH_PR2_FAST=1` for
+//! `cargo run --release -p bench --bin bench_pr2`; set `BENCH_PR2_FAST=1` (or the `BENCH_FAST=1` umbrella) for
 //! a quicker smoke configuration. Every served image is asserted bitwise
 //! identical to serial inference before any timing is reported.
 
@@ -76,7 +76,7 @@ fn run_config(
 }
 
 fn main() {
-    let fast = std::env::var("BENCH_PR2_FAST").is_ok();
+    let fast = bench::report::fast_mode(2);
     let num_frames = if fast { 32 } else { 96 };
     let threads = runtime::default_threads();
 

@@ -4,7 +4,7 @@
 //! through the `serve` micro-batcher with and without plans.
 //!
 //! Writes `BENCH_pr3.json` into the current directory. Run with
-//! `cargo run --release -p bench --bin bench_pr3`; set `BENCH_PR3_FAST=1` for
+//! `cargo run --release -p bench --bin bench_pr3`; set `BENCH_PR3_FAST=1` (or the `BENCH_FAST=1` umbrella) for
 //! a quicker smoke configuration. Planned outputs are asserted **bitwise**
 //! identical to the direct path for every measured thread count before any
 //! timing is reported.
@@ -85,7 +85,7 @@ fn serve_frames<B: Beamformer + Send + 'static>(
 }
 
 fn main() {
-    let fast = std::env::var("BENCH_PR3_FAST").is_ok();
+    let fast = bench::report::fast_mode(3);
     let threads = runtime::default_threads();
     let array = LinearArray::l11_5v();
     // Covers the paper's 5–45 mm PICMUS depth span at 31.25 MHz.

@@ -4,7 +4,7 @@
 //! p50/p99 latency and plan-cache counters **per stream**.
 //!
 //! Writes `BENCH_pr4.json` into the current directory. Run with
-//! `cargo run --release -p bench --bin bench_pr4`; set `BENCH_PR4_FAST=1` for
+//! `cargo run --release -p bench --bin bench_pr4`; set `BENCH_PR4_FAST=1` (or the `BENCH_FAST=1` umbrella) for
 //! a quicker smoke configuration. Before any timing, the no-deadline run is
 //! asserted **bitwise identical** to serial per-frame inference and the
 //! plan-cache counters are asserted to show zero rebuilds after warm-up.
@@ -135,7 +135,7 @@ fn run_scenario(
 }
 
 fn main() {
-    let fast = std::env::var("BENCH_PR4_FAST").is_ok();
+    let fast = bench::report::fast_mode(4);
     let threads = runtime::default_threads();
     let per_stream = if fast { 6 } else { 24 };
     let scale = if fast { 2 } else { 1 };

@@ -6,7 +6,7 @@
 //! accumulated input-quantization SQNR accuracy proxy.
 //!
 //! Writes `BENCH_pr5.json` into the current directory. Run with
-//! `cargo run --release -p bench --bin bench_pr5`; set `BENCH_PR5_FAST=1` for
+//! `cargo run --release -p bench --bin bench_pr5`; set `BENCH_PR5_FAST=1` (or the `BENCH_FAST=1` umbrella) for
 //! a quicker smoke configuration (reduced probe/grid/model) and
 //! `BENCH_PR5_FRAMES=n` to override the frames per scheme. Before any
 //! timing, every served image is asserted **bitwise identical** to serial
@@ -53,7 +53,7 @@ fn json_f64(value: f64) -> String {
 }
 
 fn main() {
-    let fast = std::env::var("BENCH_PR5_FAST").is_ok();
+    let fast = bench::report::fast_mode(5);
     let threads = runtime::default_threads();
 
     // Full mode runs the paper deployment shape: L11-5v, 368 × 128 grid,
@@ -63,11 +63,8 @@ fn main() {
     } else {
         (LinearArray::l11_5v(), 368, 128, 40.0e-3, 2048, 6)
     };
-    let frames_per_scheme = std::env::var("BENCH_PR5_FRAMES")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(frames_per_scheme);
+    let frames_per_scheme =
+        bench::report::env_knob("BENCH_PR5_FRAMES", 1).unwrap_or(frames_per_scheme);
     let grid = ImagingGrid::for_array(&array, 5.0e-3, depth_extent, rows, cols);
     let config = TinyVbfConfig::paper().for_frame(array.num_elements(), grid.num_cols());
     let model = TinyVbf::new(&config).expect("model");

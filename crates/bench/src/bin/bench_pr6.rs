@@ -25,7 +25,7 @@
 //! * **availability**: the ladder-ON success rate strictly exceeds OFF.
 //!
 //! Writes `BENCH_pr6.json` into the current directory. Run with
-//! `cargo run --release -p bench --bin bench_pr6`; set `BENCH_PR6_FAST=1`
+//! `cargo run --release -p bench --bin bench_pr6`; set `BENCH_PR6_FAST=1` (or the `BENCH_FAST=1` umbrella)
 //! for a smaller grid and fewer waves, and `BENCH_PR6_WAVES=n` to override
 //! the wave count.
 
@@ -227,14 +227,10 @@ fn main() {
         }
     }));
 
-    let fast = std::env::var("BENCH_PR6_FAST").is_ok();
+    let fast = bench::report::fast_mode(6);
     let threads = runtime::default_threads();
     let (rows, cols, num_samples, mut waves) = if fast { (16, 8, 256, 4) } else { (46, 32, 1024, 10) };
-    waves = std::env::var("BENCH_PR6_WAVES")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 2)
-        .unwrap_or(waves);
+    waves = bench::report::env_knob("BENCH_PR6_WAVES", 2).unwrap_or(waves);
     let primary_frames = waves * WAVE_PRIMARY;
     let control_frames = waves * WAVE_CONTROL;
 

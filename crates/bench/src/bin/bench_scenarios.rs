@@ -1,0 +1,143 @@
+//! Scenario benchmark driver: runs the named scenario catalogue through
+//! the process-spawning harness and writes one `summary.json` per
+//! scenario.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_scenarios [--profile fast|full] [--scenario NAME]... \
+//!                 [--out-dir DIR] [--list]
+//! ```
+//!
+//! * `--profile` — `fast` (CI smoke scale, default) or `full`,
+//! * `--scenario` — run only the named scenario(s); repeatable. Default:
+//!   the whole catalogue (`bench::scenarios`),
+//! * `--out-dir` — where `<name>.summary.json` files land (default
+//!   `bench_out`),
+//! * `--list` — print the catalogue and exit.
+//!
+//! Each scenario spawns one `serve_agent` and one or more `load_agent`
+//! release processes (they must sit next to this binary in the target
+//! directory — `cargo build --release -p bench` builds all of them).
+//! Exit status is non-zero if any scenario fails to run; regression
+//! judgment is `bench_compare`'s job.
+
+use bench::harness::{run_scenario, summary_json, Profile};
+use bench::scenarios::{all_scenarios, scenario, scenario_names};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_scenarios [--profile fast|full] [--scenario NAME]... [--out-dir DIR] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut profile = Profile::Fast;
+    let mut names: Vec<String> = Vec::new();
+    let mut out_dir = PathBuf::from("bench_out");
+    let mut list = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => match args.next().as_deref().map(Profile::parse) {
+                Some(Ok(p)) => profile = p,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+                None => usage(),
+            },
+            "--scenario" => match args.next() {
+                Some(name) => names.push(name),
+                None => usage(),
+            },
+            "--out-dir" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--list" => list = true,
+            _ => usage(),
+        }
+    }
+
+    if list {
+        for config in all_scenarios(profile) {
+            println!(
+                "{:<20} streams={} agents={} duration={}ms",
+                config.name,
+                config.streams.len(),
+                config.agents,
+                config.duration_ms
+            );
+        }
+        return;
+    }
+
+    let configs = if names.is_empty() {
+        all_scenarios(profile)
+    } else {
+        names
+            .iter()
+            .map(|name| {
+                scenario(name, profile).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown scenario `{name}` (known: {})",
+                        scenario_names().join(", ")
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("creating {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+
+    let mut failures = 0usize;
+    for config in &configs {
+        print!("{:<20} ", config.name);
+        std::io::Write::flush(&mut std::io::stdout()).ok();
+        match run_scenario(config, profile) {
+            Ok(outcome) => {
+                let summary = summary_json(&outcome);
+                let path = out_dir.join(format!("{}.summary.json", config.name));
+                if let Err(e) = std::fs::write(&path, summary.to_string_pretty() + "\n") {
+                    eprintln!("writing {}: {e}", path.display());
+                    failures += 1;
+                    continue;
+                }
+                println!(
+                    "ok={} expired={} panicked={} lost={} p50={}us p99={}us {:.1} req/s rss={}kB ({:.1}s)",
+                    outcome.ok,
+                    outcome.expired,
+                    outcome.panicked,
+                    outcome.lost,
+                    outcome.latency.p50().as_micros(),
+                    outcome.latency.p99().as_micros(),
+                    outcome.throughput_rps,
+                    outcome.server_rss_kb.unwrap_or(0),
+                    outcome.elapsed_s,
+                );
+            }
+            Err(e) => {
+                println!("FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    println!(
+        "{} scenario(s) run, {} failed, summaries in {}",
+        configs.len(),
+        failures,
+        out_dir.display()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Scenario load-generator process: offers traffic to a `serve_agent` over
+//! loopback TCP and measures client-side latency.
+//!
+//! Spawned by `bench::harness::run_scenario`, one or more per scenario.
+//! Latency is measured here — wall-clock from writing the request line to
+//! reading its response line — so it includes the socket, queueing, batching
+//! and compute exactly as a scanner-side client would see them, not just
+//! the server's internal dispatch time.
+//!
+//! Protocol (single-line JSON):
+//! * stdin, first line: `{"scenario": <ScenarioConfig>, "port": p,
+//!   "agent_index": i}`,
+//! * TCP: request lines `{"id":n,"stream":i,"seed":k}`, response lines
+//!   `{"id":n,"status":…}` in any order,
+//! * stdout, at exit: the [`bench::harness::AgentSummary`] line
+//!   (`{"event":"summary", …}`) with warmup-excluded counters, the merged
+//!   latency histogram, and this process's max RSS.
+//!
+//! Two offered-load models ([`bench::harness::LoadModel`]): closed-loop
+//! pipelining with a fixed in-flight budget (a permit returns with each
+//! response), and open-loop seeded Poisson arrivals
+//! ([`runtime::poisson::PoissonArrivals`]) that keep offering whatever the
+//! server does — the model that can expose queueing collapse.
+
+use bench::harness::{max_rss_kb, AgentSummary, LoadModel, ScenarioConfig};
+use runtime::json::Json;
+use serve::LatencyHistogram;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the agent waits after the offered window for stragglers before
+/// declaring the remainder lost.
+const DRAIN_GRACE: Duration = Duration::from_secs(20);
+
+fn protocol_error(detail: &str) -> ! {
+    let line = Json::obj([("event", Json::str("error")), ("detail", Json::str(detail))]);
+    println!("{}", line.to_string_compact());
+    std::process::exit(1);
+}
+
+/// Outcome counters a response thread accumulates.
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    expired: u64,
+    panicked: u64,
+    errors: u64,
+    latency: LatencyHistogram,
+}
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut first_line = String::new();
+    if stdin.lock().read_line(&mut first_line).is_err() || first_line.trim().is_empty() {
+        protocol_error("expected a config line on stdin");
+    }
+    let config_value = Json::parse(first_line.trim())
+        .unwrap_or_else(|e| protocol_error(&format!("bad config line: {e}")));
+    let scenario = config_value
+        .get("scenario")
+        .ok_or("missing `scenario`".to_string())
+        .and_then(ScenarioConfig::from_json)
+        .unwrap_or_else(|e| protocol_error(&format!("bad scenario: {e}")));
+    let port = config_value
+        .get("port")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| protocol_error("missing `port`")) as u16;
+    let agent_index = config_value
+        .get("agent_index")
+        .and_then(Json::as_usize)
+        .unwrap_or_else(|| protocol_error("missing `agent_index`"));
+
+    let sock = TcpStream::connect(("127.0.0.1", port))
+        .unwrap_or_else(|e| protocol_error(&format!("connecting to serve_agent: {e}")));
+    sock.set_nodelay(true).ok();
+    let reader = BufReader::new(sock.try_clone().expect("clone connection"));
+    let mut writer = BufWriter::new(sock.try_clone().expect("clone connection"));
+
+    // Deterministic weighted stream cycle: weights [2,1] → [0,0,1] repeated,
+    // so the offered mix matches the weights exactly, not just in
+    // expectation.
+    let cycle: Vec<usize> = scenario
+        .streams
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| std::iter::repeat(i).take(s.weight as usize))
+        .collect();
+
+    let started = Instant::now();
+    let warmup_cutoff = started + Duration::from_millis(scenario.warmup_ms);
+    let offered_until = started + Duration::from_millis(scenario.duration_ms);
+
+    // id → (send instant, measured?). The response thread removes entries;
+    // whatever survives the drain grace is lost.
+    let outstanding: Arc<Mutex<HashMap<u64, (Instant, bool)>>> = Arc::default();
+    let tally: Arc<Mutex<Tally>> = Arc::default();
+    let done_sending = Arc::new(AtomicBool::new(false));
+
+    // Closed-loop permits: prefilled with the in-flight budget, one permit
+    // returned per response. Open loop sends on the Poisson schedule and
+    // ignores permits.
+    let (permit_tx, permit_rx) = mpsc::channel::<()>();
+    let mut arrivals = match &scenario.load {
+        LoadModel::ClosedLoop { inflight } => {
+            for _ in 0..*inflight {
+                permit_tx.send(()).expect("prefill permits");
+            }
+            None
+        }
+        LoadModel::OpenLoopPoisson { rate_hz } => Some(
+            runtime::poisson::PoissonArrivals::new(
+                *rate_hz,
+                scenario.seed ^ ((agent_index as u64 + 1) << 40),
+            )
+            .unwrap_or_else(|e| protocol_error(&format!("bad Poisson rate: {e}"))),
+        ),
+    };
+
+    let response_thread = {
+        let outstanding = Arc::clone(&outstanding);
+        let tally = Arc::clone(&tally);
+        let done_sending = Arc::clone(&done_sending);
+        let permit_tx = permit_tx.clone();
+        std::thread::spawn(move || {
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let Ok(response) = Json::parse(trimmed) else { break };
+                let (Some(id), Some(status)) = (
+                    response.get("id").and_then(Json::as_u64),
+                    response.get("status").and_then(Json::as_str),
+                ) else {
+                    break;
+                };
+                let entry = outstanding.lock().expect("outstanding map").remove(&id);
+                let Some((sent_at, measured)) = entry else { continue };
+                let _ = permit_tx.send(());
+                if measured {
+                    let mut tally = tally.lock().expect("tally");
+                    match status {
+                        "ok" => {
+                            tally.ok += 1;
+                            tally.latency.record(sent_at.elapsed());
+                        }
+                        "expired" => tally.expired += 1,
+                        "panicked" => tally.panicked += 1,
+                        _ => tally.errors += 1,
+                    }
+                }
+                // Once sending has stopped, exit as soon as the map drains
+                // so the agent does not sit out the full grace window.
+                if done_sending.load(Ordering::Acquire)
+                    && outstanding.lock().expect("outstanding map").is_empty()
+                {
+                    break;
+                }
+            }
+        })
+    };
+
+    // Offer window: send requests until `offered_until`.
+    let mut sent: u64 = 0;
+    let mut measured_sent: u64 = 0;
+    loop {
+        let now = Instant::now();
+        if now >= offered_until {
+            break;
+        }
+        match &mut arrivals {
+            None => {
+                // Closed loop: block for a permit, but wake up at the
+                // window's end even if the server has stalled.
+                let budget = offered_until.saturating_duration_since(Instant::now());
+                match permit_rx.recv_timeout(budget) {
+                    Ok(()) => {}
+                    Err(mpsc::RecvTimeoutError::Timeout) => break,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            Some(poisson) => {
+                // Open loop: sleep to the next arrival regardless of
+                // responses.
+                std::thread::sleep(poisson.next_gap());
+            }
+        }
+        let now = Instant::now();
+        if now >= offered_until {
+            break;
+        }
+        let id = sent;
+        let stream_idx = cycle[(sent as usize) % cycle.len()];
+        // Mix, then keep 32 bits: JSON numbers are f64, exact only below
+        // 2^53, and the server only uses the seed to index its frame pool.
+        let seed =
+            (scenario.seed ^ ((agent_index as u64) << 48) ^ id).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                >> 32;
+        let measured = now >= warmup_cutoff;
+        outstanding.lock().expect("outstanding map").insert(id, (now, measured));
+        let line = Json::obj([
+            ("id", Json::num(id as f64)),
+            ("stream", Json::num(stream_idx as f64)),
+            ("seed", Json::num(seed as f64)),
+        ])
+        .to_string_compact();
+        if writeln!(writer, "{line}").and_then(|_| writer.flush()).is_err() {
+            outstanding.lock().expect("outstanding map").remove(&id);
+            break;
+        }
+        sent += 1;
+        if measured {
+            measured_sent += 1;
+        }
+    }
+    done_sending.store(true, Ordering::Release);
+
+    // Drain: give in-flight requests a grace window, then count leftovers
+    // as lost. Shutting the socket down (not just dropping a clone — the
+    // reader holds another) forces EOF on the response thread, which may be
+    // blocked in `lines()` if the last response landed before
+    // `done_sending` was set.
+    let drain_deadline = Instant::now() + DRAIN_GRACE;
+    while Instant::now() < drain_deadline {
+        if outstanding.lock().expect("outstanding map").is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(writer);
+    let _ = sock.shutdown(std::net::Shutdown::Both);
+    let _ = response_thread.join();
+
+    let leftovers = outstanding.lock().expect("outstanding map");
+    let lost = leftovers.len() as u64;
+    let lost_measured = leftovers.values().filter(|(_, measured)| *measured).count() as u64;
+    drop(leftovers);
+
+    let tally = tally.lock().expect("tally");
+    let summary = AgentSummary {
+        agent: agent_index,
+        sent,
+        // Measured = post-warmup requests with a known outcome; the lost
+        // remainder is reported separately (and must be 0 in a healthy run).
+        measured: measured_sent - lost_measured,
+        ok: tally.ok,
+        expired: tally.expired,
+        panicked: tally.panicked,
+        errors: tally.errors,
+        lost,
+        latency: tally.latency,
+        rss_kb: max_rss_kb(),
+        elapsed_s: started.elapsed().as_secs_f64(),
+    };
+    println!("{}", summary.to_json().to_string_compact());
+}

@@ -1,0 +1,401 @@
+//! The `bench_compare` regression gate: diff a scenario run against the
+//! committed `BENCH_baseline.json` under per-metric tolerances.
+//!
+//! The per-PR bench binaries produced reports a human had to eyeball; this
+//! module turns the trajectory into a CI gate. A run regresses when any
+//! metric moves in its *bad* direction by more than
+//! `max(abs, rel × |baseline|)` — latency, RSS and failure counters are
+//! higher-is-worse, throughput and success rate lower-is-worse. Moves in
+//! the good direction never fail the gate (they are reported as
+//! improvements so the baseline can be refreshed), and an unknown metric
+//! name in a tolerance file is an error rather than a silently inert knob.
+//!
+//! Three documents share a vocabulary (the metric names emitted by
+//! [`crate::harness::summary_metrics`]):
+//!
+//! * the baseline (`BENCH_baseline.json`): `{schema_version, profile,
+//!   scenarios: {name: {metric: value}}}` — built by
+//!   [`baseline_from_summaries`], refreshed with `bench_compare
+//!   --write-baseline`,
+//! * the tolerance file (`ci_tolerances.json`): `{defaults: {metric:
+//!   {rel, abs}}, scenarios: {name: {metric: {rel, abs}}}}` — scenario
+//!   entries override defaults per metric,
+//! * the run itself: the `*.summary.json` files of an output directory.
+
+use crate::harness::{summary_metrics, SCHEMA_VERSION};
+use runtime::json::Json;
+use std::collections::BTreeMap;
+
+/// Metrics where a larger value is a regression.
+const HIGHER_IS_WORSE: &[&str] =
+    &["p50_us", "p99_us", "mean_us", "expired", "panicked", "lost", "server_rss_kb"];
+
+/// Metrics where a smaller value is a regression.
+const LOWER_IS_WORSE: &[&str] = &["throughput_rps", "success_rate"];
+
+/// Allowed movement of one metric in its bad direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Relative slack as a fraction of the baseline magnitude.
+    pub rel: f64,
+    /// Absolute slack in the metric's own unit.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// The slack granted against `baseline`: `max(abs, rel × |baseline|)`.
+    pub fn slack(&self, baseline: f64) -> f64 {
+        self.abs.max(self.rel * baseline.abs())
+    }
+}
+
+impl Default for Tolerance {
+    /// Conservative default slack for untuned metrics: 50% relative or a
+    /// small absolute floor. Shared-CI latency numbers are noisy; the gate
+    /// is meant to catch step changes, not 5% jitter.
+    fn default() -> Self {
+        Self { rel: 0.50, abs: 1.0 }
+    }
+}
+
+/// Per-metric tolerances with per-scenario overrides.
+#[derive(Debug, Clone, Default)]
+pub struct Tolerances {
+    defaults: BTreeMap<String, Tolerance>,
+    scenarios: BTreeMap<String, BTreeMap<String, Tolerance>>,
+}
+
+impl Tolerances {
+    /// The tolerance for `metric` of `scenario`: scenario override, then
+    /// metric default, then [`Tolerance::default`].
+    pub fn lookup(&self, scenario: &str, metric: &str) -> Tolerance {
+        self.scenarios
+            .get(scenario)
+            .and_then(|m| m.get(metric))
+            .or_else(|| self.defaults.get(metric))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Parses a tolerance document, rejecting unknown metric names so a
+    /// typo cannot silently disable a gate.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        fn tolerance(value: &Json, context: &str) -> Result<Tolerance, String> {
+            let rel = value.get("rel").and_then(Json::as_f64).unwrap_or(0.0);
+            let abs = value.get("abs").and_then(Json::as_f64).unwrap_or(0.0);
+            if !rel.is_finite() || rel < 0.0 || !abs.is_finite() || abs < 0.0 {
+                return Err(format!("tolerance for {context} must be finite and non-negative"));
+            }
+            if value.get("rel").is_none() && value.get("abs").is_none() {
+                return Err(format!("tolerance for {context} sets neither `rel` nor `abs`"));
+            }
+            Ok(Tolerance { rel, abs })
+        }
+        fn metric_map(value: &Json, context: &str) -> Result<BTreeMap<String, Tolerance>, String> {
+            let pairs = value.as_obj().ok_or_else(|| format!("{context} must be an object"))?;
+            let mut map = BTreeMap::new();
+            for (metric, spec) in pairs {
+                if !HIGHER_IS_WORSE.contains(&metric.as_str()) && !LOWER_IS_WORSE.contains(&metric.as_str())
+                {
+                    return Err(format!("{context}: unknown metric `{metric}`"));
+                }
+                map.insert(metric.clone(), tolerance(spec, &format!("{context}.{metric}"))?);
+            }
+            Ok(map)
+        }
+        let mut tolerances = Self::default();
+        if let Some(defaults) = value.get("defaults") {
+            tolerances.defaults = metric_map(defaults, "defaults")?;
+        }
+        if let Some(scenarios) = value.get("scenarios") {
+            let pairs = scenarios.as_obj().ok_or("`scenarios` must be an object")?;
+            for (name, metrics) in pairs {
+                tolerances
+                    .scenarios
+                    .insert(name.clone(), metric_map(metrics, &format!("scenarios.{name}"))?);
+            }
+        }
+        Ok(tolerances)
+    }
+}
+
+/// Builds the baseline document from a run's summary files.
+pub fn baseline_from_summaries(profile: &str, summaries: &[Json]) -> Result<Json, String> {
+    let mut scenarios = Vec::new();
+    for summary in summaries {
+        let name = summary
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or("summary without a scenario name")?;
+        let metrics = summary_metrics(summary);
+        if metrics.is_empty() {
+            return Err(format!("summary for `{name}` carries no gate metrics"));
+        }
+        scenarios.push((
+            name.to_string(),
+            Json::Obj(metrics.into_iter().map(|(k, v)| (k, Json::num(v))).collect()),
+        ));
+    }
+    scenarios.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(Json::obj([
+        ("schema_version", Json::num(SCHEMA_VERSION as f64)),
+        ("profile", Json::str(profile)),
+        ("scenarios", Json::Obj(scenarios)),
+    ]))
+}
+
+/// One metric's verdict in a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Scenario the metric belongs to.
+    pub scenario: String,
+    /// Metric name (see [`crate::harness::summary_metrics`]).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// This run's value.
+    pub current: f64,
+    /// Slack the tolerance granted.
+    pub slack: f64,
+    /// The metric moved in its bad direction beyond the slack.
+    pub regressed: bool,
+    /// The metric moved in its good direction beyond the slack (baseline
+    /// refresh candidate — never a failure).
+    pub improved: bool,
+}
+
+/// The outcome of diffing one run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// Every metric compared, in (scenario, metric) order.
+    pub deltas: Vec<MetricDelta>,
+    /// Baseline scenarios the run did not produce — each is a regression
+    /// (a crashing scenario must not pass the gate by disappearing).
+    pub missing_scenarios: Vec<String>,
+    /// Run scenarios absent from the baseline — warnings, not failures
+    /// (new scenarios land before their first baseline refresh).
+    pub extra_scenarios: Vec<String>,
+}
+
+impl CompareReport {
+    /// Whether the gate should fail the build.
+    pub fn regressed(&self) -> bool {
+        !self.missing_scenarios.is_empty() || self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// All regressing deltas.
+    pub fn regressions(&self) -> impl Iterator<Item = &MetricDelta> {
+        self.deltas.iter().filter(|d| d.regressed)
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for delta in &self.deltas {
+            let verdict = if delta.regressed {
+                "REGRESSED"
+            } else if delta.improved {
+                "improved"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{:<24} {:<16} baseline {:>12.3}  current {:>12.3}  slack {:>10.3}  {verdict}\n",
+                delta.scenario, delta.metric, delta.baseline, delta.current, delta.slack
+            ));
+        }
+        for name in &self.missing_scenarios {
+            out.push_str(&format!("{name:<24} MISSING from this run (counts as a regression)\n"));
+        }
+        for name in &self.extra_scenarios {
+            out.push_str(&format!("{name:<24} not in baseline (refresh with --write-baseline)\n"));
+        }
+        out
+    }
+}
+
+/// Diffs a run's summaries against a baseline document.
+pub fn compare(
+    baseline: &Json,
+    summaries: &[Json],
+    tolerances: &Tolerances,
+) -> Result<CompareReport, String> {
+    match baseline.get("schema_version").and_then(Json::as_u64) {
+        Some(SCHEMA_VERSION) => {}
+        Some(other) => {
+            return Err(format!("baseline schema v{other} does not match this binary (v{SCHEMA_VERSION})"))
+        }
+        None => return Err("baseline is missing `schema_version`".into()),
+    }
+    let baseline_scenarios = baseline
+        .get("scenarios")
+        .and_then(Json::as_obj)
+        .ok_or("baseline is missing `scenarios`")?;
+
+    let mut current: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    for summary in summaries {
+        let name = summary
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or("summary without a scenario name")?;
+        current.insert(name.to_string(), summary_metrics(summary).into_iter().collect());
+    }
+
+    let mut report = CompareReport::default();
+    for (name, metrics) in baseline_scenarios {
+        let Some(run) = current.remove(name) else {
+            report.missing_scenarios.push(name.clone());
+            continue;
+        };
+        let metric_pairs =
+            metrics.as_obj().ok_or_else(|| format!("baseline scenario `{name}` must be an object"))?;
+        for (metric, value) in metric_pairs {
+            let baseline_value = value
+                .as_f64()
+                .ok_or_else(|| format!("baseline `{name}.{metric}` must be a number"))?;
+            let Some(&current_value) = run.get(metric) else {
+                // A metric the run no longer emits (e.g. RSS probe absent
+                // off-Linux): fail loudly rather than skip silently.
+                return Err(format!("run summary for `{name}` is missing metric `{metric}`"));
+            };
+            let tolerance = tolerances.lookup(name, metric);
+            let slack = tolerance.slack(baseline_value);
+            let bad_delta = if HIGHER_IS_WORSE.contains(&metric.as_str()) {
+                current_value - baseline_value
+            } else if LOWER_IS_WORSE.contains(&metric.as_str()) {
+                baseline_value - current_value
+            } else {
+                return Err(format!("baseline carries unknown metric `{metric}`"));
+            };
+            report.deltas.push(MetricDelta {
+                scenario: name.clone(),
+                metric: metric.clone(),
+                baseline: baseline_value,
+                current: current_value,
+                slack,
+                regressed: bad_delta > slack,
+                improved: -bad_delta > slack,
+            });
+        }
+    }
+    report.extra_scenarios = current.into_keys().collect();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal summary document carrying the gate metrics.
+    fn summary(name: &str, p99_us: f64, throughput: f64, expired: f64) -> Json {
+        Json::obj([
+            ("schema_version", Json::num(SCHEMA_VERSION as f64)),
+            ("scenario", Json::str(name)),
+            (
+                "latency_us",
+                Json::obj([
+                    ("p50", Json::num(p99_us / 2.0)),
+                    ("p99", Json::num(p99_us)),
+                    ("mean", Json::num(p99_us / 1.5)),
+                ]),
+            ),
+            ("throughput_rps", Json::num(throughput)),
+            ("success_rate", Json::num(0.99)),
+            (
+                "requests",
+                Json::obj([
+                    ("expired", Json::num(expired)),
+                    ("panicked", Json::num(0.0)),
+                    ("lost", Json::num(0.0)),
+                ]),
+            ),
+            ("rss_kb", Json::obj([("server_max", Json::num(50_000.0))])),
+        ])
+    }
+
+    fn strict_tolerances() -> Tolerances {
+        Tolerances::from_json(
+            &Json::parse(r#"{"defaults": {"p99_us": {"rel": 0.10}, "throughput_rps": {"rel": 0.10}, "p50_us": {"rel": 10}, "mean_us": {"rel": 10}, "success_rate": {"abs": 1}, "expired": {"abs": 5}, "panicked": {"abs": 1000}, "lost": {"abs": 0}, "server_rss_kb": {"rel": 10}}}"#)
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_run_passes() {
+        let base = baseline_from_summaries("fast", &[summary("a", 800.0, 100.0, 1.0)]).unwrap();
+        let report = compare(&base, &[summary("a", 800.0, 100.0, 1.0)], &strict_tolerances()).unwrap();
+        assert!(!report.regressed(), "{}", report.render());
+    }
+
+    #[test]
+    fn perturbation_beyond_tolerance_fails_the_gate() {
+        let base = baseline_from_summaries("fast", &[summary("a", 800.0, 100.0, 1.0)]).unwrap();
+        // p99 +50% against a 10% tolerance: regression.
+        let slow = compare(&base, &[summary("a", 1200.0, 100.0, 1.0)], &strict_tolerances()).unwrap();
+        assert!(slow.regressed());
+        assert!(slow.regressions().any(|d| d.metric == "p99_us"));
+        // Throughput −50% against a 10% tolerance: regression in the other
+        // direction.
+        let starved = compare(&base, &[summary("a", 800.0, 50.0, 1.0)], &strict_tolerances()).unwrap();
+        assert!(starved.regressions().any(|d| d.metric == "throughput_rps"));
+        // Expiry burst beyond the absolute slack of 5.
+        let expiring = compare(&base, &[summary("a", 800.0, 100.0, 40.0)], &strict_tolerances()).unwrap();
+        assert!(expiring.regressions().any(|d| d.metric == "expired"));
+    }
+
+    #[test]
+    fn good_direction_moves_never_fail() {
+        let base = baseline_from_summaries("fast", &[summary("a", 800.0, 100.0, 5.0)]).unwrap();
+        // Faster, higher throughput, fewer expiries: all improvements.
+        let better = compare(&base, &[summary("a", 200.0, 400.0, 0.0)], &strict_tolerances()).unwrap();
+        assert!(!better.regressed(), "{}", better.render());
+        assert!(better.deltas.iter().any(|d| d.improved));
+    }
+
+    #[test]
+    fn missing_scenario_is_a_regression_extra_is_not() {
+        let base = baseline_from_summaries(
+            "fast",
+            &[summary("a", 800.0, 100.0, 1.0), summary("b", 500.0, 80.0, 0.0)],
+        )
+        .unwrap();
+        let report =
+            compare(&base, &[summary("a", 800.0, 100.0, 1.0), summary("c", 1.0, 1.0, 0.0)], &strict_tolerances())
+                .unwrap();
+        assert!(report.regressed());
+        assert_eq!(report.missing_scenarios, vec!["b".to_string()]);
+        assert_eq!(report.extra_scenarios, vec!["c".to_string()]);
+    }
+
+    #[test]
+    fn tolerance_parsing_rejects_typos_and_nonsense() {
+        assert!(Tolerances::from_json(
+            &Json::parse(r#"{"defaults": {"p99_microseconds": {"rel": 0.1}}}"#).unwrap()
+        )
+        .is_err());
+        assert!(Tolerances::from_json(&Json::parse(r#"{"defaults": {"p99_us": {"rel": -0.1}}}"#).unwrap())
+            .is_err());
+        assert!(Tolerances::from_json(&Json::parse(r#"{"defaults": {"p99_us": {}}}"#).unwrap()).is_err());
+        // Scenario overrides beat defaults.
+        let t = Tolerances::from_json(
+            &Json::parse(
+                r#"{"defaults": {"p99_us": {"rel": 0.1}}, "scenarios": {"hot": {"p99_us": {"rel": 0.5}}}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(t.lookup("hot", "p99_us").rel, 0.5);
+        assert_eq!(t.lookup("cold", "p99_us").rel, 0.1);
+        assert_eq!(t.lookup("cold", "lost"), Tolerance::default());
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_an_error() {
+        let mut base = baseline_from_summaries("fast", &[summary("a", 1.0, 1.0, 0.0)]).unwrap();
+        if let Json::Obj(pairs) = &mut base {
+            pairs[0].1 = Json::num(999.0);
+        }
+        assert!(compare(&base, &[summary("a", 1.0, 1.0, 0.0)], &Tolerances::default()).is_err());
+    }
+}

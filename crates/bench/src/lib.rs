@@ -22,6 +22,9 @@
 //! seconds-scale smoke configuration, anything else (or unset) the reduced evaluation
 //! configuration described in `DESIGN.md`.
 
+pub mod compare;
+pub mod harness;
 pub mod report;
+pub mod scenarios;
 
 pub use report::*;

@@ -63,6 +63,23 @@ pub fn evaluation_config_from_env() -> EvaluationConfig {
     }
 }
 
+/// Whether a per-PR bench binary should run its reduced fast configuration.
+///
+/// True when either the binary's own `BENCH_PR<n>_FAST` variable or the
+/// `BENCH_FAST` umbrella is set (any value). Every `bench_pr*` binary used
+/// to hand-roll the same `std::env::var(...).is_ok()` line with no umbrella;
+/// CI and developers can now flip one switch for the whole trajectory.
+pub fn fast_mode(pr: u32) -> bool {
+    std::env::var("BENCH_FAST").is_ok() || std::env::var(format!("BENCH_PR{pr}_FAST")).is_ok()
+}
+
+/// Reads a positive-integer tuning knob from the environment
+/// (`BENCH_PR5_FRAMES`, `BENCH_PR6_WAVES`, …): `Some(n)` when the variable
+/// parses as an integer `>= min`, `None` when unset or out of range.
+pub fn env_knob(name: &str, min: usize) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= min)
+}
+
 /// Renders a contrast table (our measured values) with the paper's reference alongside.
 pub fn format_contrast_table(title: &str, rows: &[ContrastTableRow], reference: &[(&str, f32, f32, f32)]) -> String {
     let mut out = String::new();

@@ -1,0 +1,201 @@
+//! The named scenario catalogue — the bench trajectory as data.
+//!
+//! Each scenario ports one of the measurements the per-PR bench binaries
+//! (`bench_pr2`–`bench_pr6`) made in-process into the process-spawning
+//! harness, so the whole trajectory is re-runnable under one schema and
+//! gated by `bench_compare`:
+//!
+//! | Scenario | Ports | Question it answers |
+//! |---|---|---|
+//! | `baseline_latency` | bench_pr2 | single-stream serve-path latency |
+//! | `planned_vs_direct` | bench_pr3 | plan-cache reuse vs per-frame geometry |
+//! | `router_fanout` | bench_pr4 | heterogeneous streams + deadline under fan-out |
+//! | `quantized_sweep` | bench_pr5 | all six quantization schemes side by side |
+//! | `poisson_openloop` | new | open-loop offered load (queueing, not capacity) |
+//! | `chaos_availability` | bench_pr6 | success rate under injected faults + ladder |
+//!
+//! Both profiles describe the *same* scenarios; [`Profile::Fast`] shrinks
+//! grids and durations to CI-smoke scale (~a second per scenario) while
+//! [`Profile::Full`] is the measurement shape.
+
+use crate::harness::{ChaosSpec, LoadModel, Profile, ScenarioConfig, StreamLoad};
+use quantize::QuantScheme;
+
+/// Names of every scenario in the catalogue, in run order.
+pub fn scenario_names() -> Vec<&'static str> {
+    vec![
+        "baseline_latency",
+        "planned_vs_direct",
+        "router_fanout",
+        "quantized_sweep",
+        "poisson_openloop",
+        "chaos_availability",
+    ]
+}
+
+/// Builds the full catalogue for a profile. Every config is validated; a
+/// construction bug here is a panic at build time, not a mid-run failure.
+pub fn all_scenarios(profile: Profile) -> Vec<ScenarioConfig> {
+    let configs: Vec<ScenarioConfig> =
+        scenario_names().into_iter().map(|name| scenario(name, profile).expect("known name")).collect();
+    for config in &configs {
+        if let Err(e) = config.validate() {
+            panic!("scenario `{}` is invalid: {e}", config.name);
+        }
+    }
+    configs
+}
+
+/// Builds one named scenario for a profile; `None` for unknown names.
+pub fn scenario(name: &str, profile: Profile) -> Option<ScenarioConfig> {
+    let fast = profile == Profile::Fast;
+    let mut config = ScenarioConfig::named(name);
+    // Shared profile scaling: the fast profile must finish in about a
+    // second per scenario; the full profile runs long enough for stable
+    // percentiles on larger grids.
+    if fast {
+        config.channels = 32;
+        config.grid_rows = 16;
+        config.grid_cols = 8;
+        config.num_samples = 256;
+        config.duration_ms = 800;
+        config.warmup_ms = 200;
+    } else {
+        config.channels = 64;
+        config.grid_rows = 48;
+        config.grid_cols = 24;
+        config.num_samples = 1024;
+        config.duration_ms = 6_000;
+        config.warmup_ms = 1_000;
+    }
+    match name {
+        "baseline_latency" => {
+            // bench_pr2's question: what does one stream cost through the
+            // full submit→batch→respond path, nothing else running?
+            config.streams = vec![StreamLoad::new("das-planned")];
+            config.load = LoadModel::ClosedLoop { inflight: 4 };
+            config.seed = 0xB10E;
+        }
+        "planned_vs_direct" => {
+            // bench_pr3's question: plan-cache reuse vs recomputing
+            // geometry per frame. Same probe, same grid, two backends; the
+            // per-engine latency split in `server.engines` carries the
+            // comparison.
+            config.streams = vec![StreamLoad::new("das"), StreamLoad::new("das-planned")];
+            config.load = LoadModel::ClosedLoop { inflight: 4 };
+            config.seed = 0x91A2;
+        }
+        "router_fanout" => {
+            // bench_pr4's question: heterogeneous probe/grid streams
+            // through one router under a dispatch deadline, offered by two
+            // concurrent agent processes.
+            let (small, large) = if fast { ((16, 8), (24, 16)) } else { ((32, 16), (64, 32)) };
+            config.streams = vec![
+                StreamLoad {
+                    backend: "das-planned".into(),
+                    weight: 2,
+                    channels: Some(if fast { 16 } else { 32 }),
+                    grid: Some(small),
+                },
+                StreamLoad { backend: "das-planned".into(), weight: 1, channels: None, grid: Some(large) },
+                StreamLoad { backend: "das".into(), weight: 1, channels: None, grid: None },
+            ];
+            config.load = LoadModel::ClosedLoop { inflight: 3 };
+            config.agents = 2;
+            config.deadline_ms = Some(if fast { 250 } else { 500 });
+            config.max_batch = 6;
+            config.seed = 0xFA40;
+        }
+        "quantized_sweep" => {
+            // bench_pr5's question: the six quantization schemes of the
+            // paper's Table III side by side, sharing one TOF plan cache.
+            config.streams =
+                QuantScheme::all().iter().map(|s| StreamLoad::new(s.backend_label())).collect();
+            config.load = LoadModel::ClosedLoop { inflight: 6 };
+            // Tiny-VBF inference is the heavy path: keep the full profile
+            // on the fast-profile geometry and stretch only the duration.
+            config.channels = 32;
+            config.grid_rows = 16;
+            config.grid_cols = 8;
+            config.num_samples = 256;
+            config.seed = 0x0A17;
+        }
+        "poisson_openloop" => {
+            // New with the harness: open-loop offered load. A closed loop
+            // self-throttles and can never show queueing collapse; seeded
+            // Poisson arrivals keep offering at rate λ whatever the server
+            // does, so deadline expiries become visible.
+            config.streams = vec![StreamLoad::new("das-planned")];
+            config.load = LoadModel::OpenLoopPoisson { rate_hz: if fast { 120.0 } else { 200.0 } };
+            config.deadline_ms = Some(if fast { 100 } else { 200 });
+            config.seed = 0x9015;
+        }
+        "chaos_availability" => {
+            // bench_pr6's question: availability under injected faults,
+            // with the degradation ladder allowed to shed to the healthy
+            // backend. The chaos rung panics 1-in-16 and stalls on *every*
+            // call; 8 pipelined requests against a small batch ceiling
+            // saturate the deadline, so expiries accumulate until the
+            // ladder downshifts to the clean planned-DAS rung and the
+            // success rate recovers — the dynamic the gate then tracks.
+            config.streams = vec![StreamLoad::new("chaos:das-planned")];
+            config.chaos = Some(ChaosSpec {
+                seed: 0xC405,
+                panic_one_in: 16,
+                delay_one_in: 1,
+                delay_ms: if fast { 6 } else { 12 },
+            });
+            config.degrade_ladder = Some(vec!["chaos:das-planned".into(), "das-planned".into()]);
+            config.deadline_ms = Some(if fast { 25 } else { 50 });
+            config.load = LoadModel::ClosedLoop { inflight: 8 };
+            config.max_batch = 2;
+            config.seed = 0xC4A0;
+        }
+        _ => return None,
+    }
+    Some(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_valid_in_both_profiles() {
+        for profile in [Profile::Fast, Profile::Full] {
+            let configs = all_scenarios(profile);
+            assert_eq!(configs.len(), scenario_names().len());
+            for config in &configs {
+                config.validate().expect("catalogue scenario must validate");
+            }
+        }
+        assert!(scenario("no_such_scenario", Profile::Fast).is_none());
+    }
+
+    #[test]
+    fn catalogue_names_match_configs() {
+        let configs = all_scenarios(Profile::Fast);
+        let names: Vec<_> = configs.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, scenario_names());
+    }
+
+    #[test]
+    fn quantized_sweep_covers_every_scheme() {
+        let config = scenario("quantized_sweep", Profile::Fast).unwrap();
+        assert_eq!(config.streams.len(), QuantScheme::all().len());
+        for scheme in QuantScheme::all() {
+            assert!(config.streams.iter().any(|s| s.backend == scheme.backend_label()));
+        }
+    }
+
+    #[test]
+    fn fanout_scenario_spawns_multiple_processes() {
+        // The acceptance bar: scenarios spawn ≥ 2 OS processes. Every
+        // scenario has 1 server + ≥ 1 agents; the fan-out one uses 2 agents.
+        let config = scenario("router_fanout", Profile::Fast).unwrap();
+        assert!(config.agents >= 2);
+        for config in all_scenarios(Profile::Fast) {
+            assert!(1 + config.agents >= 2, "{} must spawn at least 2 processes", config.name);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end harness smoke tests: spawn real `serve_agent`/`load_agent`
+//! OS processes through `run_scenario`, and drive the `bench_compare`
+//! binary's exit code with a perturbed run — the acceptance checks of the
+//! scenario-benchmark subsystem, run at debug scale.
+
+use bench::compare::{baseline_from_summaries, compare, Tolerances};
+use bench::harness::{
+    agent_bin_path, run_scenario, summary_json, summary_metrics, LoadModel, Profile,
+    ScenarioConfig, StreamLoad, SCHEMA_VERSION,
+};
+use runtime::json::Json;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A scenario small enough for a debug-build test (two streams, deadline,
+/// two agents → three OS processes) yet exercising the whole protocol.
+fn tiny_scenario() -> ScenarioConfig {
+    let mut config = ScenarioConfig::named("e2e_smoke");
+    config.channels = 8;
+    config.grid_rows = 8;
+    config.grid_cols = 4;
+    config.num_samples = 64;
+    config.streams = vec![StreamLoad::new("das-planned"), StreamLoad::new("das")];
+    config.load = LoadModel::ClosedLoop { inflight: 2 };
+    config.duration_ms = 500;
+    config.warmup_ms = 100;
+    config.deadline_ms = Some(2_000);
+    config.agents = 2;
+    config.seed = 7;
+    config
+}
+
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench_e2e_{label}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn scenario_spawns_processes_and_emits_a_stable_summary() {
+    let config = tiny_scenario();
+    let outcome = run_scenario(&config, Profile::Fast).expect("scenario runs");
+
+    // Two load agents reported, requests flowed on both, nothing vanished.
+    assert_eq!(outcome.agent_summaries.len(), 2);
+    assert!(outcome.ok > 0, "no successful requests measured");
+    assert_eq!(outcome.lost, 0, "requests were lost");
+    assert_eq!(
+        outcome.measured,
+        outcome.ok + outcome.expired + outcome.panicked + outcome.errors
+    );
+    // The merged histogram is the lossless sum of the agents' histograms.
+    assert_eq!(
+        outcome.latency.count(),
+        outcome.agent_summaries.iter().map(|s| s.latency.count()).sum::<u64>()
+    );
+    assert_eq!(outcome.latency.count(), outcome.ok);
+    // The server saw both streams and reported its own counters + RSS.
+    assert_eq!(outcome.router.engines.len(), 2);
+    assert!(outcome.router.server.completed > 0);
+    if cfg!(target_os = "linux") {
+        assert!(outcome.server_rss_kb.unwrap_or(0) > 0, "server RSS probe failed");
+        assert!(outcome.load_agent_rss_kb.unwrap_or(0) > 0, "agent RSS probe failed");
+    }
+
+    // summary.json carries the stable schema and the full gate vocabulary.
+    let summary = summary_json(&outcome);
+    assert_eq!(summary.get("schema_version").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+    assert_eq!(summary.get("scenario").and_then(Json::as_str), Some("e2e_smoke"));
+    assert_eq!(
+        summary.get("processes").and_then(|p| p.get("load_agents")).and_then(Json::as_u64),
+        Some(2)
+    );
+    let reparsed = Json::parse(&summary.to_string_pretty()).expect("summary round-trips");
+    assert_eq!(reparsed, summary);
+    let metric_names: Vec<String> = summary_metrics(&summary).into_iter().map(|(n, _)| n).collect();
+    for name in ["p50_us", "p99_us", "throughput_rps", "success_rate", "expired", "panicked", "lost"] {
+        assert!(metric_names.iter().any(|m| m == name), "metric {name} missing");
+    }
+
+    // An identical-by-construction run compares clean against itself.
+    let baseline = baseline_from_summaries("fast", &[summary.clone()]).expect("baseline");
+    let report = compare(&baseline, &[summary], &Tolerances::default()).expect("compare");
+    assert!(!report.regressed(), "self-comparison regressed:\n{}", report.render());
+}
+
+#[test]
+fn invalid_configs_never_reach_the_process_spawn() {
+    let mut config = tiny_scenario();
+    config.duration_ms = 0;
+    let err = run_scenario(&config, Profile::Fast).unwrap_err();
+    assert!(err.contains("duration"), "unexpected error: {err}");
+}
+
+/// The gate demonstrably fails: a run identical to the baseline except for
+/// one perturbed metric makes the `bench_compare` *binary* exit non-zero.
+#[test]
+fn bench_compare_binary_exits_nonzero_on_a_perturbed_run() {
+    let bench_compare = agent_bin_path("bench_compare").expect("bench_compare binary");
+    let dir = scratch_dir("compare");
+    let run_dir = dir.join("run");
+    std::fs::create_dir_all(&run_dir).expect("run dir");
+
+    // A hand-built summary: only the gate vocabulary matters here.
+    let summary = Json::obj([
+        ("schema_version", Json::num(SCHEMA_VERSION as f64)),
+        ("scenario", Json::str("gated")),
+        ("profile", Json::str("fast")),
+        (
+            "latency_us",
+            Json::obj([
+                ("p50", Json::num(1024.0)),
+                ("p99", Json::num(2048.0)),
+                ("mean", Json::num(1200.0)),
+            ]),
+        ),
+        ("throughput_rps", Json::num(500.0)),
+        ("success_rate", Json::num(1.0)),
+        (
+            "requests",
+            Json::obj([
+                ("expired", Json::num(0.0)),
+                ("panicked", Json::num(0.0)),
+                ("lost", Json::num(0.0)),
+            ]),
+        ),
+        ("rss_kb", Json::obj([("server_max", Json::num(10_000.0))])),
+    ]);
+    std::fs::write(run_dir.join("gated.summary.json"), summary.to_string_pretty())
+        .expect("write summary");
+
+    let baseline_path = dir.join("baseline.json");
+    let tolerance_path = dir.join("tolerances.json");
+    std::fs::write(
+        &tolerance_path,
+        r#"{"defaults": {"p99_us": {"rel": 0.20}, "lost": {"abs": 0}}}"#,
+    )
+    .expect("write tolerances");
+
+    // 1. Write the baseline from the run.
+    let status = Command::new(&bench_compare)
+        .args(["--baseline"])
+        .arg(&baseline_path)
+        .args(["--dir"])
+        .arg(&run_dir)
+        .arg("--write-baseline")
+        .status()
+        .expect("run bench_compare --write-baseline");
+    assert!(status.success(), "--write-baseline failed");
+
+    // 2. The unperturbed run passes (exit 0).
+    let status = Command::new(&bench_compare)
+        .args(["--baseline"])
+        .arg(&baseline_path)
+        .args(["--dir"])
+        .arg(&run_dir)
+        .args(["--tolerance-file"])
+        .arg(&tolerance_path)
+        .status()
+        .expect("run bench_compare");
+    assert!(status.success(), "identical run must pass the gate");
+
+    // 3. Perturb p99 by 4× (tolerance allows 1.2×) → exit code 1.
+    let text = std::fs::read_to_string(run_dir.join("gated.summary.json")).unwrap();
+    std::fs::write(
+        run_dir.join("gated.summary.json"),
+        text.replace("\"p99\": 2048", "\"p99\": 8192"),
+    )
+    .expect("perturb summary");
+    let output = Command::new(&bench_compare)
+        .args(["--baseline"])
+        .arg(&baseline_path)
+        .args(["--dir"])
+        .arg(&run_dir)
+        .args(["--tolerance-file"])
+        .arg(&tolerance_path)
+        .output()
+        .expect("run bench_compare on perturbed run");
+    assert_eq!(output.status.code(), Some(1), "perturbed run must fail the gate");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("REGRESSED"), "report must flag the regression:\n{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -61,6 +61,9 @@
 
 #![deny(missing_docs)]
 
+pub mod json;
+pub mod poisson;
+
 use std::sync::OnceLock;
 
 /// Environment variable overriding the default worker-thread count.

@@ -211,6 +211,58 @@ impl LatencyHistogram {
         self.percentile(0.50)
     }
 
+    /// Losslessly folds another histogram into this one: afterwards every
+    /// count/mean/percentile query answers as if each latency recorded in
+    /// either histogram had been recorded here. The scenario benchmark
+    /// harness merges the per-process histograms of independent load agents
+    /// this way.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_micros = self.total_micros.saturating_add(other.total_micros);
+    }
+
+    /// The raw per-bucket counts, bucket `i` covering latencies in
+    /// `(2^i, 2^(i+1)]` microseconds (bucket 0 also holds 0–1 µs, the last
+    /// bucket everything above its lower edge).
+    pub fn bucket_counts(&self) -> &[u64; Self::NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper edge of bucket `i` as reported by [`LatencyHistogram::percentile`].
+    pub fn bucket_upper_bound(index: usize) -> Duration {
+        assert!(index < Self::NUM_BUCKETS, "bucket index out of range");
+        Duration::from_micros(1u64 << (index + 1))
+    }
+
+    /// Iterates the non-empty buckets as `(upper_bound, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (Duration, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_upper_bound(i), n))
+    }
+
+    /// Total recorded microseconds (the numerator of
+    /// [`LatencyHistogram::mean`]); exposed so a histogram can be shipped
+    /// across a process boundary and rebuilt losslessly with
+    /// [`LatencyHistogram::from_parts`].
+    pub fn total_micros(&self) -> u64 {
+        self.total_micros
+    }
+
+    /// Rebuilds a histogram from wire parts: per-bucket counts plus the
+    /// total recorded microseconds. The count is recomputed from the
+    /// buckets, so `from_parts(h.bucket_counts().clone(), h.total_micros())`
+    /// equals `h` for any histogram `h`.
+    pub fn from_parts(buckets: [u64; Self::NUM_BUCKETS], total_micros: u64) -> Self {
+        let count = buckets.iter().sum();
+        Self { buckets, count, total_micros }
+    }
+
     /// 99th-percentile latency estimate (see
     /// [`LatencyHistogram::percentile`]).
     pub fn p99(&self) -> Duration {
@@ -919,6 +971,55 @@ mod tests {
         assert_eq!(h.p99(), Duration::from_micros(128));
         assert!(h.percentile(1.0) >= Duration::from_millis(50));
         assert!(h.mean() >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn latency_histogram_merge_is_lossless() {
+        // Two disjoint recording sets, merged, must answer every query
+        // exactly as one histogram that recorded both sets directly.
+        let fast: Vec<Duration> = (0..97).map(|i| Duration::from_micros(40 + 7 * i)).collect();
+        let slow: Vec<Duration> =
+            (0..31).map(|i| Duration::from_millis(3 + i) + Duration::from_micros(13 * i as u64)).collect();
+        let (mut a, mut b, mut combined) =
+            (LatencyHistogram::default(), LatencyHistogram::default(), LatencyHistogram::default());
+        for &d in &fast {
+            a.record(d);
+            combined.record(d);
+        }
+        for &d in &slow {
+            b.record(d);
+            combined.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.p50(), combined.p50());
+        assert_eq!(a.p99(), combined.p99());
+        assert_eq!(a.percentile(1.0), combined.percentile(1.0));
+        assert_eq!(a.mean(), combined.mean());
+        // Merging an empty histogram is the identity.
+        let before = a;
+        a.merge(&LatencyHistogram::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn latency_histogram_bucket_round_trip() {
+        let mut h = LatencyHistogram::default();
+        for i in 0..200u64 {
+            h.record(Duration::from_micros(1 + i * 311));
+        }
+        let rebuilt = LatencyHistogram::from_parts(*h.bucket_counts(), h.total_micros());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.count(), h.count());
+        // The iterator covers exactly the recorded mass, in bucket order.
+        let total: u64 = h.buckets().map(|(_, n)| n).sum();
+        assert_eq!(total, h.count());
+        let mut last = Duration::ZERO;
+        for (upper, _) in h.buckets() {
+            assert!(upper > last);
+            last = upper;
+        }
     }
 
     #[test]

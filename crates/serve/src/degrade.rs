@@ -310,7 +310,7 @@ impl LadderState {
 
 /// Snapshot of one managed stream's degradation state (an element of
 /// [`crate::RouterStats::degrade`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DegradeStats {
     /// The stream's compact label (see [`StreamSpec::label`]), under its
     /// *base* (rung-0) backend.

@@ -64,11 +64,13 @@ pub mod chaos;
 pub mod degrade;
 pub mod router;
 pub mod service;
+pub mod wire;
 
 pub use batcher::{BatchConfig, BatchEngine, LatencyHistogram, ResponseHandle, Server, ServerStats, TrySubmitError};
 pub use chaos::{ChaosBeamformer, ChaosFactory, ChaosFactoryProbe, ChaosFault, ChaosSchedule, ChaosStats};
 pub use degrade::{DegradeConfig, DegradeStats};
 pub use router::{EngineFactory, EngineStats, FaultPolicy, ResilienceStats, Router, RouterStats, StreamSpec};
+pub use wire::{EngineStatsWire, RouterStatsWire};
 
 use std::error::Error;
 use std::fmt;
