@@ -1,0 +1,437 @@
+//! Shared serving datapath of the scenario agent binaries.
+//!
+//! `serve_agent` (the single-process scenario server) and `shard_agent`
+//! (one shard of the registry-coordinated topology) host the exact same
+//! stack — stream specs, seeded frame pools, a `serve::router::Router`,
+//! and a line-frame TCP data plane. This module is that shared stack, so
+//! the two binaries differ only in topology: `serve_agent` listens and
+//! serves, `shard_agent` additionally registers with the shard registry,
+//! renews its heartbeat lease, and rejects requests for stream keys the
+//! registry has (re)assigned elsewhere with `status:"wrong_epoch"`.
+//!
+//! Keeping one datapath is also what makes the failover acceptance check
+//! meaningful: a surviving shard's responses must be bitwise identical to
+//! the single-process router's for the same seeds, which holds trivially
+//! when both run this very code. Responses carry an FNV-1a checksum of the
+//! beamformed image (`"sum"`) so load agents can assert that identity
+//! without shipping images over the wire.
+
+use beamforming::grid::ImagingGrid;
+use beamforming::iq::IqImage;
+use beamforming::pipeline::{Beamformer, DelayAndSum, PlannedDas};
+use beamforming::plan::{FrameFormat, PlanCache};
+use crate::harness::{synthetic_frame, ChaosSpec, ScenarioConfig};
+use quantize::QuantScheme;
+use runtime::json::Json;
+use serve::router::{FaultPolicy, Router, StreamSpec};
+use serve::{
+    BatchConfig, ChaosBeamformer, ChaosSchedule, DegradeConfig, ServeError, ServeResult,
+};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+use tiny_vbf::config::TinyVbfConfig;
+use tiny_vbf::model::TinyVbf;
+use tiny_vbf::quantized::{QuantizedTinyVbf, QuantizedTinyVbfBeamformer};
+use ultrasound::ChannelData;
+
+/// Pre-synthesized frames per stream; requests index the pool by
+/// `seed % FRAME_POOL`, keeping per-request work at one memcpy.
+pub const FRAME_POOL: usize = 32;
+
+/// Threads resolving response handles per connection. Handles resolve in
+/// roughly dispatch order, so a small pool keeps up with the batcher.
+pub const COMPLETION_THREADS: usize = 4;
+
+/// How long an accepted data-plane connection may sit with no complete
+/// request line before the server closes it as dead. Load agents
+/// disconnect when done, so only a wedged or vanished peer ever idles
+/// this long — without the cap, each one would leak a connection thread.
+pub const CONNECTION_IDLE: Duration = Duration::from_secs(120);
+
+/// Budget for writing one response line before the connection is declared
+/// dead (a healthy loopback peer drains in microseconds).
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Prints a fatal protocol error line and exits (agent stdio protocol).
+pub fn protocol_error(detail: &str) -> ! {
+    let line = Json::obj([("event", Json::str("error")), ("detail", Json::str(detail))]);
+    println!("{}", line.to_string_compact());
+    std::process::exit(1);
+}
+
+/// Silences backtraces of injected chaos panics (they unwind with a
+/// `chaos:` payload and are contained at the router's dispatch boundary)
+/// so scenario stderr stays readable. Real panics keep the default hook.
+pub fn install_chaos_panic_hook() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let injected = payload
+            .downcast_ref::<String>()
+            .map(|s| s.as_str())
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .is_some_and(|s| s.starts_with("chaos:"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+}
+
+/// Builds the beamformer for a backend label. `chaos:` prefixes wrap the
+/// inner backend in a fault-injecting [`ChaosBeamformer`] driven by the
+/// scenario's schedule; quantized Tiny-VBF labels share one TOF plan cache
+/// across schemes, as in `bench_pr5`.
+pub fn build_backend(
+    label: &str,
+    spec: &StreamSpec,
+    chaos: &Option<ChaosSpec>,
+    shared_tof: &Arc<PlanCache>,
+) -> ServeResult<Arc<dyn Beamformer + Send + Sync>> {
+    if let Some(inner) = label.strip_prefix("chaos:") {
+        let Some(chaos) = chaos else {
+            return Err(ServeError::Engine(format!("backend `{label}` needs a chaos schedule")));
+        };
+        let mut schedule = ChaosSchedule::seeded(chaos.seed);
+        if chaos.panic_one_in > 0 {
+            schedule = schedule.panic_one_in(chaos.panic_one_in);
+        }
+        if chaos.delay_one_in > 0 {
+            schedule =
+                schedule.delay_one_in(chaos.delay_one_in, Duration::from_millis(chaos.delay_ms));
+        }
+        let inner = build_backend(inner, spec, &None, shared_tof)?;
+        return Ok(Arc::new(ChaosBeamformer::new(ArcBeamformer(inner), schedule)));
+    }
+    match label {
+        "das" => Ok(Arc::new(DelayAndSum::default())),
+        "das-planned" => Ok(Arc::new(PlannedDas::new(DelayAndSum::default()))),
+        _ => match QuantScheme::all().iter().find(|s| s.backend_label() == label) {
+            Some(scheme) => {
+                let config =
+                    TinyVbfConfig::small().for_frame(spec.array.num_elements(), spec.grid.num_cols());
+                let model = TinyVbf::new(&config)
+                    .map_err(|e| ServeError::Engine(format!("building Tiny-VBF: {e}")))?;
+                Ok(Arc::new(QuantizedTinyVbfBeamformer::with_tof_cache(
+                    QuantizedTinyVbf::from_model(&model, *scheme),
+                    Arc::clone(shared_tof),
+                )))
+            }
+            None => Err(ServeError::Engine(format!("unknown backend `{label}`"))),
+        },
+    }
+}
+
+/// Adapter: [`ChaosBeamformer`] wraps a concrete `Beamformer` by value;
+/// this lets it wrap the `Arc<dyn Beamformer>` the factory produces.
+struct ArcBeamformer(Arc<dyn Beamformer + Send + Sync>);
+
+impl Beamformer for ArcBeamformer {
+    fn beamform(
+        &self,
+        frame: &ChannelData,
+        array: &ultrasound::LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+    ) -> beamforming::BeamformResult<IqImage> {
+        self.0.beamform(frame, array, grid, sound_speed)
+    }
+
+    fn prepare(
+        &self,
+        array: &ultrasound::LinearArray,
+        grid: &ImagingGrid,
+        sound_speed: f32,
+        frame: &FrameFormat,
+    ) {
+        self.0.prepare(array, grid, sound_speed, frame);
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+/// Maps a resolved request to its wire status.
+pub fn status_of(result: &ServeResult<IqImage>) -> &'static str {
+    match result {
+        Ok(_) => "ok",
+        Err(ServeError::DeadlineExceeded) => "expired",
+        Err(ServeError::EnginePanicked { .. }) | Err(ServeError::WorkerDied) => "panicked",
+        Err(_) => "error",
+    }
+}
+
+/// FNV-1a over the image's interleaved `f32` bit patterns — the bitwise
+/// determinism probe responses carry as `"sum"`. Two images checksum equal
+/// iff every sample is bit-identical (modulo 64-bit FNV collisions, which
+/// the failover acceptance test tolerates at ~2⁻⁶⁴).
+pub fn image_checksum(image: &IqImage) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for value in image.to_interleaved() {
+        for byte in value.to_bits().to_le_bytes() {
+            hash = (hash ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{hash:016x}")
+}
+
+/// One spec + seeded frame pool per scenario stream. Pools are derived
+/// from the scenario seed alone, so every process serving this scenario —
+/// single-process server or any shard — holds bit-identical frames.
+pub fn build_streams(config: &ScenarioConfig) -> (Vec<StreamSpec>, Vec<Vec<ChannelData>>) {
+    let mut specs = Vec::with_capacity(config.streams.len());
+    let mut pools = Vec::with_capacity(config.streams.len());
+    for (index, stream) in config.streams.iter().enumerate() {
+        let array = config.stream_array(index);
+        let (rows, cols) = config.stream_grid_shape(index);
+        let grid = ImagingGrid::for_array(&array, 5.0e-3, 15.0e-3, rows, cols);
+        specs.push(StreamSpec {
+            array: array.clone(),
+            grid,
+            sound_speed: 1540.0,
+            backend: stream.backend.clone(),
+        });
+        let pool: Vec<ChannelData> = (0..FRAME_POOL)
+            .map(|i| {
+                let seed = config
+                    .seed
+                    .wrapping_add((index as u64) << 32)
+                    .wrapping_add(i as u64);
+                synthetic_frame(&array, config.num_samples, seed)
+            })
+            .collect();
+        pools.push(pool);
+    }
+    (specs, pools)
+}
+
+/// Builds the scenario's router: chaos-aware backend factory, the
+/// scenario's batch shape, the degradation ladder when configured, and the
+/// idle-engine TTL ([`FaultPolicy::engine_ttl`]) when the scenario churns
+/// streams.
+pub fn build_router(config: &ScenarioConfig) -> Result<Router, String> {
+    let chaos = config.chaos.clone();
+    let shared_tof = Arc::new(PlanCache::new(4));
+    let factory =
+        move |spec: &StreamSpec| build_backend(&spec.backend, spec, &chaos, &shared_tof);
+    let batch_config = BatchConfig {
+        max_batch: config.max_batch,
+        linger: Duration::from_micros(config.linger_us),
+        queue_capacity: 1024,
+        ..BatchConfig::default()
+    };
+    let threads = (runtime::default_threads() / batch_config.workers.max(1)).max(1);
+    let policy = FaultPolicy {
+        engine_ttl: config.engine_ttl_ms.map(Duration::from_millis),
+        ..FaultPolicy::default()
+    };
+    let degrade = config.degrade_ladder.as_ref().map(|ladder| {
+        // Fast-reacting policy sized to second-scale scenarios: decide
+        // every 8 requests, shift after one clean/dirty window.
+        DegradeConfig {
+            window: 8,
+            cooldown_windows: 1,
+            downshift_expiry_rate: 0.25,
+            upshift_expiry_rate: 0.02,
+            ..DegradeConfig::with_ladder(ladder.clone())
+        }
+    });
+    Router::with_policies(batch_config, factory, threads, policy, degrade)
+        .map_err(|e| format!("invalid router config: {e}"))
+}
+
+/// Warms (engine spawn + plan build) the given streams so the measured
+/// window starts from a hot server.
+pub fn warm_streams(
+    router: &Router,
+    specs: &[StreamSpec],
+    pools: &[Vec<ChannelData>],
+    indices: impl Iterator<Item = usize>,
+) -> Result<(), String> {
+    for index in indices {
+        router
+            .warm(&specs[index], &FrameFormat::of(&pools[index][0]))
+            .map_err(|e| format!("warming `{}`: {e}", specs[index].backend))?;
+    }
+    Ok(())
+}
+
+/// The shard server's live view of its registry lease, shared between the
+/// heartbeat thread (which writes it after every renew) and the data-plane
+/// connections (which consult it per request).
+#[derive(Clone)]
+pub struct ShardView {
+    /// Stream keys the registry currently assigns to this shard.
+    pub assigned: Arc<Mutex<HashSet<String>>>,
+    /// Epoch of the last renew/register — echoed on `wrong_epoch` replies.
+    pub epoch: Arc<AtomicU64>,
+}
+
+impl ShardView {
+    /// An empty view (nothing assigned, epoch 0).
+    pub fn new() -> Self {
+        Self { assigned: Arc::new(Mutex::new(HashSet::new())), epoch: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Replaces the assigned-key set and epoch after a register/renew.
+    pub fn update(&self, epoch: u64, assigned: impl IntoIterator<Item = String>) {
+        *self.assigned.lock().expect("shard view") = assigned.into_iter().collect();
+        self.epoch.store(epoch, Ordering::Release);
+    }
+}
+
+impl Default for ShardView {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Serves one load-agent connection until it disconnects or idles out: a
+/// reader thread submits, [`COMPLETION_THREADS`] waiters resolve handles
+/// and write responses (with the image checksum on success) through a
+/// shared writer.
+///
+/// With a `shard_view`, requests whose `key` the registry no longer
+/// assigns to this shard are answered `status:"wrong_epoch"` instead of
+/// being served — the client's signal to refresh its routing table and
+/// fail over.
+pub fn serve_connection(
+    stream: TcpStream,
+    router: Arc<Router>,
+    specs: Arc<Vec<StreamSpec>>,
+    pools: Arc<Vec<Vec<ChannelData>>>,
+    deadline: Option<Duration>,
+    shard_view: Option<ShardView>,
+) {
+    // Satellite hardening: both socket directions are time-bounded, so a
+    // dead or silent peer can never pin this connection's threads forever.
+    let _ = stream.set_read_timeout(Some(CONNECTION_IDLE));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let reader = BufReader::new(stream.try_clone().expect("clone connection"));
+    let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
+    let (tx, rx) = mpsc::channel::<(u64, serve::ResponseHandle<IqImage>)>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let waiters: Vec<_> = (0..COMPLETION_THREADS)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let writer = Arc::clone(&writer);
+            std::thread::spawn(move || loop {
+                let next = rx.lock().expect("completion queue").recv();
+                let Ok((id, handle)) = next else { break };
+                let result = handle.wait();
+                let mut pairs = vec![
+                    ("id".to_string(), Json::num(id as f64)),
+                    ("status".to_string(), Json::str(status_of(&result))),
+                ];
+                if let Ok(image) = &result {
+                    pairs.push(("sum".to_string(), Json::str(image_checksum(image))));
+                }
+                let line = Json::Obj(pairs).to_string_compact();
+                let mut writer = writer.lock().expect("response writer");
+                if writeln!(writer, "{line}").and_then(|_| writer.flush()).is_err() {
+                    break; // agent went away; drain remaining handles silently
+                }
+            })
+        })
+        .collect();
+
+    let mut lines = TimeoutLines { reader };
+    while let Some(line) = lines.next_line() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Ok(request) = Json::parse(trimmed) else { break };
+        let (Some(id), Some(stream_idx), Some(seed)) = (
+            request.get("id").and_then(Json::as_u64),
+            request.get("stream").and_then(Json::as_usize),
+            request.get("seed").and_then(Json::as_u64),
+        ) else {
+            break;
+        };
+        if stream_idx >= specs.len() {
+            break;
+        }
+        if let Some(view) = &shard_view {
+            let key = request.get("key").and_then(Json::as_str).unwrap_or("");
+            let assigned = view.assigned.lock().expect("shard view").contains(key);
+            if !assigned {
+                // This shard no longer owns the key (or never did): tell
+                // the client which world we live in and let it re-route.
+                let line = Json::obj([
+                    ("id", Json::num(id as f64)),
+                    ("status", Json::str("wrong_epoch")),
+                    ("epoch", Json::num(view.epoch.load(Ordering::Acquire) as f64)),
+                ])
+                .to_string_compact();
+                let mut writer = writer.lock().expect("response writer");
+                if writeln!(writer, "{line}").and_then(|_| writer.flush()).is_err() {
+                    break;
+                }
+                continue;
+            }
+        }
+        let frame = pools[stream_idx][seed as usize % FRAME_POOL].clone();
+        let submitted = match deadline {
+            Some(d) => router.submit_with_deadline(&specs[stream_idx], frame, d),
+            None => router.submit(&specs[stream_idx], frame),
+        };
+        match submitted {
+            Ok(handle) => {
+                if tx.send((id, handle)).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                // Shutting down: answer directly so the agent can account
+                // for the request instead of counting it lost.
+                let line = Json::obj([("id", Json::num(id as f64)), ("status", Json::str("error"))])
+                    .to_string_compact();
+                let mut writer = writer.lock().expect("response writer");
+                if writeln!(writer, "{line}").and_then(|_| writer.flush()).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    drop(tx);
+    for waiter in waiters {
+        let _ = waiter.join();
+    }
+}
+
+/// `BufReader::read_line` with the socket timeout folded in: a timeout
+/// with a partial line buffered keeps reading (the peer is mid-write); a
+/// timeout on a line boundary means a fully idle peer — give up.
+struct TimeoutLines {
+    reader: BufReader<TcpStream>,
+}
+
+impl TimeoutLines {
+    fn next_line(&mut self) -> Option<String> {
+        let mut line = String::new();
+        loop {
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return None, // EOF
+                Ok(_) => {
+                    if line.ends_with('\n') {
+                        return Some(line);
+                    }
+                    // A read can return before the newline; keep going.
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if line.is_empty() {
+                        return None; // idle past CONNECTION_IDLE: dead peer
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}

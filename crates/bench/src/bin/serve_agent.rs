@@ -4,239 +4,37 @@
 //! Spawned by `bench::harness::run_scenario` as its own OS process, so
 //! scenario measurements cross a real process boundary (separate heaps,
 //! separate RSS, real sockets) instead of sharing the load generator's
-//! address space the way the old per-PR bench binaries did.
+//! address space the way the old per-PR bench binaries did. The serving
+//! datapath itself — stream specs, frame pools, router, connection
+//! handling — lives in [`bench::agent`], shared with `shard_agent`.
 //!
 //! Protocol (single-line JSON):
 //! * stdin, first line: `{"scenario": <ScenarioConfig>}`,
 //! * stdout: `{"event":"ready","port":N}` once listening,
 //! * TCP, per request: `{"id":n,"stream":i,"seed":k}` →
-//!   `{"id":n,"status":"ok"|"expired"|"panicked"|"error"}` — the frame is
-//!   synthesized server-side from the seed, so the socket carries only
-//!   routing metadata and the measurement isolates the serving datapath,
+//!   `{"id":n,"status":"ok"|"expired"|"panicked"|"error","sum":…}` — the
+//!   frame is synthesized server-side from the seed, so the socket carries
+//!   only routing metadata and the measurement isolates the serving
+//!   datapath,
 //! * stdin `shutdown` (or EOF): stdout
 //!   `{"event":"stats","rss_kb":…,"router":<RouterStatsWire>}`, exit.
 
-use beamforming::grid::ImagingGrid;
-use beamforming::pipeline::{Beamformer, DelayAndSum, PlannedDas};
-use beamforming::plan::{FrameFormat, PlanCache};
-use bench::harness::{max_rss_kb, synthetic_frame, ChaosSpec, ScenarioConfig};
-use quantize::QuantScheme;
+use bench::agent;
+use bench::harness::{max_rss_kb, ScenarioConfig};
 use runtime::json::Json;
-use serve::router::{Router, StreamSpec};
-use serve::{
-    BatchConfig, ChaosBeamformer, ChaosSchedule, DegradeConfig, RouterStatsWire, ServeError,
-    ServeResult,
-};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::{mpsc, Arc, Mutex};
+use serve::RouterStatsWire;
+use std::io::BufRead;
+use std::net::TcpListener;
+use std::sync::Arc;
 use std::time::Duration;
-use tiny_vbf::config::TinyVbfConfig;
-use tiny_vbf::model::TinyVbf;
-use tiny_vbf::quantized::{QuantizedTinyVbf, QuantizedTinyVbfBeamformer};
-use ultrasound::ChannelData;
-
-/// Pre-synthesized frames per stream; requests index the pool by
-/// `seed % FRAME_POOL`, keeping per-request work at one memcpy.
-const FRAME_POOL: usize = 32;
-
-/// Threads resolving response handles per connection. Handles resolve in
-/// roughly dispatch order, so a small pool keeps up with the batcher.
-const COMPLETION_THREADS: usize = 4;
-
-fn protocol_error(detail: &str) -> ! {
-    let line = Json::obj([("event", Json::str("error")), ("detail", Json::str(detail))]);
-    println!("{}", line.to_string_compact());
-    std::process::exit(1);
-}
-
-/// Builds the beamformer for a backend label. `chaos:` prefixes wrap the
-/// inner backend in a fault-injecting [`ChaosBeamformer`] driven by the
-/// scenario's schedule; quantized Tiny-VBF labels share one TOF plan cache
-/// across schemes, as in `bench_pr5`.
-fn build_backend(
-    label: &str,
-    spec: &StreamSpec,
-    chaos: &Option<ChaosSpec>,
-    shared_tof: &Arc<PlanCache>,
-) -> ServeResult<Arc<dyn Beamformer + Send + Sync>> {
-    if let Some(inner) = label.strip_prefix("chaos:") {
-        let Some(chaos) = chaos else {
-            return Err(ServeError::Engine(format!("backend `{label}` needs a chaos schedule")));
-        };
-        let mut schedule = ChaosSchedule::seeded(chaos.seed);
-        if chaos.panic_one_in > 0 {
-            schedule = schedule.panic_one_in(chaos.panic_one_in);
-        }
-        if chaos.delay_one_in > 0 {
-            schedule =
-                schedule.delay_one_in(chaos.delay_one_in, Duration::from_millis(chaos.delay_ms));
-        }
-        let inner = build_backend(inner, spec, &None, shared_tof)?;
-        return Ok(Arc::new(ChaosBeamformer::new(ArcBeamformer(inner), schedule)));
-    }
-    match label {
-        "das" => Ok(Arc::new(DelayAndSum::default())),
-        "das-planned" => Ok(Arc::new(PlannedDas::new(DelayAndSum::default()))),
-        _ => match QuantScheme::all().iter().find(|s| s.backend_label() == label) {
-            Some(scheme) => {
-                let config =
-                    TinyVbfConfig::small().for_frame(spec.array.num_elements(), spec.grid.num_cols());
-                let model = TinyVbf::new(&config)
-                    .map_err(|e| ServeError::Engine(format!("building Tiny-VBF: {e}")))?;
-                Ok(Arc::new(QuantizedTinyVbfBeamformer::with_tof_cache(
-                    QuantizedTinyVbf::from_model(&model, *scheme),
-                    Arc::clone(shared_tof),
-                )))
-            }
-            None => Err(ServeError::Engine(format!("unknown backend `{label}`"))),
-        },
-    }
-}
-
-/// Adapter: [`ChaosBeamformer`] wraps a concrete `Beamformer` by value;
-/// this lets it wrap the `Arc<dyn Beamformer>` the factory produces.
-struct ArcBeamformer(Arc<dyn Beamformer + Send + Sync>);
-
-impl Beamformer for ArcBeamformer {
-    fn beamform(
-        &self,
-        frame: &ChannelData,
-        array: &ultrasound::LinearArray,
-        grid: &ImagingGrid,
-        sound_speed: f32,
-    ) -> beamforming::BeamformResult<beamforming::iq::IqImage> {
-        self.0.beamform(frame, array, grid, sound_speed)
-    }
-
-    fn prepare(
-        &self,
-        array: &ultrasound::LinearArray,
-        grid: &ImagingGrid,
-        sound_speed: f32,
-        frame: &FrameFormat,
-    ) {
-        self.0.prepare(array, grid, sound_speed, frame);
-    }
-
-    fn name(&self) -> &str {
-        self.0.name()
-    }
-}
-
-/// Maps a resolved request to its wire status.
-fn status_of(result: &ServeResult<beamforming::iq::IqImage>) -> &'static str {
-    match result {
-        Ok(_) => "ok",
-        Err(ServeError::DeadlineExceeded) => "expired",
-        Err(ServeError::EnginePanicked { .. }) | Err(ServeError::WorkerDied) => "panicked",
-        Err(_) => "error",
-    }
-}
-
-/// Serves one load-agent connection until it disconnects: a reader thread
-/// submits, [`COMPLETION_THREADS`] waiters resolve handles and write
-/// responses through a shared writer.
-fn serve_connection(
-    stream: TcpStream,
-    router: Arc<Router>,
-    specs: Arc<Vec<StreamSpec>>,
-    pools: Arc<Vec<Vec<ChannelData>>>,
-    deadline: Option<Duration>,
-) {
-    let reader = BufReader::new(stream.try_clone().expect("clone connection"));
-    let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
-    let (tx, rx) = mpsc::channel::<(u64, serve::ResponseHandle<beamforming::iq::IqImage>)>();
-    let rx = Arc::new(Mutex::new(rx));
-
-    let waiters: Vec<_> = (0..COMPLETION_THREADS)
-        .map(|_| {
-            let rx = Arc::clone(&rx);
-            let writer = Arc::clone(&writer);
-            std::thread::spawn(move || loop {
-                let next = rx.lock().expect("completion queue").recv();
-                let Ok((id, handle)) = next else { break };
-                let result = handle.wait();
-                let line = Json::obj([
-                    ("id", Json::num(id as f64)),
-                    ("status", Json::str(status_of(&result))),
-                ])
-                .to_string_compact();
-                let mut writer = writer.lock().expect("response writer");
-                if writeln!(writer, "{line}").and_then(|_| writer.flush()).is_err() {
-                    break; // agent went away; drain remaining handles silently
-                }
-            })
-        })
-        .collect();
-
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let Ok(request) = Json::parse(trimmed) else { break };
-        let (Some(id), Some(stream_idx), Some(seed)) = (
-            request.get("id").and_then(Json::as_u64),
-            request.get("stream").and_then(Json::as_usize),
-            request.get("seed").and_then(Json::as_u64),
-        ) else {
-            break;
-        };
-        if stream_idx >= specs.len() {
-            break;
-        }
-        let frame = pools[stream_idx][seed as usize % FRAME_POOL].clone();
-        let submitted = match deadline {
-            Some(d) => router.submit_with_deadline(&specs[stream_idx], frame, d),
-            None => router.submit(&specs[stream_idx], frame),
-        };
-        match submitted {
-            Ok(handle) => {
-                if tx.send((id, handle)).is_err() {
-                    break;
-                }
-            }
-            Err(_) => {
-                // Shutting down: answer directly so the agent can account
-                // for the request instead of counting it lost.
-                let line = Json::obj([("id", Json::num(id as f64)), ("status", Json::str("error"))])
-                    .to_string_compact();
-                let mut writer = writer.lock().expect("response writer");
-                if writeln!(writer, "{line}").and_then(|_| writer.flush()).is_err() {
-                    break;
-                }
-            }
-        }
-    }
-    drop(tx);
-    for waiter in waiters {
-        let _ = waiter.join();
-    }
-}
 
 fn main() {
-    // Injected chaos panics unwind with a `chaos:` payload and are
-    // contained at the router's dispatch boundary; silence their
-    // default-hook backtraces so scenario stderr stays readable.
-    let default_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(move |info| {
-        let payload = info.payload();
-        let injected = payload
-            .downcast_ref::<String>()
-            .map(|s| s.as_str())
-            .or_else(|| payload.downcast_ref::<&str>().copied())
-            .is_some_and(|s| s.starts_with("chaos:"));
-        if !injected {
-            default_hook(info);
-        }
-    }));
+    agent::install_chaos_panic_hook();
 
     let stdin = std::io::stdin();
     let mut first_line = String::new();
     if stdin.lock().read_line(&mut first_line).is_err() || first_line.trim().is_empty() {
-        protocol_error("expected a scenario config line on stdin");
+        agent::protocol_error("expected a scenario config line on stdin");
     }
     let config = Json::parse(first_line.trim())
         .map_err(|e| e.to_string())
@@ -245,74 +43,24 @@ fn main() {
                 v.get("scenario").ok_or("config line without `scenario`".to_string())?,
             )
         })
-        .unwrap_or_else(|e| protocol_error(&format!("bad scenario config: {e}")));
+        .unwrap_or_else(|e| agent::protocol_error(&format!("bad scenario config: {e}")));
 
-    // One spec + frame pool per stream. Pools are seeded from the scenario
-    // seed, so two runs of a scenario serve bit-identical frames.
-    let mut specs = Vec::with_capacity(config.streams.len());
-    let mut pools = Vec::with_capacity(config.streams.len());
-    for (index, stream) in config.streams.iter().enumerate() {
-        let array = config.stream_array(index);
-        let (rows, cols) = config.stream_grid_shape(index);
-        let grid = ImagingGrid::for_array(&array, 5.0e-3, 15.0e-3, rows, cols);
-        specs.push(StreamSpec {
-            array: array.clone(),
-            grid,
-            sound_speed: 1540.0,
-            backend: stream.backend.clone(),
-        });
-        let pool: Vec<ChannelData> = (0..FRAME_POOL)
-            .map(|i| {
-                let seed = config
-                    .seed
-                    .wrapping_add((index as u64) << 32)
-                    .wrapping_add(i as u64);
-                synthetic_frame(&array, config.num_samples, seed)
-            })
-            .collect();
-        pools.push(pool);
-    }
-
-    let chaos = config.chaos.clone();
-    let shared_tof = Arc::new(PlanCache::new(4));
-    let factory = {
-        let chaos = chaos.clone();
-        move |spec: &StreamSpec| build_backend(&spec.backend, spec, &chaos, &shared_tof)
-    };
-    let batch_config = BatchConfig {
-        max_batch: config.max_batch,
-        linger: Duration::from_micros(config.linger_us),
-        queue_capacity: 1024,
-        ..BatchConfig::default()
-    };
-    let router = match &config.degrade_ladder {
-        Some(ladder) => {
-            // Fast-reacting policy sized to second-scale scenarios: decide
-            // every 8 requests, shift after one clean/dirty window.
-            let degrade = DegradeConfig {
-                window: 8,
-                cooldown_windows: 1,
-                downshift_expiry_rate: 0.25,
-                upshift_expiry_rate: 0.02,
-                ..DegradeConfig::with_ladder(ladder.clone())
-            };
-            Router::with_degrade(batch_config, factory, degrade)
-                .unwrap_or_else(|e| protocol_error(&format!("invalid degrade config: {e}")))
-        }
-        None => Router::new(batch_config, factory),
-    };
+    let (specs, pools) = agent::build_streams(&config);
+    let router = agent::build_router(&config)
+        .unwrap_or_else(|e| agent::protocol_error(&e));
     let router = Arc::new(router);
 
-    // Warm every stream (engine spawn + plan build) so the measured window
-    // starts from a hot server, as the per-PR benches did.
-    for (spec, pool) in specs.iter().zip(&pools) {
-        if let Err(e) = router.warm(spec, &FrameFormat::of(&pool[0])) {
-            protocol_error(&format!("warming `{}`: {e}", spec.backend));
-        }
+    // Warm the streams active from t=0 (engine spawn + plan build) so the
+    // measured window starts from a hot server. Streams whose activity
+    // window opens later spin up under traffic — that spin-up is exactly
+    // what the churn scenario measures.
+    let warm_now = (0..config.streams.len()).filter(|&i| config.streams[i].is_active_at(0));
+    if let Err(e) = agent::warm_streams(&router, &specs, &pools, warm_now) {
+        agent::protocol_error(&e);
     }
 
     let listener = TcpListener::bind("127.0.0.1:0")
-        .unwrap_or_else(|e| protocol_error(&format!("binding loopback listener: {e}")));
+        .unwrap_or_else(|e| agent::protocol_error(&format!("binding loopback listener: {e}")));
     let port = listener.local_addr().expect("local addr").port();
     println!(
         "{}",
@@ -331,7 +79,9 @@ fn main() {
             let router = Arc::clone(&router);
             let specs = Arc::clone(&specs);
             let pools = Arc::clone(&pools);
-            std::thread::spawn(move || serve_connection(stream, router, specs, pools, deadline));
+            std::thread::spawn(move || {
+                agent::serve_connection(stream, router, specs, pools, deadline, None)
+            });
         }
     });
 

@@ -27,11 +27,20 @@ use runtime::json::Json;
 use std::collections::BTreeMap;
 
 /// Metrics where a larger value is a regression.
-const HIGHER_IS_WORSE: &[&str] =
-    &["p50_us", "p99_us", "mean_us", "expired", "panicked", "lost", "server_rss_kb"];
+const HIGHER_IS_WORSE: &[&str] = &[
+    "p50_us",
+    "p99_us",
+    "mean_us",
+    "expired",
+    "panicked",
+    "lost",
+    "retries",
+    "failovers",
+    "server_rss_kb",
+];
 
 /// Metrics where a smaller value is a regression.
-const LOWER_IS_WORSE: &[&str] = &["throughput_rps", "success_rate"];
+const LOWER_IS_WORSE: &[&str] = &["throughput_rps", "success_rate", "tail_success_rate"];
 
 /// Allowed movement of one metric in its bad direction.
 #[derive(Debug, Clone, Copy, PartialEq)]

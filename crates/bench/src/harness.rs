@@ -33,7 +33,8 @@ use serve::LatencyHistogram;
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::mpsc;
+use std::sync::atomic::AtomicBool;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use ultrasound::{ChannelData, LinearArray};
 
@@ -90,12 +91,35 @@ pub struct StreamLoad {
     pub channels: Option<usize>,
     /// `(rows, cols)` grid override (defaults to the scenario grid).
     pub grid: Option<(usize, usize)>,
+    /// Mid-run churn: the stream is only offered from this many ms into
+    /// the run (`None` = from the start). Engines for late streams spin up
+    /// under traffic rather than during warmup.
+    pub active_from_ms: Option<u64>,
+    /// Mid-run churn: the stream stops being offered after this many ms
+    /// into the run (`None` = until the end). Combined with
+    /// [`ScenarioConfig::engine_ttl_ms`], a retired stream's idle engine
+    /// gets evicted while the rest of the mix keeps serving.
+    pub active_until_ms: Option<u64>,
 }
 
 impl StreamLoad {
-    /// A stream with weight 1 and the scenario-default geometry.
+    /// A stream with weight 1, the scenario-default geometry, active for
+    /// the whole run.
     pub fn new(backend: impl Into<String>) -> Self {
-        Self { backend: backend.into(), weight: 1, channels: None, grid: None }
+        Self {
+            backend: backend.into(),
+            weight: 1,
+            channels: None,
+            grid: None,
+            active_from_ms: None,
+            active_until_ms: None,
+        }
+    }
+
+    /// Whether the stream is offered at `offset_ms` into the run.
+    pub fn is_active_at(&self, offset_ms: u64) -> bool {
+        offset_ms >= self.active_from_ms.unwrap_or(0)
+            && offset_ms < self.active_until_ms.unwrap_or(u64::MAX)
     }
 }
 
@@ -171,6 +195,23 @@ pub struct ScenarioConfig {
     /// Base seed for frame synthesis and load scheduling; every derived
     /// per-agent seed is a pure function of this.
     pub seed: u64,
+    /// Shard-server processes behind a registry (`0` = the single-process
+    /// topology: one `serve_agent`, agents dial it directly). Sharded
+    /// scenarios require a closed-loop load model and a per-call deadline.
+    pub shards: usize,
+    /// Heartbeat-lease TTL of the shard registry, in milliseconds.
+    pub lease_ttl_ms: u64,
+    /// Shard heartbeat (lease-renew) period, in milliseconds; must leave
+    /// headroom under the TTL so one delayed renew does not evict a
+    /// healthy shard.
+    pub heartbeat_ms: u64,
+    /// Chaos: SIGKILL the highest-indexed shard this many ms after the
+    /// load agents start (requires at least two shards).
+    pub kill_shard_at_ms: Option<u64>,
+    /// Idle-engine TTL of the router(s) ([`serve::router::FaultPolicy`]),
+    /// in milliseconds; `None` keeps engines forever. Drives the mid-run
+    /// churn scenario's eviction half.
+    pub engine_ttl_ms: Option<u64>,
 }
 
 impl ScenarioConfig {
@@ -194,6 +235,11 @@ impl ScenarioConfig {
             chaos: None,
             degrade_ladder: None,
             seed: 2026,
+            shards: 0,
+            lease_ttl_ms: 250,
+            heartbeat_ms: 60,
+            kill_shard_at_ms: None,
+            engine_ttl_ms: None,
         }
     }
 
@@ -222,7 +268,26 @@ impl ScenarioConfig {
         if self.streams.iter().all(|s| s.weight == 0) {
             return Err("at least one stream must have a non-zero weight".into());
         }
+        if !self
+            .streams
+            .iter()
+            .any(|s| s.weight > 0 && s.active_from_ms.is_none() && s.active_until_ms.is_none())
+        {
+            return Err(
+                "at least one weighted stream must be active for the whole run \
+                 (no activity window), or the offered mix can go empty"
+                    .into(),
+            );
+        }
         for stream in &self.streams {
+            if let (Some(from), Some(until)) = (stream.active_from_ms, stream.active_until_ms) {
+                if from >= until {
+                    return Err(format!(
+                        "stream `{}` activity window [{from}, {until}) is empty",
+                        stream.backend
+                    ));
+                }
+            }
             if stream.backend.is_empty() {
                 return Err("stream backend label must be non-empty".into());
             }
@@ -279,6 +344,36 @@ impl ScenarioConfig {
                 return Err("chaos schedule enables neither panics nor delays".into());
             }
         }
+        if self.engine_ttl_ms == Some(0) {
+            return Err("a zero engine TTL would evict every engine instantly".into());
+        }
+        if self.shards > 0 {
+            if !matches!(self.load, LoadModel::ClosedLoop { .. }) {
+                return Err("sharded scenarios require a closed-loop load model".into());
+            }
+            if self.deadline_ms.is_none() {
+                return Err(
+                    "sharded scenarios need a deadline (it bounds the client's retry loop)".into(),
+                );
+            }
+            if self.lease_ttl_ms == 0 {
+                return Err("lease TTL must be non-zero".into());
+            }
+            if self.heartbeat_ms == 0 || self.heartbeat_ms.saturating_mul(2) > self.lease_ttl_ms {
+                return Err(format!(
+                    "heartbeat ({} ms) must be non-zero and at most half the lease TTL ({} ms)",
+                    self.heartbeat_ms, self.lease_ttl_ms
+                ));
+            }
+        }
+        if let Some(kill_at) = self.kill_shard_at_ms {
+            if self.shards < 2 {
+                return Err("killing a shard needs at least two shards (someone must survive)".into());
+            }
+            if kill_at >= self.duration_ms {
+                return Err("kill_shard_at_ms must fall inside the offered window".into());
+            }
+        }
         Ok(())
     }
 
@@ -310,6 +405,12 @@ impl ScenarioConfig {
                     "grid".to_string(),
                     Json::arr([Json::num(rows as f64), Json::num(cols as f64)]),
                 ));
+            }
+            if let Some(from) = s.active_from_ms {
+                pairs.push(("active_from_ms".to_string(), Json::num(from as f64)));
+            }
+            if let Some(until) = s.active_until_ms {
+                pairs.push(("active_until_ms".to_string(), Json::num(until as f64)));
             }
             Json::Obj(pairs)
         });
@@ -343,7 +444,16 @@ impl ScenarioConfig {
             // Seeds are full-range u64; JSON numbers are f64 and lose
             // precision above 2^53, so seeds cross the wire as strings.
             ("seed".to_string(), Json::str(self.seed.to_string())),
+            ("shards".to_string(), Json::num(self.shards as f64)),
+            ("lease_ttl_ms".to_string(), Json::num(self.lease_ttl_ms as f64)),
+            ("heartbeat_ms".to_string(), Json::num(self.heartbeat_ms as f64)),
         ];
+        if let Some(kill_at) = self.kill_shard_at_ms {
+            pairs.push(("kill_shard_at_ms".to_string(), Json::num(kill_at as f64)));
+        }
+        if let Some(ttl) = self.engine_ttl_ms {
+            pairs.push(("engine_ttl_ms".to_string(), Json::num(ttl as f64)));
+        }
         if let Some(chaos) = &self.chaos {
             pairs.push((
                 "chaos".to_string(),
@@ -411,6 +521,8 @@ impl ScenarioConfig {
                         Some(_) => return Err("scenario config: grid override must be [rows, cols]".into()),
                         None => None,
                     },
+                    active_from_ms: s.get("active_from_ms").and_then(Json::as_u64),
+                    active_until_ms: s.get("active_until_ms").and_then(Json::as_u64),
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -473,6 +585,12 @@ impl ScenarioConfig {
             chaos,
             degrade_ladder,
             seed: seed_field(value, "seed")?,
+            // Sharding fields default for pre-shard documents.
+            shards: value.get("shards").and_then(Json::as_usize).unwrap_or(0),
+            lease_ttl_ms: value.get("lease_ttl_ms").and_then(Json::as_u64).unwrap_or(250),
+            heartbeat_ms: value.get("heartbeat_ms").and_then(Json::as_u64).unwrap_or(60),
+            kill_shard_at_ms: value.get("kill_shard_at_ms").and_then(Json::as_u64),
+            engine_ttl_ms: value.get("engine_ttl_ms").and_then(Json::as_u64),
         };
         config.validate()?;
         Ok(config)
@@ -527,6 +645,20 @@ pub struct AgentSummary {
     /// Requests never answered before the drain grace expired (must be 0
     /// in a healthy run — the server resolves every accepted request).
     pub lost: u64,
+    /// Retry attempts beyond each call's first (sharded mode; 0 when the
+    /// agent dials the server directly).
+    pub retries: u64,
+    /// Calls that switched shards mid-flight (sharded mode).
+    pub failovers: u64,
+    /// Measured requests sent in the tail window (the final quarter of
+    /// the measured span) — the post-recovery probe of failover scenarios.
+    pub tail_measured: u64,
+    /// Tail-window requests that succeeded.
+    pub tail_ok: u64,
+    /// Response checksum per `"stream:poolslot"` — the bitwise-determinism
+    /// probe. A key whose checksum disagreed across responses maps to
+    /// `"!conflict"`.
+    pub checks: std::collections::BTreeMap<String, String>,
     /// Client-side submit→response latency of measured requests.
     pub latency: LatencyHistogram,
     /// Max RSS of the agent process, when the probe is available.
@@ -548,6 +680,19 @@ impl AgentSummary {
             ("panicked", Json::num(self.panicked as f64)),
             ("errors", Json::num(self.errors as f64)),
             ("lost", Json::num(self.lost as f64)),
+            ("retries", Json::num(self.retries as f64)),
+            ("failovers", Json::num(self.failovers as f64)),
+            ("tail_measured", Json::num(self.tail_measured as f64)),
+            ("tail_ok", Json::num(self.tail_ok as f64)),
+            (
+                "checks",
+                Json::Obj(
+                    self.checks
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                        .collect(),
+                ),
+            ),
             ("latency", serve::wire::latency_to_json(&self.latency)),
             ("rss_kb", self.rss_kb.map_or(Json::Null, |r| Json::num(r as f64))),
             ("elapsed_s", Json::num(self.elapsed_s)),
@@ -574,6 +719,20 @@ impl AgentSummary {
             panicked: counter(value, "panicked")?,
             errors: counter(value, "errors")?,
             lost: counter(value, "lost")?,
+            retries: value.get("retries").and_then(Json::as_u64).unwrap_or(0),
+            failovers: value.get("failovers").and_then(Json::as_u64).unwrap_or(0),
+            tail_measured: value.get("tail_measured").and_then(Json::as_u64).unwrap_or(0),
+            tail_ok: value.get("tail_ok").and_then(Json::as_u64).unwrap_or(0),
+            checks: value
+                .get("checks")
+                .and_then(Json::as_obj)
+                .map(|pairs| {
+                    pairs
+                        .iter()
+                        .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_string())))
+                        .collect()
+                })
+                .unwrap_or_default(),
             latency: serve::wire::latency_from_json(
                 value.get("latency").ok_or("agent summary: missing `latency`")?,
             )?,
@@ -584,6 +743,21 @@ impl AgentSummary {
                 .ok_or("agent summary: missing `elapsed_s`")?,
         })
     }
+}
+
+/// One shard process's endgame, as collected by the sharded scenario
+/// runner.
+#[derive(Debug, Clone)]
+pub struct ShardProcessStats {
+    /// Shard index within the scenario.
+    pub shard: usize,
+    /// Whether the chaos timer SIGKILLed this shard mid-window.
+    pub killed: bool,
+    /// Max RSS of the shard process (kB); `None` for a killed shard.
+    pub rss_kb: Option<u64>,
+    /// The shard's router counters; `None` for a killed shard (its stats
+    /// died with it — which is the point of the exercise).
+    pub router: Option<serve::RouterStatsWire>,
 }
 
 /// The merged outcome of one scenario run.
@@ -611,14 +785,32 @@ pub struct ScenarioOutcome {
     pub errors: u64,
     /// Requests unanswered at drain time across agents.
     pub lost: u64,
+    /// Client-side retry attempts across agents (sharded runs).
+    pub retries: u64,
+    /// Client-side shard failovers across agents (sharded runs).
+    pub failovers: u64,
+    /// Measured requests offered in the tail window across agents.
+    pub tail_measured: u64,
+    /// Tail-window successes across agents.
+    pub tail_ok: u64,
+    /// Merged response checksums (`"stream:poolslot"` → FNV hash);
+    /// disagreements across agents collapse to `"!conflict"`.
+    pub checks: std::collections::BTreeMap<String, String>,
     /// Measured successes per second of measured window.
     pub throughput_rps: f64,
     /// Max RSS of the server process (kB), when the probe is available.
     pub server_rss_kb: Option<u64>,
     /// Largest load-agent max RSS (kB), when the probe is available.
     pub load_agent_rss_kb: Option<u64>,
-    /// The server's own router counters, shipped over the stats line.
+    /// The server's own router counters, shipped over the stats line. In
+    /// sharded runs this is the surviving shards' merge (counters summed,
+    /// histograms merged, engine labels prefixed `s<shard>/`).
     pub router: serve::RouterStatsWire,
+    /// Per-shard process stats (empty for single-process runs).
+    pub shards: Vec<ShardProcessStats>,
+    /// The registry's counters (sharded runs only): epoch, evictions,
+    /// per-op counts.
+    pub registry: Option<Json>,
     /// Wall-clock of the whole scenario (spawn → server exit), in seconds.
     pub elapsed_s: f64,
 }
@@ -631,6 +823,19 @@ impl ScenarioOutcome {
             1.0
         } else {
             self.ok as f64 / self.measured as f64
+        }
+    }
+
+    /// Success rate over the tail window alone (the final quarter of the
+    /// measured span). For a shard-kill scenario this is the *recovered*
+    /// rate: the kill lands mid-window, so a topology that fails over
+    /// shows a healthy tail even though the blackout dents the overall
+    /// rate.
+    pub fn tail_success_rate(&self) -> f64 {
+        if self.tail_measured == 0 {
+            1.0
+        } else {
+            self.tail_ok as f64 / self.tail_measured as f64
         }
     }
 }
@@ -735,11 +940,126 @@ fn reap(mut child: Child, what: &str) -> Result<(), String> {
     }
 }
 
-/// Runs one scenario end-to-end: spawns the server process and
-/// `config.agents` load-agent processes, merges their measurements, and
-/// collects the server's router stats and RSS.
+/// Load-agent summaries folded into scenario-wide totals.
+struct MergedLoad {
+    summaries: Vec<AgentSummary>,
+    latency: LatencyHistogram,
+    sent: u64,
+    measured: u64,
+    ok: u64,
+    expired: u64,
+    panicked: u64,
+    errors: u64,
+    lost: u64,
+    retries: u64,
+    failovers: u64,
+    tail_measured: u64,
+    tail_ok: u64,
+    checks: std::collections::BTreeMap<String, String>,
+    load_agent_rss_kb: Option<u64>,
+}
+
+fn merge_load(mut summaries: Vec<AgentSummary>) -> MergedLoad {
+    summaries.sort_by_key(|s| s.agent);
+    let mut merged = MergedLoad {
+        summaries: Vec::new(),
+        latency: LatencyHistogram::default(),
+        sent: 0,
+        measured: 0,
+        ok: 0,
+        expired: 0,
+        panicked: 0,
+        errors: 0,
+        lost: 0,
+        retries: 0,
+        failovers: 0,
+        tail_measured: 0,
+        tail_ok: 0,
+        checks: std::collections::BTreeMap::new(),
+        load_agent_rss_kb: summaries.iter().filter_map(|s| s.rss_kb).max(),
+    };
+    for summary in &summaries {
+        merged.latency.merge(&summary.latency);
+        merged.sent += summary.sent;
+        merged.measured += summary.measured;
+        merged.ok += summary.ok;
+        merged.expired += summary.expired;
+        merged.panicked += summary.panicked;
+        merged.errors += summary.errors;
+        merged.lost += summary.lost;
+        merged.retries += summary.retries;
+        merged.failovers += summary.failovers;
+        merged.tail_measured += summary.tail_measured;
+        merged.tail_ok += summary.tail_ok;
+        // Checksums are keyed by (stream, pool slot), which pins the input
+        // frame bit-for-bit — every agent (and every serving process) must
+        // therefore agree on the output.
+        for (key, sum) in &summary.checks {
+            match merged.checks.get(key) {
+                None => {
+                    merged.checks.insert(key.clone(), sum.clone());
+                }
+                Some(existing) if existing != sum => {
+                    merged.checks.insert(key.clone(), "!conflict".to_string());
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    merged.summaries = summaries;
+    merged
+}
+
+/// Merges the surviving shards' router stats into one [`RouterStatsWire`]:
+/// counters summed, latency histograms merged losslessly, engine and
+/// degrade entries concatenated under `s<shard>/`-prefixed stream labels
+/// so the per-shard breakdown survives the merge.
+fn merge_router_stats(shards: &[ShardProcessStats]) -> serve::RouterStatsWire {
+    let mut server: serve::ServerStats = Default::default();
+    let mut engines = Vec::new();
+    let mut degrade = Vec::new();
+    let mut resilience: serve::ResilienceStats = Default::default();
+    for stats in shards {
+        let Some(wire) = &stats.router else { continue };
+        server.submitted += wire.server.submitted;
+        server.completed += wire.server.completed;
+        server.batches += wire.server.batches;
+        server.max_batch_observed = server.max_batch_observed.max(wire.server.max_batch_observed);
+        server.deadline_expired += wire.server.deadline_expired;
+        server.workers_respawned += wire.server.workers_respawned;
+        server.latency.merge(&wire.server.latency);
+        for engine in &wire.engines {
+            let mut engine = engine.clone();
+            engine.stream = format!("s{}/{}", stats.shard, engine.stream);
+            engines.push(engine);
+        }
+        for entry in &wire.degrade {
+            let mut entry = entry.clone();
+            entry.stream = format!("s{}/{}", stats.shard, entry.stream);
+            degrade.push(entry);
+        }
+        resilience.panics += wire.resilience.panics;
+        resilience.retries += wire.resilience.retries;
+        resilience.quarantined += wire.resilience.quarantined;
+        resilience.quarantines += wire.resilience.quarantines;
+        resilience.engines_evicted += wire.resilience.engines_evicted;
+        resilience.workers_respawned += wire.resilience.workers_respawned;
+    }
+    serve::RouterStatsWire { server, engines, degrade, resilience }
+}
+
+/// Runs one scenario end-to-end. Single-process topology
+/// (`config.shards == 0`): spawns the `serve_agent` and `config.agents`
+/// load agents dialing it directly. Sharded topology: spawns the
+/// `shard_registry`, `config.shards` shard servers and load agents that
+/// route through `shard::ShardClient` — plus, when configured, a chaos
+/// timer that SIGKILLs one shard mid-window. Either way, merges the
+/// agents' measurements and collects server-side stats and RSS.
 pub fn run_scenario(config: &ScenarioConfig, profile: Profile) -> Result<ScenarioOutcome, String> {
     config.validate()?;
+    if config.shards > 0 {
+        return run_sharded_scenario(config, profile);
+    }
     let serve_bin = agent_bin_path("serve_agent")?;
     let load_bin = agent_bin_path("load_agent")?;
     let started = Instant::now();
@@ -796,40 +1116,193 @@ pub fn run_scenario(config: &ScenarioConfig, profile: Profile) -> Result<Scenari
     };
     reap(server, "serve_agent")?;
 
-    let mut latency = LatencyHistogram::default();
-    let (mut sent, mut measured, mut ok, mut expired, mut panicked, mut errors, mut lost) =
-        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
-    for summary in &summaries {
-        latency.merge(&summary.latency);
-        sent += summary.sent;
-        measured += summary.measured;
-        ok += summary.ok;
-        expired += summary.expired;
-        panicked += summary.panicked;
-        errors += summary.errors;
-        lost += summary.lost;
-    }
+    let merged = merge_load(summaries);
     let measured_window_s = (config.duration_ms - config.warmup_ms) as f64 / 1e3;
-    let load_agent_rss_kb = summaries.iter().filter_map(|s| s.rss_kb).max();
+    Ok(outcome_from(config, profile, merged, router, server_rss_kb, measured_window_s, Vec::new(), None, started))
+}
 
-    Ok(ScenarioOutcome {
+/// Assembles the outcome struct shared by both topologies.
+#[allow(clippy::too_many_arguments)]
+fn outcome_from(
+    config: &ScenarioConfig,
+    profile: Profile,
+    merged: MergedLoad,
+    router: serve::RouterStatsWire,
+    server_rss_kb: Option<u64>,
+    measured_window_s: f64,
+    shards: Vec<ShardProcessStats>,
+    registry: Option<Json>,
+    started: Instant,
+) -> ScenarioOutcome {
+    ScenarioOutcome {
         config: config.clone(),
         profile: profile.name().to_string(),
-        agent_summaries: summaries,
-        latency,
-        sent,
-        measured,
-        ok,
-        expired,
-        panicked,
-        errors,
-        lost,
-        throughput_rps: ok as f64 / measured_window_s,
+        agent_summaries: merged.summaries,
+        latency: merged.latency,
+        sent: merged.sent,
+        measured: merged.measured,
+        ok: merged.ok,
+        expired: merged.expired,
+        panicked: merged.panicked,
+        errors: merged.errors,
+        lost: merged.lost,
+        retries: merged.retries,
+        failovers: merged.failovers,
+        tail_measured: merged.tail_measured,
+        tail_ok: merged.tail_ok,
+        checks: merged.checks,
+        throughput_rps: merged.ok as f64 / measured_window_s,
         server_rss_kb,
-        load_agent_rss_kb,
+        load_agent_rss_kb: merged.load_agent_rss_kb,
         router,
+        shards,
+        registry,
         elapsed_s: started.elapsed().as_secs_f64(),
-    })
+    }
+}
+
+/// The sharded topology runner (see [`run_scenario`]). Spawn order
+/// matters: the registry first (shards need its port), then every shard —
+/// each waited for until it reports `ready`, i.e. *registered* — so the
+/// routing table is complete before the first load agent dials in.
+fn run_sharded_scenario(config: &ScenarioConfig, profile: Profile) -> Result<ScenarioOutcome, String> {
+    let registry_bin = agent_bin_path("shard_registry")?;
+    let shard_bin = agent_bin_path("shard_agent")?;
+    let load_bin = agent_bin_path("load_agent")?;
+    let started = Instant::now();
+    let config_json = config.to_json();
+
+    let registry_line =
+        Json::obj([("lease_ttl_ms", Json::num(config.lease_ttl_ms as f64))]).to_string_compact();
+    let (mut registry, registry_pump) = spawn_agent(&registry_bin, &registry_line)?;
+
+    let mut shards: Vec<(Child, LinePump)> = Vec::new();
+    let mut loads: Vec<(Child, LinePump)> = Vec::new();
+    // The chaos timer holds only the victim's pid; on an error exit the
+    // harness kills all children itself, and this flag keeps a late timer
+    // from firing at a by-then-recycled pid.
+    let disarm = Arc::new(AtomicBool::new(false));
+
+    let result = (|| {
+        let ready = registry_pump.next_event("ready")?;
+        let registry_port =
+            ready.get("port").and_then(Json::as_u64).ok_or("registry ready line without a port")?;
+
+        for shard_index in 0..config.shards {
+            let line = Json::obj([
+                ("scenario", config_json.clone()),
+                ("registry_port", Json::num(registry_port as f64)),
+                ("shard_index", Json::num(shard_index as f64)),
+            ])
+            .to_string_compact();
+            let (child, pump) = spawn_agent(&shard_bin, &line)?;
+            pump.next_event("ready")?;
+            shards.push((child, pump));
+        }
+
+        for agent_index in 0..config.agents {
+            let line = Json::obj([
+                ("scenario", config_json.clone()),
+                ("registry_port", Json::num(registry_port as f64)),
+                ("agent_index", Json::num(agent_index as f64)),
+            ])
+            .to_string_compact();
+            loads.push(spawn_agent(&load_bin, &line)?);
+        }
+
+        let victim = config.shards - 1;
+        if let Some(kill_at) = config.kill_shard_at_ms {
+            let pid = shards[victim].0.id();
+            let disarm = Arc::clone(&disarm);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(kill_at));
+                if !disarm.load(std::sync::atomic::Ordering::Relaxed) {
+                    // SIGKILL, not SIGTERM: the scenario models a crash, so
+                    // the shard must get no chance to deregister cleanly.
+                    let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+                }
+            });
+        }
+
+        let mut summaries = Vec::with_capacity(config.agents);
+        for (child, pump) in loads.drain(..) {
+            let summary = AgentSummary::from_json(&pump.next_event("summary")?)?;
+            reap(child, "load_agent")?;
+            summaries.push(summary);
+        }
+
+        let killed = config.kill_shard_at_ms.map(|_| victim);
+        let mut shard_stats = Vec::with_capacity(config.shards);
+        for (shard_index, (mut child, pump)) in shards.drain(..).enumerate() {
+            if Some(shard_index) == killed {
+                let _ = child.kill(); // no-op once the chaos timer has fired
+                let _ = child.wait();
+                shard_stats.push(ShardProcessStats {
+                    shard: shard_index,
+                    killed: true,
+                    rss_kb: None,
+                    router: None,
+                });
+                continue;
+            }
+            if let Some(stdin) = child.stdin.as_mut() {
+                let _ = stdin.write_all(b"shutdown\n").and_then(|_| stdin.flush());
+            }
+            let stats_line = pump.next_event("stats")?;
+            let router = serve::RouterStatsWire::from_json(
+                stats_line.get("router").ok_or("shard stats line without router stats")?,
+            )?;
+            let rss_kb = stats_line.get("rss_kb").and_then(Json::as_u64);
+            reap(child, "shard_agent")?;
+            shard_stats.push(ShardProcessStats {
+                shard: shard_index,
+                killed: false,
+                rss_kb,
+                router: Some(router),
+            });
+        }
+
+        if let Some(stdin) = registry.stdin.as_mut() {
+            let _ = stdin.write_all(b"shutdown\n").and_then(|_| stdin.flush());
+        }
+        let registry_stats = registry_pump
+            .next_event("stats")?
+            .get("registry")
+            .cloned()
+            .ok_or("registry stats line without a registry object")?;
+        Ok((summaries, shard_stats, registry_stats))
+    })();
+
+    let (summaries, shard_stats, registry_stats) = match result {
+        Ok(parts) => parts,
+        Err(e) => {
+            disarm.store(true, std::sync::atomic::Ordering::Relaxed);
+            for (mut child, _) in shards.drain(..).chain(loads.drain(..)) {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            let _ = registry.kill();
+            let _ = registry.wait();
+            return Err(e);
+        }
+    };
+    reap(registry, "shard_registry")?;
+
+    let merged = merge_load(summaries);
+    let router = merge_router_stats(&shard_stats);
+    let server_rss_kb = shard_stats.iter().filter_map(|s| s.rss_kb).max();
+    let measured_window_s = (config.duration_ms - config.warmup_ms) as f64 / 1e3;
+    Ok(outcome_from(
+        config,
+        profile,
+        merged,
+        router,
+        server_rss_kb,
+        measured_window_s,
+        shard_stats,
+        Some(registry_stats),
+        started,
+    ))
 }
 
 /// Builds the stable `summary.json` document for one scenario outcome.
@@ -840,20 +1313,28 @@ pub fn summary_json(outcome: &ScenarioOutcome) -> Json {
         ("mean", Json::num(outcome.latency.mean().as_micros() as f64)),
         ("count", Json::num(outcome.latency.count() as f64)),
     ]);
-    Json::obj([
-        ("schema_version", Json::num(SCHEMA_VERSION as f64)),
-        ("scenario", Json::str(outcome.config.name.clone())),
-        ("profile", Json::str(outcome.profile.clone())),
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("schema_version".to_string(), Json::num(SCHEMA_VERSION as f64)),
+        ("scenario".to_string(), Json::str(outcome.config.name.clone())),
+        ("profile".to_string(), Json::str(outcome.profile.clone())),
         (
-            "processes",
+            "processes".to_string(),
             Json::obj([
-                ("server", Json::num(1.0)),
+                (
+                    "server",
+                    Json::num(if outcome.config.shards > 0 {
+                        outcome.config.shards as f64
+                    } else {
+                        1.0
+                    }),
+                ),
+                ("registry", Json::num(if outcome.config.shards > 0 { 1.0 } else { 0.0 })),
                 ("load_agents", Json::num(outcome.config.agents as f64)),
             ]),
         ),
-        ("config", outcome.config.to_json()),
+        ("config".to_string(), outcome.config.to_json()),
         (
-            "requests",
+            "requests".to_string(),
             Json::obj([
                 ("sent", Json::num(outcome.sent as f64)),
                 ("measured", Json::num(outcome.measured as f64)),
@@ -864,12 +1345,33 @@ pub fn summary_json(outcome: &ScenarioOutcome) -> Json {
                 ("lost", Json::num(outcome.lost as f64)),
             ]),
         ),
-        ("latency_us", latency_us),
-        ("latency_histogram", serve::wire::latency_to_json(&outcome.latency)),
-        ("throughput_rps", Json::num(outcome.throughput_rps)),
-        ("success_rate", Json::num(outcome.success_rate())),
         (
-            "rss_kb",
+            "client".to_string(),
+            Json::obj([
+                ("retries", Json::num(outcome.retries as f64)),
+                ("failovers", Json::num(outcome.failovers as f64)),
+            ]),
+        ),
+        (
+            "tail".to_string(),
+            Json::obj([
+                ("measured", Json::num(outcome.tail_measured as f64)),
+                ("ok", Json::num(outcome.tail_ok as f64)),
+                ("success_rate", Json::num(outcome.tail_success_rate())),
+            ]),
+        ),
+        (
+            "checks".to_string(),
+            Json::Obj(
+                outcome.checks.iter().map(|(k, v)| (k.clone(), Json::str(v.clone()))).collect(),
+            ),
+        ),
+        ("latency_us".to_string(), latency_us),
+        ("latency_histogram".to_string(), serve::wire::latency_to_json(&outcome.latency)),
+        ("throughput_rps".to_string(), Json::num(outcome.throughput_rps)),
+        ("success_rate".to_string(), Json::num(outcome.success_rate())),
+        (
+            "rss_kb".to_string(),
             Json::obj([
                 ("server_max", outcome.server_rss_kb.map_or(Json::Null, |r| Json::num(r as f64))),
                 (
@@ -878,9 +1380,26 @@ pub fn summary_json(outcome: &ScenarioOutcome) -> Json {
                 ),
             ]),
         ),
-        ("server", outcome.router.to_json()),
-        ("elapsed_s", Json::num(outcome.elapsed_s)),
-    ])
+        ("server".to_string(), outcome.router.to_json()),
+    ];
+    if !outcome.shards.is_empty() {
+        pairs.push((
+            "shards".to_string(),
+            Json::arr(outcome.shards.iter().map(|s| {
+                Json::obj([
+                    ("shard", Json::num(s.shard as f64)),
+                    ("killed", Json::Bool(s.killed)),
+                    ("rss_kb", s.rss_kb.map_or(Json::Null, |r| Json::num(r as f64))),
+                    ("router", s.router.as_ref().map_or(Json::Null, |r| r.to_json())),
+                ])
+            })),
+        ));
+    }
+    if let Some(registry) = &outcome.registry {
+        pairs.push(("registry".to_string(), registry.clone()));
+    }
+    pairs.push(("elapsed_s".to_string(), Json::num(outcome.elapsed_s)));
+    Json::Obj(pairs)
 }
 
 /// Flattens the gate-relevant metrics out of a `summary.json` document —
@@ -907,6 +1426,13 @@ pub fn summary_metrics(summary: &Json) -> Vec<(String, f64)> {
         "server_rss_kb",
         summary.get("rss_kb").and_then(|r| r.get("server_max")).and_then(Json::as_f64),
     );
+    let client = summary.get("client");
+    push("retries", client.and_then(|c| c.get("retries")).and_then(Json::as_f64));
+    push("failovers", client.and_then(|c| c.get("failovers")).and_then(Json::as_f64));
+    push(
+        "tail_success_rate",
+        summary.get("tail").and_then(|t| t.get("success_rate")).and_then(Json::as_f64),
+    );
     metrics
 }
 
@@ -919,8 +1445,8 @@ mod tests {
         let mut config = ScenarioConfig::named("round_trip");
         config.streams = vec![
             StreamLoad::new("das"),
-            StreamLoad { backend: "das-planned".into(), weight: 3, channels: Some(16), grid: Some((24, 12)) },
-            StreamLoad { backend: "chaos:das-planned".into(), weight: 1, channels: None, grid: None },
+            StreamLoad { weight: 3, channels: Some(16), grid: Some((24, 12)), ..StreamLoad::new("das-planned") },
+            StreamLoad::new("chaos:das-planned"),
         ];
         config.chaos = Some(ChaosSpec { seed: 7, panic_one_in: 16, delay_one_in: 2, delay_ms: 5 });
         config.degrade_ladder = Some(vec!["chaos:das-planned".into(), "das-planned".into()]);
@@ -954,9 +1480,81 @@ mod tests {
         with("nan rate", &|c| c.load = LoadModel::OpenLoopPoisson { rate_hz: f64::NAN });
         with("chaos label without schedule", &|c| c.streams[0].backend = "chaos:das".into());
         with("one-rung ladder", &|c| c.degrade_ladder = Some(vec!["das".into()]));
+        with("zero engine ttl", &|c| c.engine_ttl_ms = Some(0));
+        with("empty activity window", &|c| {
+            c.streams.push(StreamLoad {
+                active_from_ms: Some(300),
+                active_until_ms: Some(300),
+                ..StreamLoad::new("das")
+            });
+        });
+        with("no always-active stream", &|c| {
+            c.streams[0].active_from_ms = Some(100);
+        });
+        with("sharded without deadline", &|c| {
+            c.shards = 2;
+            c.deadline_ms = None;
+        });
+        with("sharded open loop", &|c| {
+            c.shards = 2;
+            c.deadline_ms = Some(200);
+            c.load = LoadModel::OpenLoopPoisson { rate_hz: 50.0 };
+        });
+        with("heartbeat too close to ttl", &|c| {
+            c.shards = 2;
+            c.deadline_ms = Some(200);
+            c.lease_ttl_ms = 100;
+            c.heartbeat_ms = 80;
+        });
+        with("kill with one shard", &|c| {
+            c.shards = 1;
+            c.deadline_ms = Some(200);
+            c.kill_shard_at_ms = Some(100);
+        });
+        with("kill outside the window", &|c| {
+            c.shards = 2;
+            c.deadline_ms = Some(200);
+            c.kill_shard_at_ms = Some(c.duration_ms);
+        });
         for (label, config) in broken {
             assert!(config.validate().is_err(), "{label} must be rejected");
         }
+    }
+
+    #[test]
+    fn sharded_and_churn_configs_round_trip() {
+        let mut config = ScenarioConfig::named("sharded_round_trip");
+        config.streams = vec![
+            StreamLoad::new("das-planned"),
+            StreamLoad {
+                active_from_ms: Some(200),
+                active_until_ms: Some(600),
+                ..StreamLoad::new("das")
+            },
+        ];
+        config.shards = 2;
+        config.deadline_ms = Some(400);
+        config.lease_ttl_ms = 300;
+        config.heartbeat_ms = 90;
+        config.kill_shard_at_ms = Some(500);
+        config.engine_ttl_ms = Some(150);
+        config.validate().expect("valid");
+        let parsed = ScenarioConfig::from_json(&config.to_json()).expect("round trip");
+        assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn stream_activity_windows_clip_the_offer() {
+        let stream = StreamLoad {
+            active_from_ms: Some(100),
+            active_until_ms: Some(200),
+            ..StreamLoad::new("das")
+        };
+        assert!(!stream.is_active_at(99));
+        assert!(stream.is_active_at(100));
+        assert!(stream.is_active_at(199));
+        assert!(!stream.is_active_at(200));
+        assert!(StreamLoad::new("das").is_active_at(0));
     }
 
     #[test]
@@ -974,6 +1572,11 @@ mod tests {
             panicked: 3,
             errors: 1,
             lost: 0,
+            retries: 4,
+            failovers: 2,
+            tail_measured: 25,
+            tail_ok: 24,
+            checks: [("0:3".to_string(), "00ff00ff00ff00ff".to_string())].into_iter().collect(),
             latency,
             rss_kb: Some(12345),
             elapsed_s: 1.25,
@@ -1014,6 +1617,11 @@ mod tests {
             panicked: 0,
             errors: 0,
             lost: 0,
+            retries: 3,
+            failovers: 1,
+            tail_measured: 2,
+            tail_ok: 2,
+            checks: std::collections::BTreeMap::new(),
             throughput_rps: 11.7,
             server_rss_kb: Some(4096),
             load_agent_rss_kb: Some(2048),
@@ -1023,19 +1631,34 @@ mod tests {
                 degrade: Vec::new(),
                 resilience: Default::default(),
             },
+            shards: Vec::new(),
+            registry: None,
             elapsed_s: 0.9,
         };
         let summary = summary_json(&outcome);
         assert_eq!(summary.get("schema_version").and_then(Json::as_u64), Some(SCHEMA_VERSION));
         let metrics = summary_metrics(&summary);
         let names: Vec<&str> = metrics.iter().map(|(n, _)| n.as_str()).collect();
-        for expected in
-            ["p50_us", "p99_us", "mean_us", "throughput_rps", "success_rate", "expired", "panicked", "lost", "server_rss_kb"]
-        {
+        for expected in [
+            "p50_us",
+            "p99_us",
+            "mean_us",
+            "throughput_rps",
+            "success_rate",
+            "expired",
+            "panicked",
+            "lost",
+            "retries",
+            "failovers",
+            "tail_success_rate",
+            "server_rss_kb",
+        ] {
             assert!(names.contains(&expected), "metric {expected} missing from {names:?}");
         }
         let lookup = |n: &str| metrics.iter().find(|(name, _)| name == n).unwrap().1;
         assert_eq!(lookup("success_rate"), 7.0 / 8.0);
+        assert_eq!(lookup("tail_success_rate"), 1.0);
+        assert_eq!(lookup("retries"), 3.0);
         assert_eq!(lookup("server_rss_kb"), 4096.0);
     }
 }

@@ -22,6 +22,7 @@
 //! seconds-scale smoke configuration, anything else (or unset) the reduced evaluation
 //! configuration described in `DESIGN.md`.
 
+pub mod agent;
 pub mod compare;
 pub mod harness;
 pub mod report;

@@ -30,6 +30,8 @@ pub fn scenario_names() -> Vec<&'static str> {
         "quantized_sweep",
         "poisson_openloop",
         "chaos_availability",
+        "stream_churn",
+        "shard_failover",
     ]
 }
 
@@ -92,13 +94,13 @@ pub fn scenario(name: &str, profile: Profile) -> Option<ScenarioConfig> {
             let (small, large) = if fast { ((16, 8), (24, 16)) } else { ((32, 16), (64, 32)) };
             config.streams = vec![
                 StreamLoad {
-                    backend: "das-planned".into(),
                     weight: 2,
                     channels: Some(if fast { 16 } else { 32 }),
                     grid: Some(small),
+                    ..StreamLoad::new("das-planned")
                 },
-                StreamLoad { backend: "das-planned".into(), weight: 1, channels: None, grid: Some(large) },
-                StreamLoad { backend: "das".into(), weight: 1, channels: None, grid: None },
+                StreamLoad { grid: Some(large), ..StreamLoad::new("das-planned") },
+                StreamLoad::new("das"),
             ];
             config.load = LoadModel::ClosedLoop { inflight: 3 };
             config.agents = 2;
@@ -151,6 +153,50 @@ pub fn scenario(name: &str, profile: Profile) -> Option<ScenarioConfig> {
             config.max_batch = 2;
             config.seed = 0xC4A0;
         }
+        "stream_churn" => {
+            // Mid-run churn: the stream mix changes while the offered
+            // window is live. A second stream joins partway through (engine
+            // spin-up under traffic) and leaves again; the idle-engine TTL
+            // then evicts its engine while the anchor stream keeps serving.
+            // The gate watches the anchor's latency and the eviction
+            // counter — churn must neither wedge the router nor leak
+            // engines.
+            let (from, until, ttl) = if fast { (350, 550, 120) } else { (2_500, 4_000, 800) };
+            config.streams = vec![
+                StreamLoad::new("das-planned"),
+                StreamLoad {
+                    active_from_ms: Some(from),
+                    active_until_ms: Some(until),
+                    ..StreamLoad::new("das")
+                },
+            ];
+            config.engine_ttl_ms = Some(ttl);
+            config.load = LoadModel::ClosedLoop { inflight: 4 };
+            config.seed = 0x51C8;
+        }
+        "shard_failover" => {
+            // The tentpole's acceptance scenario: two shard processes
+            // behind the registry, one stream key assigned to each; the
+            // harness SIGKILLs the second shard mid-window. Clients must
+            // ride it out — retry/backoff through the blackout (at most
+            // lease TTL + one sweep + one routing refresh), then fail over
+            // to the survivor — with every request resolving and the tail
+            // window (the final quarter of the measured span, well past
+            // recovery) back to full success.
+            config.streams = vec![StreamLoad::new("das-planned"), StreamLoad::new("das-planned")];
+            config.shards = 2;
+            config.lease_ttl_ms = 250;
+            config.heartbeat_ms = 80;
+            config.load = LoadModel::ClosedLoop { inflight: 4 };
+            config.deadline_ms = Some(500);
+            if fast {
+                config.duration_ms = 1_600;
+                config.kill_shard_at_ms = Some(700);
+            } else {
+                config.kill_shard_at_ms = Some(2_500);
+            }
+            config.seed = 0x5A8D;
+        }
         _ => return None,
     }
     Some(config)
@@ -185,6 +231,40 @@ mod tests {
         assert_eq!(config.streams.len(), QuantScheme::all().len());
         for scheme in QuantScheme::all() {
             assert!(config.streams.iter().any(|s| s.backend == scheme.backend_label()));
+        }
+    }
+
+    #[test]
+    fn churn_scenario_changes_the_mix_mid_window() {
+        for profile in [Profile::Fast, Profile::Full] {
+            let config = scenario("stream_churn", profile).unwrap();
+            let churner = &config.streams[1];
+            let from = churner.active_from_ms.expect("windowed stream");
+            let until = churner.active_until_ms.expect("windowed stream");
+            // The join and the leave must both land inside the offered
+            // window, and the idle TTL must be able to evict before it ends
+            // — otherwise the scenario no longer exercises churn.
+            assert!(from > 0 && until < config.duration_ms);
+            assert!(until + config.engine_ttl_ms.unwrap() < config.duration_ms);
+            assert!(config.streams[0].is_active_at(0));
+        }
+    }
+
+    #[test]
+    fn failover_scenario_kills_inside_the_window_and_recovers_before_the_tail() {
+        for profile in [Profile::Fast, Profile::Full] {
+            let config = scenario("shard_failover", profile).unwrap();
+            assert_eq!(config.shards, 2);
+            let kill_at = config.kill_shard_at_ms.expect("kill point");
+            // The blackout is bounded by lease TTL + sweep + routing
+            // refresh; the tail window (final measured quarter) must start
+            // after the kill plus that bound, or its success rate would
+            // measure the outage instead of the recovery.
+            let measured = config.duration_ms - config.warmup_ms;
+            let tail_start = config.warmup_ms + 3 * measured / 4;
+            let recovery_bound = config.lease_ttl_ms + config.lease_ttl_ms / 4 + 100;
+            assert!(kill_at > config.warmup_ms);
+            assert!(kill_at + recovery_bound < tail_start, "{profile:?}");
         }
     }
 

@@ -84,6 +84,38 @@ fn scenario_spawns_processes_and_emits_a_stable_summary() {
     assert!(!report.regressed(), "self-comparison regressed:\n{}", report.render());
 }
 
+/// Mid-run churn: a second stream joins partway through the window (engine
+/// spin-up under live traffic) and leaves again; the idle TTL then evicts
+/// its engine while the anchor stream keeps serving.
+#[test]
+fn stream_churn_spins_up_and_evicts_under_traffic() {
+    let mut config = tiny_scenario();
+    config.name = "e2e_churn".into();
+    config.agents = 1;
+    config.streams = vec![
+        StreamLoad::new("das-planned"),
+        StreamLoad { active_from_ms: Some(250), active_until_ms: Some(450), ..StreamLoad::new("das") },
+    ];
+    config.duration_ms = 800;
+    config.warmup_ms = 100;
+    config.engine_ttl_ms = Some(100);
+    let outcome = run_scenario(&config, Profile::Fast).expect("churn scenario runs");
+
+    assert_eq!(outcome.lost, 0, "churn lost requests");
+    assert!(outcome.ok > 0);
+    // The churning stream was actually served (its frame checksums were
+    // collected) and its idle engine was evicted before shutdown.
+    assert!(
+        outcome.checks.keys().any(|k| k.starts_with("1:")),
+        "windowed stream never served: {:?}",
+        outcome.checks.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        outcome.router.resilience.engines_evicted >= 1,
+        "idle TTL never evicted the churned engine"
+    );
+}
+
 #[test]
 fn invalid_configs_never_reach_the_process_spawn() {
     let mut config = tiny_scenario();

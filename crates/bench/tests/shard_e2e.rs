@@ -1,0 +1,101 @@
+//! End-to-end failover acceptance: spawn a real registry + two shard
+//! processes + load agents, SIGKILL one shard mid-window, and assert the
+//! tentpole's bar — every request resolves (success, typed shed, or typed
+//! timeout; zero lost), the tail window recovers, and the surviving
+//! shard's responses are bitwise identical to the single-process Router
+//! path for the same seeds.
+
+use bench::harness::{run_scenario, Profile, ScenarioConfig, StreamLoad};
+use bench::harness::LoadModel;
+
+/// A debug-scale sharded scenario: two stream keys over two shards, the
+/// second shard killed mid-window. The client deadline is generous so the
+/// blackout shows up as retries + failover, not as expiries — which makes
+/// "every request resolves successfully or typed" a sharp assertion.
+fn failover_scenario() -> ScenarioConfig {
+    let mut config = ScenarioConfig::named("e2e_shard_failover");
+    config.channels = 8;
+    config.grid_rows = 8;
+    config.grid_cols = 4;
+    config.num_samples = 64;
+    config.streams = vec![StreamLoad::new("das-planned"), StreamLoad::new("das-planned")];
+    config.load = LoadModel::ClosedLoop { inflight: 2 };
+    config.duration_ms = 1_600;
+    config.warmup_ms = 200;
+    config.deadline_ms = Some(2_000);
+    config.shards = 2;
+    config.lease_ttl_ms = 250;
+    config.heartbeat_ms = 80;
+    config.kill_shard_at_ms = Some(600);
+    config.seed = 0x5EED;
+    config
+}
+
+#[test]
+fn shard_kill_failover_recovers_and_matches_the_single_process_router() {
+    let config = failover_scenario();
+    let outcome = run_scenario(&config, Profile::Fast).expect("sharded scenario runs");
+
+    // Accounting: every request resolved — zero lost is the hard bar.
+    assert_eq!(outcome.lost, 0, "requests were lost across the shard kill");
+    assert_eq!(
+        outcome.measured,
+        outcome.ok + outcome.expired + outcome.panicked + outcome.errors
+    );
+    assert!(outcome.ok > 0, "no successful requests measured");
+
+    // Topology: two shards reported, exactly the victim marked killed, the
+    // survivor delivered router stats, and the registry evicted the corpse.
+    assert_eq!(outcome.shards.len(), 2);
+    let killed: Vec<usize> =
+        outcome.shards.iter().filter(|s| s.killed).map(|s| s.shard).collect();
+    assert_eq!(killed, vec![1]);
+    assert!(outcome.shards[0].router.is_some(), "survivor must report router stats");
+    let registry = outcome.registry.as_ref().expect("registry stats");
+    let evictions =
+        registry.get("evictions").and_then(runtime::json::Json::as_u64).unwrap_or(0);
+    assert!(evictions >= 1, "registry never evicted the killed shard: {registry:?}");
+
+    // The kill was visible to clients (they retried and failed over) …
+    assert!(outcome.retries >= 1, "no retries despite a shard kill");
+    assert!(outcome.failovers >= 1, "no failovers despite a shard kill");
+
+    // … and the tail window (final measured quarter, past the recovery
+    // bound) is healthy again.
+    assert!(outcome.tail_measured > 0, "tail window saw no traffic");
+    assert!(
+        outcome.tail_success_rate() >= 0.99,
+        "tail did not recover: {}/{} ok",
+        outcome.tail_ok,
+        outcome.tail_measured
+    );
+
+    // Bitwise determinism, part 1: no frame's checksum disagreed across
+    // responses — including the same key served by shard1 before the kill
+    // and shard0 after it.
+    assert!(!outcome.checks.is_empty(), "no response checksums collected");
+    for (key, sum) in &outcome.checks {
+        assert_ne!(sum, "!conflict", "checksum conflict for frame {key}");
+    }
+
+    // Bitwise determinism, part 2: the single-process Router path serves
+    // the exact same bytes for the same seeds.
+    let mut single = config.clone();
+    single.name = "e2e_shard_failover_single".into();
+    single.shards = 0;
+    single.kill_shard_at_ms = None;
+    single.lease_ttl_ms = 250; // field is inert without shards, keep defaults tidy
+    let single_outcome = run_scenario(&single, Profile::Fast).expect("single-process run");
+    assert!(!single_outcome.checks.is_empty());
+    let mut compared = 0usize;
+    for (key, sum) in &outcome.checks {
+        if let Some(single_sum) = single_outcome.checks.get(key) {
+            assert_eq!(
+                sum, single_sum,
+                "frame {key} differs between sharded and single-process serving"
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared > 0, "no overlapping frames to compare — seeds out of sync?");
+}

@@ -1,0 +1,152 @@
+//! Deterministic exponential backoff with jitter.
+//!
+//! Every retry loop in the workspace that talks across a process boundary
+//! (the shard client's connect/request retries, the bench agents'
+//! startup connects) needs the same policy: wait `base × 2^attempt`,
+//! capped, with a random jitter factor so a fleet of clients whose peer
+//! just died does not retry in lockstep and re-stampede it the moment it
+//! comes back.
+//!
+//! The jitter is drawn from the workspace's vendored seeded PRNG, so a
+//! backoff sequence is a pure function of `(config, seed)` — scenario
+//! benchmark runs that retry are replayable, and the property tests in
+//! `tests/proptest_runtime.rs` can pin the envelope exactly:
+//!
+//! * every delay lies in `[envelope/2, envelope]` where
+//!   `envelope = min(cap, base × 2^attempt)` (the "equal jitter" band),
+//! * the same `(config, seed)` always yields the identical sequence,
+//! * delays never exceed `cap`, for any attempt count.
+//!
+//! # Example
+//!
+//! ```
+//! use runtime::backoff::Backoff;
+//! use std::time::Duration;
+//!
+//! let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_millis(200), 42);
+//! let first = backoff.next_delay();
+//! assert!(first >= Duration::from_millis(5) && first <= Duration::from_millis(10));
+//! // Same (config, seed) ⇒ same sequence.
+//! let mut replay = Backoff::new(Duration::from_millis(10), Duration::from_millis(200), 42);
+//! assert_eq!(replay.next_delay(), first);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Exponent cap: beyond 2^32 doublings every sane base has long since hit
+/// the cap, and `checked_mul` keeps the arithmetic overflow-free anyway.
+const MAX_DOUBLINGS: u32 = 32;
+
+/// A seeded exponential-backoff delay generator.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// Creates a generator whose `n`-th delay (0-indexed) is jittered over
+    /// the envelope `min(cap, base × 2^n)`. A zero `base` always yields
+    /// zero delays (retry immediately); `cap` below `base` clamps the
+    /// envelope from the first attempt.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Self { base, cap, attempt: 0, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The deterministic upper envelope of the `attempt`-th delay:
+    /// `min(cap, base × 2^attempt)`.
+    pub fn envelope(&self, attempt: u32) -> Duration {
+        let doublings = attempt.min(MAX_DOUBLINGS);
+        self.base
+            .checked_mul(1u32 << doublings.min(31))
+            .map_or(self.cap, |d| d.min(self.cap))
+            .min(self.cap)
+    }
+
+    /// Number of delays drawn so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Draws the next delay: uniformly jittered over the upper half of the
+    /// current envelope (`[envelope/2, envelope]`), then advances the
+    /// attempt counter. The half-floor keeps retries spaced out enough to
+    /// be useful while the jitter decorrelates concurrent clients.
+    pub fn next_delay(&mut self) -> Duration {
+        let envelope = self.envelope(self.attempt);
+        self.attempt = self.attempt.saturating_add(1);
+        if envelope.is_zero() {
+            return Duration::ZERO;
+        }
+        let jitter: f64 = self.rng.gen_range(0.5f64..1.0);
+        // `mul_f64` cannot overflow here: jitter < 1 and envelope ≤ cap.
+        envelope.mul_f64(jitter)
+    }
+
+    /// Resets the attempt counter (the jitter stream keeps advancing, so a
+    /// reset does not replay the previous delays).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_follow_the_capped_envelope() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(80);
+        let mut backoff = Backoff::new(base, cap, 7);
+        for attempt in 0..12u32 {
+            let envelope = backoff.envelope(attempt);
+            assert_eq!(envelope, base.saturating_mul(1 << attempt.min(6)).min(cap));
+            let delay = backoff.next_delay();
+            assert!(delay <= envelope, "attempt {attempt}: {delay:?} > {envelope:?}");
+            assert!(delay >= envelope / 2, "attempt {attempt}: {delay:?} < half envelope");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a: Vec<Duration> =
+            std::iter::repeat_with({
+                let mut b = Backoff::new(Duration::from_millis(5), Duration::from_secs(1), 99);
+                move || b.next_delay()
+            })
+            .take(16)
+            .collect();
+        let b: Vec<Duration> =
+            std::iter::repeat_with({
+                let mut b = Backoff::new(Duration::from_millis(5), Duration::from_secs(1), 99);
+                move || b.next_delay()
+            })
+            .take(16)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_base_retries_immediately() {
+        let mut backoff = Backoff::new(Duration::ZERO, Duration::from_secs(1), 1);
+        for _ in 0..4 {
+            assert_eq!(backoff.next_delay(), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn reset_restarts_the_envelope() {
+        let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 3);
+        for _ in 0..6 {
+            backoff.next_delay();
+        }
+        backoff.reset();
+        assert_eq!(backoff.attempts(), 0);
+        assert!(backoff.next_delay() <= Duration::from_millis(10));
+    }
+}

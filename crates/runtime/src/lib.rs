@@ -61,6 +61,7 @@
 
 #![deny(missing_docs)]
 
+pub mod backoff;
 pub mod json;
 pub mod poisson;
 

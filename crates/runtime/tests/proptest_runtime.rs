@@ -119,3 +119,46 @@ proptest! {
         prop_assert_eq!(&Json::parse(&pretty).unwrap(), &value, "pretty: {}", pretty);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn backoff_is_deterministic_and_stays_inside_its_envelope(
+        base_us in 0u64..50_000,
+        cap_us in 1u64..500_000,
+        seed in 0u64..1_000_000,
+    ) {
+        use runtime::backoff::Backoff;
+        let base = Duration::from_micros(base_us);
+        let cap = Duration::from_micros(cap_us);
+        let mut a = Backoff::new(base, cap, seed);
+        let mut b = Backoff::new(base, cap, seed);
+        for attempt in 0..24u32 {
+            let envelope = a.envelope(attempt);
+            prop_assert!(envelope <= cap, "envelope {envelope:?} beyond cap {cap:?}");
+            let delay = a.next_delay();
+            prop_assert_eq!(delay, b.next_delay(), "sequence must be seed-deterministic");
+            prop_assert!(delay <= envelope, "attempt {}: {:?} > {:?}", attempt, delay, envelope);
+            prop_assert!(
+                delay >= envelope / 2,
+                "attempt {}: {:?} under half the envelope {:?}", attempt, delay, envelope
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_envelope_is_monotone_until_the_cap(base_us in 1u64..10_000, seed in 0u64..1_000) {
+        use runtime::backoff::Backoff;
+        let base = Duration::from_micros(base_us);
+        let cap = Duration::from_micros(base_us * 1000);
+        let backoff = Backoff::new(base, cap, seed);
+        let mut previous = Duration::ZERO;
+        for attempt in 0..40u32 {
+            let envelope = backoff.envelope(attempt);
+            prop_assert!(envelope >= previous, "envelope must never shrink");
+            previous = envelope;
+        }
+        prop_assert_eq!(previous, cap, "the envelope must reach the cap");
+    }
+}

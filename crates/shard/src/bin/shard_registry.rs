@@ -1,0 +1,65 @@
+//! Standalone shard-registry process for the scenario harness.
+//!
+//! Protocol with the parent (mirrors the other agents):
+//!
+//! * stdin, first line: `{"lease_ttl_ms":250}` (object; `lease_ttl_ms`
+//!   required),
+//! * stdout: `{"event":"ready","port":N}` once listening,
+//! * stdin `shutdown` (or EOF): stdout
+//!   `{"event":"stats","registry":{…}}` with the lease-table and op
+//!   counters, then exit.
+//!
+//! Shards and clients then speak the registry wire protocol documented in
+//! `shard::registry` on the advertised TCP port.
+
+use runtime::json::Json;
+use shard::Registry;
+use std::io::{BufRead, Write};
+
+fn emit(line: &Json) {
+    let mut stdout = std::io::stdout().lock();
+    let _ = writeln!(stdout, "{}", line.to_string_compact());
+    let _ = stdout.flush();
+}
+
+fn protocol_error(detail: &str) -> ! {
+    emit(&Json::obj([("event", Json::str("error")), ("detail", Json::str(detail))]));
+    std::process::exit(2);
+}
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut first_line = String::new();
+    if stdin.lock().read_line(&mut first_line).is_err() || first_line.trim().is_empty() {
+        protocol_error("expected a config line on stdin");
+    }
+    let config = match Json::parse(first_line.trim()) {
+        Ok(config) => config,
+        Err(e) => protocol_error(&format!("bad config line: {e}")),
+    };
+    let Some(lease_ttl_ms) = config.get("lease_ttl_ms").and_then(Json::as_u64) else {
+        protocol_error("config needs a `lease_ttl_ms` integer");
+    };
+
+    let registry = match Registry::bind("127.0.0.1:0", lease_ttl_ms) {
+        Ok(registry) => registry,
+        Err(e) => protocol_error(&format!("registry bind failed: {e}")),
+    };
+    let port = registry.port();
+    let handle = registry.spawn();
+    emit(&Json::obj([("event", Json::str("ready")), ("port", Json::num(port as f64))]));
+
+    // Block until the parent says shutdown (or closes our stdin).
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if line.trim() == "shutdown" => break,
+            Ok(_) => {}
+        }
+    }
+
+    let stats = handle.shutdown();
+    emit(&Json::obj([("event", Json::str("stats")), ("registry", stats)]));
+}

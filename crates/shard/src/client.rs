@@ -1,0 +1,600 @@
+//! The retrying, failover-aware shard client.
+//!
+//! [`ShardClient`] is the piece load generators hold: it discovers the
+//! stream-key → shard routing table from the registry, caches it under its
+//! epoch, and drives every request through a bounded retry loop:
+//!
+//! * **Deadlines, end to end.** Every call gets one deadline; it bounds
+//!   connect, write, and response-wait alike (propagated onto the socket
+//!   timeouts by [`crate::wire`]), so a dead or silent shard costs at most
+//!   the deadline — never a hang.
+//! * **Retry with exponential backoff + jitter.** Connect failures,
+//!   per-attempt timeouts and epoch mismatches re-resolve the key against
+//!   a freshly fetched routing table and retry after a
+//!   [`runtime::backoff::Backoff`] delay (deterministic under the
+//!   configured seed), failing over to the reassigned shard when the
+//!   registry moved the key.
+//! * **Bounded outstanding window.** At most `window` requests may be in
+//!   flight per shard; overflow sheds immediately with
+//!   [`ShardError::Shed`] — cross-process backpressure, not a retry case.
+//!
+//! The data-plane protocol is the workspace's line-frame idiom: the client
+//! sends the caller's payload object extended with `id`, `key` and the
+//! cached `epoch`; the shard answers with the matching `id`, or with
+//! `status:"wrong_epoch"` when the registry has moved the key since —
+//! which is exactly the stale-routing signal the epoch exists to provide.
+
+use crate::lease::Assignment;
+use crate::wire::{self, FrameReader};
+use crate::{ShardError, ShardResult};
+use runtime::backoff::Backoff;
+use runtime::json::Json;
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`ShardClient`].
+#[derive(Debug, Clone)]
+pub struct ShardClientConfig {
+    /// `host:port` of the shard registry.
+    pub registry_addr: String,
+    /// Overall per-call budget: connect + all attempts + all backoff.
+    pub deadline: Duration,
+    /// Budget for one attempt's response wait before it is retried.
+    pub request_timeout: Duration,
+    /// Maximum attempts per call (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff envelope (doubles per retry).
+    pub backoff_base: Duration,
+    /// Backoff envelope cap.
+    pub backoff_cap: Duration,
+    /// Maximum in-flight requests per shard before calls shed.
+    pub window: usize,
+    /// Seed for the jittered backoff delays — same config + seed ⇒ same
+    /// delay sequence.
+    pub seed: u64,
+    /// How long a cached routing table stays fresh before a call
+    /// re-polls the registry even without a failure.
+    pub routing_ttl: Duration,
+}
+
+impl Default for ShardClientConfig {
+    fn default() -> Self {
+        Self {
+            registry_addr: String::new(),
+            deadline: Duration::from_millis(500),
+            request_timeout: Duration::from_millis(150),
+            max_attempts: 6,
+            backoff_base: Duration::from_millis(4),
+            backoff_cap: Duration::from_millis(64),
+            window: 64,
+            seed: 0,
+            routing_ttl: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A successful call's result.
+#[derive(Debug, Clone)]
+pub struct CallOutcome {
+    /// The shard's response frame.
+    pub response: Json,
+    /// Shard that answered.
+    pub shard: String,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Times the call moved to a different shard than its first target.
+    pub failovers: u32,
+}
+
+/// Point-in-time counters of a client's retry machinery.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Calls issued.
+    pub calls: u64,
+    /// Attempts beyond each call's first (the retry count).
+    pub retries: u64,
+    /// Calls that switched shards mid-flight.
+    pub failovers: u64,
+    /// Calls shed on a full outstanding window.
+    pub sheds: u64,
+    /// Attempts that timed out waiting for a response.
+    pub attempt_timeouts: u64,
+    /// `wrong_epoch` responses observed.
+    pub wrong_epoch: u64,
+    /// Routing-table fetches from the registry.
+    pub routing_refreshes: u64,
+    /// Data-plane connections established.
+    pub connects: u64,
+}
+
+impl ClientStats {
+    /// The stats as a JSON object (field names match the struct).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("calls", Json::num(self.calls as f64)),
+            ("retries", Json::num(self.retries as f64)),
+            ("failovers", Json::num(self.failovers as f64)),
+            ("sheds", Json::num(self.sheds as f64)),
+            ("attempt_timeouts", Json::num(self.attempt_timeouts as f64)),
+            ("wrong_epoch", Json::num(self.wrong_epoch as f64)),
+            ("routing_refreshes", Json::num(self.routing_refreshes as f64)),
+            ("connects", Json::num(self.connects as f64)),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    calls: AtomicU64,
+    retries: AtomicU64,
+    failovers: AtomicU64,
+    sheds: AtomicU64,
+    attempt_timeouts: AtomicU64,
+    wrong_epoch: AtomicU64,
+    routing_refreshes: AtomicU64,
+    connects: AtomicU64,
+}
+
+/// The cached, epoch-versioned routing table.
+#[derive(Default)]
+struct RoutingCache {
+    epoch: u64,
+    assignments: HashMap<String, Assignment>,
+    fetched_at: Option<Instant>,
+}
+
+/// One live data-plane connection: a locked writer, a reader thread that
+/// demultiplexes responses by `id`, and the outstanding-window counter.
+struct ShardConn {
+    addr: String,
+    writer: Mutex<TcpStream>,
+    pending: Mutex<HashMap<u64, mpsc::Sender<ShardResult<Json>>>>,
+    outstanding: AtomicUsize,
+    alive: AtomicBool,
+}
+
+impl ShardConn {
+    fn fail_all_pending(&self, why: &str) {
+        self.alive.store(false, Ordering::Relaxed);
+        let drained: Vec<_> = self.pending.lock().unwrap().drain().collect();
+        for (_, sender) in drained {
+            let _ = sender.send(Err(ShardError::ConnectionLost(why.to_string())));
+        }
+    }
+}
+
+/// Decrements a connection's outstanding-window slot when the attempt ends,
+/// whichever way it ends.
+struct WindowSlot(Arc<ShardConn>);
+
+impl Drop for WindowSlot {
+    fn drop(&mut self) {
+        self.0.outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A registry/data-plane client for the sharded topology. Cheap to share:
+/// all methods take `&self` and internal state is synchronized, so one
+/// client can serve many request threads (which is what makes the
+/// per-shard outstanding window meaningful).
+pub struct ShardClient {
+    config: ShardClientConfig,
+    routing: Mutex<RoutingCache>,
+    conns: Mutex<HashMap<String, Arc<ShardConn>>>,
+    next_id: AtomicU64,
+    stats: StatsInner,
+}
+
+impl ShardClient {
+    /// Creates a client; no I/O happens until the first call.
+    pub fn new(config: ShardClientConfig) -> Self {
+        Self {
+            config,
+            routing: Mutex::new(RoutingCache::default()),
+            conns: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            stats: StatsInner::default(),
+        }
+    }
+
+    /// The client's configuration.
+    pub fn config(&self) -> &ShardClientConfig {
+        &self.config
+    }
+
+    /// Snapshot of the retry-machinery counters.
+    pub fn stats(&self) -> ClientStats {
+        ClientStats {
+            calls: self.stats.calls.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            failovers: self.stats.failovers.load(Ordering::Relaxed),
+            sheds: self.stats.sheds.load(Ordering::Relaxed),
+            attempt_timeouts: self.stats.attempt_timeouts.load(Ordering::Relaxed),
+            wrong_epoch: self.stats.wrong_epoch.load(Ordering::Relaxed),
+            routing_refreshes: self.stats.routing_refreshes.load(Ordering::Relaxed),
+            connects: self.stats.connects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sends `payload` (an object of caller-defined fields) to the shard
+    /// assigned `key` and waits for the matching response, retrying with
+    /// backoff across connect failures, attempt timeouts, lost connections
+    /// and epoch mismatches until the configured deadline or attempt
+    /// budget runs out. A full outstanding window sheds immediately.
+    pub fn call(&self, key: &str, payload: &Json) -> ShardResult<CallOutcome> {
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let deadline = Instant::now() + self.config.deadline;
+        // Jitter stream is a pure function of (config seed, request id):
+        // replayable, yet decorrelated across concurrent callers.
+        let mut backoff = Backoff::new(
+            self.config.backoff_base,
+            self.config.backoff_cap,
+            self.config.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut attempts = 0u32;
+        let mut failovers = 0u32;
+        let mut first_shard: Option<String> = None;
+        let mut force_refresh = false;
+        let mut last_err = ShardError::Timeout(format!("call for key `{key}`"));
+        while attempts < self.config.max_attempts {
+            if attempts > 0 {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                let delay = backoff.next_delay();
+                let budget = wire::remaining(deadline, "call retry budget")?;
+                std::thread::sleep(delay.min(budget));
+            }
+            attempts += 1;
+            wire::remaining(deadline, "call deadline")?;
+
+            let (epoch, assignment) = match self.resolve(key, force_refresh, deadline) {
+                Ok(resolved) => resolved,
+                Err(err @ ShardError::Timeout(_)) => return Err(err),
+                Err(err) => {
+                    // Registry unreachable or key unassigned: both are
+                    // transient during failover — keep retrying.
+                    last_err = err;
+                    force_refresh = true;
+                    continue;
+                }
+            };
+            match &first_shard {
+                None => first_shard = Some(assignment.shard.clone()),
+                Some(first) if *first != assignment.shard => {
+                    failovers += 1;
+                    self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                    first_shard = Some(assignment.shard.clone());
+                }
+                Some(_) => {}
+            }
+            force_refresh = true; // any failure below re-resolves
+            match self.attempt(id, key, epoch, &assignment, payload, deadline) {
+                Ok(response) => {
+                    let status = response.get("status").and_then(Json::as_str).unwrap_or("");
+                    if status == "wrong_epoch" {
+                        // The shard knows a newer world than our cache:
+                        // refresh and fail over to wherever the key went.
+                        self.stats.wrong_epoch.fetch_add(1, Ordering::Relaxed);
+                        last_err = ShardError::NotAssigned(key.to_string());
+                        continue;
+                    }
+                    return Ok(CallOutcome {
+                        response,
+                        shard: assignment.shard,
+                        attempts,
+                        failovers,
+                    });
+                }
+                Err(err @ ShardError::Shed { .. }) => {
+                    // Backpressure, not failure: surface it immediately so
+                    // the caller can slow down.
+                    self.stats.sheds.fetch_add(1, Ordering::Relaxed);
+                    return Err(err);
+                }
+                Err(err @ ShardError::Timeout(_)) => {
+                    self.stats.attempt_timeouts.fetch_add(1, Ordering::Relaxed);
+                    last_err = err;
+                }
+                Err(err) => last_err = err,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Resolves `key` against the routing cache, re-polling the registry
+    /// when forced, stale, or the key is unknown.
+    fn resolve(
+        &self,
+        key: &str,
+        force_refresh: bool,
+        deadline: Instant,
+    ) -> ShardResult<(u64, Assignment)> {
+        {
+            let cache = self.routing.lock().unwrap();
+            let fresh = cache
+                .fetched_at
+                .map(|at| at.elapsed() < self.config.routing_ttl)
+                .unwrap_or(false);
+            if fresh && !force_refresh {
+                if let Some(assignment) = cache.assignments.get(key) {
+                    return Ok((cache.epoch, assignment.clone()));
+                }
+            }
+        }
+        self.refresh_routing(deadline)?;
+        let cache = self.routing.lock().unwrap();
+        match cache.assignments.get(key) {
+            Some(assignment) => Ok((cache.epoch, assignment.clone())),
+            None => Err(ShardError::NotAssigned(key.to_string())),
+        }
+    }
+
+    /// Polls the registry for the routing table and installs it if its
+    /// epoch is not older than the cached one (epochs are monotonic, so an
+    /// older frame is a stale read racing a concurrent refresh).
+    fn refresh_routing(&self, deadline: Instant) -> ShardResult<()> {
+        self.stats.routing_refreshes.fetch_add(1, Ordering::Relaxed);
+        let frame = Json::obj([("op", Json::str("routing"))]);
+        let response = registry_call(&self.config.registry_addr, &frame, deadline)?;
+        let epoch = wire::field_u64(&response, "epoch")?;
+        let mut assignments = HashMap::new();
+        let entries = response
+            .get("assignments")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| ShardError::Protocol("routing frame lacks `assignments`".into()))?;
+        for (key, value) in entries {
+            assignments.insert(
+                key.clone(),
+                Assignment {
+                    shard: wire::field_str(value, "shard")?.to_string(),
+                    addr: wire::field_str(value, "addr")?.to_string(),
+                },
+            );
+        }
+        let mut cache = self.routing.lock().unwrap();
+        if epoch >= cache.epoch {
+            cache.epoch = epoch;
+            cache.assignments = assignments;
+        }
+        cache.fetched_at = Some(Instant::now());
+        Ok(())
+    }
+
+    /// One attempt: connection, window slot, write, wait for the matching
+    /// response.
+    fn attempt(
+        &self,
+        id: u64,
+        key: &str,
+        epoch: u64,
+        assignment: &Assignment,
+        payload: &Json,
+        deadline: Instant,
+    ) -> ShardResult<Json> {
+        let conn = self.connection(assignment, deadline)?;
+
+        // Bounded outstanding window: acquire or shed, never block.
+        let mut outstanding = conn.outstanding.load(Ordering::Acquire);
+        loop {
+            if outstanding >= self.config.window {
+                return Err(ShardError::Shed { shard: assignment.shard.clone() });
+            }
+            match conn.outstanding.compare_exchange_weak(
+                outstanding,
+                outstanding + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => outstanding = actual,
+            }
+        }
+        let _slot = WindowSlot(Arc::clone(&conn));
+
+        let (sender, receiver) = mpsc::channel();
+        conn.pending.lock().unwrap().insert(id, sender);
+
+        let mut frame_fields: Vec<(String, Json)> = vec![
+            ("id".into(), Json::num(id as f64)),
+            ("key".into(), Json::str(key)),
+            ("epoch".into(), Json::num(epoch as f64)),
+        ];
+        if let Some(extra) = payload.as_obj() {
+            frame_fields.extend(extra.iter().cloned());
+        }
+        let frame = Json::Obj(frame_fields);
+        {
+            let mut writer = conn.writer.lock().unwrap();
+            if let Err(err) = wire::write_frame(&mut writer, &frame, deadline) {
+                conn.pending.lock().unwrap().remove(&id);
+                conn.fail_all_pending("write failed");
+                self.drop_connection(&assignment.shard, &conn);
+                return Err(err);
+            }
+        }
+
+        let wait = wire::remaining(deadline, "response wait")?.min(self.config.request_timeout);
+        match receiver.recv_timeout(wait) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let still_pending = conn.pending.lock().unwrap().remove(&id).is_some();
+                if still_pending {
+                    Err(ShardError::Timeout(format!("response for request {id}")))
+                } else {
+                    // The response raced our timeout: the reader already
+                    // took the sender, so the result is a recv away.
+                    receiver
+                        .recv_timeout(Duration::from_millis(50))
+                        .unwrap_or(Err(ShardError::Timeout(format!("response for request {id}"))))
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(ShardError::ConnectionLost("reader dropped the response".into()))
+            }
+        }
+    }
+
+    /// Returns a live connection to the shard, establishing (and spawning
+    /// the reader for) one if the cached connection is missing, dead, or
+    /// points at a stale address.
+    fn connection(&self, assignment: &Assignment, deadline: Instant) -> ShardResult<Arc<ShardConn>> {
+        let mut conns = self.conns.lock().unwrap();
+        if let Some(conn) = conns.get(&assignment.shard) {
+            if conn.alive.load(Ordering::Relaxed) && conn.addr == assignment.addr {
+                return Ok(Arc::clone(conn));
+            }
+        }
+        let budget = wire::remaining(deadline, "connect")?;
+        let addr: std::net::SocketAddr = assignment
+            .addr
+            .parse()
+            .map_err(|e| ShardError::Protocol(format!("bad shard addr `{}`: {e}", assignment.addr)))?;
+        let stream = TcpStream::connect_timeout(&addr, budget.max(Duration::from_millis(1)))
+            .map_err(|e| ShardError::ConnectionLost(format!("connect {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        self.stats.connects.fetch_add(1, Ordering::Relaxed);
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| ShardError::ConnectionLost(format!("clone stream: {e}")))?;
+        let conn = Arc::new(ShardConn {
+            addr: assignment.addr.clone(),
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            outstanding: AtomicUsize::new(0),
+            alive: AtomicBool::new(true),
+        });
+        conns.insert(assignment.shard.clone(), Arc::clone(&conn));
+        drop(conns);
+
+        let reader_conn = Arc::clone(&conn);
+        std::thread::spawn(move || {
+            let mut reader = FrameReader::new(read_half);
+            loop {
+                // Long per-read lease; timeouts just re-arm (an idle
+                // connection is fine), anything else ends the connection.
+                match reader.read_frame(Instant::now() + Duration::from_secs(30)) {
+                    Ok(frame) => {
+                        let Some(id) = frame.get("id").and_then(Json::as_u64) else { continue };
+                        let sender = reader_conn.pending.lock().unwrap().remove(&id);
+                        if let Some(sender) = sender {
+                            let _ = sender.send(Ok(frame));
+                        }
+                    }
+                    Err(ShardError::Timeout(_)) => {
+                        if !reader_conn.alive.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                    Err(err) => {
+                        reader_conn.fail_all_pending(&err.to_string());
+                        return;
+                    }
+                }
+            }
+        });
+        Ok(conn)
+    }
+
+    /// Forgets a dead connection so the next attempt re-establishes it.
+    fn drop_connection(&self, shard: &str, dead: &Arc<ShardConn>) {
+        let mut conns = self.conns.lock().unwrap();
+        if let Some(current) = conns.get(shard) {
+            if Arc::ptr_eq(current, dead) {
+                conns.remove(shard);
+            }
+        }
+    }
+}
+
+impl Drop for ShardClient {
+    fn drop(&mut self) {
+        // Close every socket so reader threads observe EOF and exit.
+        let conns: Vec<Arc<ShardConn>> = self.conns.lock().unwrap().values().cloned().collect();
+        for conn in conns {
+            conn.alive.store(false, Ordering::Relaxed);
+            let writer = conn.writer.lock().unwrap();
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// One-shot registry exchange: connect, send `frame`, read one response —
+/// all under `deadline`. Used by the client's routing poll and by shard
+/// servers' register/renew heartbeats.
+pub fn registry_call(addr: &str, frame: &Json, deadline: Instant) -> ShardResult<Json> {
+    let budget = wire::remaining(deadline, "registry connect")?;
+    let socket_addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| ShardError::Registry(format!("bad registry addr `{addr}`: {e}")))?;
+    let mut stream = TcpStream::connect_timeout(&socket_addr, budget.max(Duration::from_millis(1)))
+        .map_err(|e| ShardError::Registry(format!("connect {addr}: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| ShardError::Registry(format!("clone stream: {e}")))?;
+    wire::write_frame(&mut stream, frame, deadline)?;
+    let mut reader = FrameReader::new(read_half);
+    let response = reader.read_frame(deadline)?;
+    if response.get("ok").and_then(Json::as_bool) == Some(false) {
+        let why = response.get("error").and_then(Json::as_str).unwrap_or("unspecified");
+        return Err(ShardError::Registry(why.to_string()));
+    }
+    Ok(response)
+}
+
+/// A persistent registry connection for shard servers' heartbeat loops:
+/// reuses one TCP connection across renews and transparently reconnects
+/// after a failure.
+pub struct RegistryConn {
+    addr: String,
+    conn: Option<(TcpStream, FrameReader)>,
+}
+
+impl RegistryConn {
+    /// Creates a lazy connection to the registry at `addr`; no I/O until
+    /// the first call.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into(), conn: None }
+    }
+
+    /// Sends `frame` and reads the response under `deadline`, dialing (or
+    /// re-dialing) the registry as needed. Any failure drops the cached
+    /// connection so the next call starts clean.
+    pub fn call(&mut self, frame: &Json, deadline: Instant) -> ShardResult<Json> {
+        if self.conn.is_none() {
+            let budget = wire::remaining(deadline, "registry connect")?;
+            let socket_addr: std::net::SocketAddr = self
+                .addr
+                .parse()
+                .map_err(|e| ShardError::Registry(format!("bad registry addr `{}`: {e}", self.addr)))?;
+            let stream =
+                TcpStream::connect_timeout(&socket_addr, budget.max(Duration::from_millis(1)))
+                    .map_err(|e| ShardError::Registry(format!("connect {}: {e}", self.addr)))?;
+            let _ = stream.set_nodelay(true);
+            let read_half = stream
+                .try_clone()
+                .map_err(|e| ShardError::Registry(format!("clone stream: {e}")))?;
+            self.conn = Some((stream, FrameReader::new(read_half)));
+        }
+        let (stream, reader) = self.conn.as_mut().expect("connection just established");
+        let result = wire::write_frame(stream, frame, deadline).and_then(|()| reader.read_frame(deadline));
+        match result {
+            Ok(response) => {
+                if response.get("ok").and_then(Json::as_bool) == Some(false) {
+                    let why =
+                        response.get("error").and_then(Json::as_str).unwrap_or("unspecified");
+                    return Err(ShardError::Registry(why.to_string()));
+                }
+                Ok(response)
+            }
+            Err(err) => {
+                self.conn = None;
+                Err(err)
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The pure heartbeat-lease state machine behind the shard registry.
+//!
+//! Like `serve::degrade::LadderState`, this module is deliberately free of
+//! wall clocks, sockets and threads: every operation takes the caller's
+//! notion of "now" in milliseconds, so the whole lifecycle — register,
+//! renew, miss a lease, get evicted, re-register — is a deterministic
+//! function of the operation sequence and property-testable
+//! (`tests/proptest_shard.rs` drives random traces against the invariants
+//! below).
+//!
+//! # Invariants
+//!
+//! 1. **Leases expire.** A shard that has not renewed within
+//!    [`LeaseTable::ttl_ms`] of its last register/renew is evicted by the
+//!    next operation; no lease survives past its TTL without a renewal.
+//! 2. **Epochs never decrease.** Every membership change — a registration
+//!    (first or repeated) or an eviction — bumps the epoch; renewals do
+//!    not. Clients compare epochs to detect stale routing tables.
+//! 3. **Re-registration is a fresh epoch.** An evicted shard that comes
+//!    back always observes an epoch strictly greater than the one it held,
+//!    so its old clients cannot confuse the two incarnations.
+//! 4. **Assignments are deterministic.** Stream keys are assigned to live
+//!    shards by sorted order (`key index mod eligible shard count`), so
+//!    every replica of the table computes the identical routing table and
+//!    a membership change moves the minimum necessary keys.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where one stream key is currently served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Identifier of the shard serving the key.
+    pub shard: String,
+    /// The shard's data-plane address (`host:port`).
+    pub addr: String,
+}
+
+/// One live lease.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ShardLease {
+    addr: String,
+    keys: Vec<String>,
+    expires_at_ms: u64,
+}
+
+/// Lease-table operation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseError {
+    /// The shard holds no live lease (never registered, or evicted after a
+    /// missed renewal) — it must re-register.
+    UnknownShard(String),
+}
+
+impl fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownShard(shard) => {
+                write!(f, "shard `{shard}` holds no live lease (re-register required)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LeaseError {}
+
+/// The registry's heartbeat-lease and key-assignment state.
+#[derive(Debug, Clone)]
+pub struct LeaseTable {
+    ttl_ms: u64,
+    epoch: u64,
+    shards: BTreeMap<String, ShardLease>,
+    assignments: BTreeMap<String, Assignment>,
+    evictions: u64,
+}
+
+impl LeaseTable {
+    /// Creates an empty table whose leases live `ttl_ms` past their last
+    /// register/renew. A zero TTL would evict every shard on the very next
+    /// operation, so it is rejected.
+    pub fn new(ttl_ms: u64) -> Result<Self, String> {
+        if ttl_ms == 0 {
+            return Err("lease TTL must be non-zero".into());
+        }
+        Ok(Self {
+            ttl_ms,
+            epoch: 0,
+            shards: BTreeMap::new(),
+            assignments: BTreeMap::new(),
+            evictions: 0,
+        })
+    }
+
+    /// The lease time-to-live in milliseconds.
+    pub fn ttl_ms(&self) -> u64 {
+        self.ttl_ms
+    }
+
+    /// The current epoch. Starts at 0 (empty world) and bumps on every
+    /// membership change.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total evictions since the table was created.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Identifiers of the shards holding live leases, sorted.
+    pub fn live_shards(&self) -> Vec<String> {
+        self.shards.keys().cloned().collect()
+    }
+
+    /// Registers (or re-registers) a shard serving `keys` at `addr`,
+    /// granting a fresh lease until `now_ms + ttl`. Always bumps the epoch
+    /// — a re-registration after an eviction must land in a world the
+    /// shard's previous clients can distinguish. Returns the new epoch.
+    pub fn register(&mut self, shard: &str, addr: &str, keys: &[String], now_ms: u64) -> u64 {
+        self.sweep(now_ms);
+        let mut keys = keys.to_vec();
+        keys.sort();
+        keys.dedup();
+        self.shards.insert(
+            shard.to_string(),
+            ShardLease { addr: addr.to_string(), keys, expires_at_ms: now_ms.saturating_add(self.ttl_ms) },
+        );
+        self.bump();
+        self.epoch
+    }
+
+    /// Renews a live lease until `now_ms + ttl` without changing the epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`LeaseError::UnknownShard`] when the shard holds no live lease —
+    /// including the case where this very call's sweep just evicted it.
+    pub fn renew(&mut self, shard: &str, now_ms: u64) -> Result<u64, LeaseError> {
+        self.sweep(now_ms);
+        match self.shards.get_mut(shard) {
+            Some(lease) => {
+                lease.expires_at_ms = now_ms.saturating_add(self.ttl_ms);
+                Ok(self.epoch)
+            }
+            None => Err(LeaseError::UnknownShard(shard.to_string())),
+        }
+    }
+
+    /// Evicts every shard whose lease has expired at `now_ms`, returning
+    /// the evicted identifiers. Bumps the epoch once if anything was
+    /// evicted. Called internally by every other operation, so the table
+    /// never *serves* state derived from an expired lease.
+    pub fn sweep(&mut self, now_ms: u64) -> Vec<String> {
+        let expired: Vec<String> = self
+            .shards
+            .iter()
+            .filter(|(_, lease)| lease.expires_at_ms <= now_ms)
+            .map(|(id, _)| id.clone())
+            .collect();
+        if !expired.is_empty() {
+            for id in &expired {
+                self.shards.remove(id);
+            }
+            self.evictions += expired.len() as u64;
+            self.bump();
+        }
+        expired
+    }
+
+    /// The epoch-versioned routing table: every key some live shard
+    /// declared, mapped to its assigned shard. Sweep first (with the
+    /// caller's `now_ms`) to avoid serving assignments of expired leases.
+    pub fn routing(&mut self, now_ms: u64) -> (u64, &BTreeMap<String, Assignment>) {
+        self.sweep(now_ms);
+        (self.epoch, &self.assignments)
+    }
+
+    /// The keys currently assigned to `shard` (empty when it holds no
+    /// lease).
+    pub fn assigned_keys(&mut self, shard: &str, now_ms: u64) -> Vec<String> {
+        self.sweep(now_ms);
+        self.assignments
+            .iter()
+            .filter(|(_, a)| a.shard == shard)
+            .map(|(key, _)| key.clone())
+            .collect()
+    }
+
+    /// Bumps the epoch and recomputes the assignment map from the live
+    /// shard set. Assignment is deterministic: the union of declared keys,
+    /// sorted, each assigned to `eligible[key_index % eligible.len()]`
+    /// where `eligible` is the sorted list of live shards declaring that
+    /// key.
+    fn bump(&mut self) {
+        self.epoch += 1;
+        self.assignments.clear();
+        let mut keys: Vec<&String> = self.shards.values().flat_map(|l| l.keys.iter()).collect();
+        keys.sort();
+        keys.dedup();
+        let keys: Vec<String> = keys.into_iter().cloned().collect();
+        for (index, key) in keys.iter().enumerate() {
+            // BTreeMap iteration is sorted, so `eligible` is sorted by id.
+            let eligible: Vec<(&String, &ShardLease)> =
+                self.shards.iter().filter(|(_, l)| l.keys.contains(key)).collect();
+            if eligible.is_empty() {
+                continue;
+            }
+            let (shard, lease) = eligible[index % eligible.len()];
+            self.assignments
+                .insert(key.clone(), Assignment { shard: shard.clone(), addr: lease.addr.clone() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(labels: &[&str]) -> Vec<String> {
+        labels.iter().map(|l| l.to_string()).collect()
+    }
+
+    #[test]
+    fn register_renew_and_expire_lifecycle() {
+        let mut table = LeaseTable::new(100).unwrap();
+        assert_eq!(table.epoch(), 0);
+        let e1 = table.register("shard-0", "127.0.0.1:1000", &keys(&["0", "1"]), 0);
+        assert_eq!(e1, 1);
+        assert_eq!(table.live_shards(), vec!["shard-0"]);
+
+        // Renewal extends the lease without an epoch bump.
+        assert_eq!(table.renew("shard-0", 80), Ok(1));
+        let (epoch, routing) = table.routing(150);
+        assert_eq!(epoch, 1);
+        assert_eq!(routing.len(), 2);
+
+        // A missed renewal evicts at TTL and bumps the epoch.
+        let (epoch, routing) = table.routing(181);
+        assert_eq!(epoch, 2);
+        assert!(routing.is_empty());
+        assert_eq!(table.evictions(), 1);
+        assert_eq!(
+            table.renew("shard-0", 181),
+            Err(LeaseError::UnknownShard("shard-0".into()))
+        );
+
+        // Re-registration lands in a fresh epoch.
+        let e2 = table.register("shard-0", "127.0.0.1:1000", &keys(&["0", "1"]), 200);
+        assert!(e2 > 2);
+    }
+
+    #[test]
+    fn assignment_spreads_keys_and_fails_over() {
+        let mut table = LeaseTable::new(100).unwrap();
+        let all = keys(&["0", "1"]);
+        table.register("shard-0", "127.0.0.1:1000", &all, 0);
+        table.register("shard-1", "127.0.0.1:1001", &all, 0);
+        let (_, routing) = table.routing(50);
+        // Sorted keys over sorted shards: "0" → shard-0, "1" → shard-1.
+        assert_eq!(routing["0"].shard, "shard-0");
+        assert_eq!(routing["1"].shard, "shard-1");
+
+        // shard-1 misses its lease: both keys land on the survivor, the
+        // epoch bumps, and the survivor's address is served.
+        table.renew("shard-0", 90).unwrap();
+        let epoch_before = table.epoch();
+        let (epoch, routing) = table.routing(101);
+        assert!(epoch > epoch_before);
+        assert_eq!(routing["0"].shard, "shard-0");
+        assert_eq!(routing["1"].shard, "shard-0");
+        assert_eq!(routing["1"].addr, "127.0.0.1:1000");
+    }
+
+    #[test]
+    fn keys_only_go_to_shards_that_declared_them() {
+        let mut table = LeaseTable::new(100).unwrap();
+        table.register("a", "h:1", &keys(&["x"]), 0);
+        table.register("b", "h:2", &keys(&["y"]), 0);
+        let (_, routing) = table.routing(1);
+        assert_eq!(routing["x"].shard, "a");
+        assert_eq!(routing["y"].shard, "b");
+    }
+
+    #[test]
+    fn zero_ttl_is_rejected() {
+        assert!(LeaseTable::new(0).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Fault-tolerant multi-process sharding for the Tiny-VBF serving stack.
+//!
+//! Everything before this crate lives in one process: the `serve` router
+//! multiplexes every stream behind a single queue, and a hung or killed
+//! peer stalls its counterpart forever. This crate is the substrate that
+//! lets several router processes serve one traffic mix and *survive losing
+//! one of them*:
+//!
+//! * [`lease`] — the pure heartbeat-lease state machine ([`lease::LeaseTable`]):
+//!   shard servers hold time-to-live leases they must renew; a missed lease
+//!   evicts the shard and reassigns its stream keys to the survivors, under
+//!   a **monotonically increasing epoch** so stale clients can detect that
+//!   the world changed. Wall-clock-free (driven by caller-supplied
+//!   timestamps) and property-tested like `serve::degrade::LadderState`.
+//! * [`registry`] — the TCP registry service around the lease table (the
+//!   `shard_registry` binary): shards `register`/`renew`, clients fetch the
+//!   epoch-versioned `routing` table, a sweeper evicts missed leases.
+//! * [`wire`] — bounded line-frame I/O with deadlines: every read is
+//!   size-capped and time-capped, so truncated JSON, oversized frames and
+//!   silent peers all surface as typed [`ShardError`]s instead of hangs.
+//! * [`client`] — [`client::ShardClient`]: registry discovery with a cached
+//!   routing table, per-request deadlines propagated onto socket timeouts,
+//!   **retry with exponential backoff + jitter** (via [`runtime::backoff`])
+//!   on connect failures, timeouts and epoch mismatches, failover to the
+//!   reassigned shard, and a bounded outstanding-request window per shard
+//!   for cross-process backpressure.
+//!
+//! The crate deliberately knows nothing about beamforming: stream keys are
+//! opaque strings and request payloads opaque JSON fields. `crates/bench`
+//! supplies the beamforming shard server (`shard_agent`) and points the
+//! scenario harness at this substrate, including a shard-kill failover
+//! scenario that SIGKILLs one shard mid-window and gates recovery in CI.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod lease;
+pub mod registry;
+pub mod wire;
+
+pub use client::{CallOutcome, ClientStats, ShardClient, ShardClientConfig};
+pub use lease::{Assignment, LeaseError, LeaseTable};
+pub use registry::{Registry, RegistryHandle};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the sharding substrate. Every cross-process failure
+/// mode maps onto exactly one variant — the malice tests in
+/// `tests/wire_malice.rs` assert that garbage, truncation, oversized frames
+/// and silent peers each produce their typed error within the deadline,
+/// never a panic or a hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The operation's deadline (or retry budget) was exhausted.
+    Timeout(String),
+    /// The peer closed or reset the connection mid-operation.
+    ConnectionLost(String),
+    /// A peer sent a line longer than the protocol's frame cap.
+    FrameTooLarge {
+        /// The enforced cap, in bytes.
+        limit: usize,
+    },
+    /// A peer sent bytes that do not parse as a protocol frame (garbage,
+    /// truncated JSON, missing fields).
+    Protocol(String),
+    /// The per-shard outstanding-request window is full — cross-process
+    /// backpressure, the sharded analogue of `serve`'s `QueueFull` shed.
+    Shed {
+        /// Shard whose window is full.
+        shard: String,
+    },
+    /// The registry rejected or could not serve the operation.
+    Registry(String),
+    /// No live shard is assigned to the requested stream key.
+    NotAssigned(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout(what) => write!(f, "timed out: {what}"),
+            Self::ConnectionLost(what) => write!(f, "connection lost: {what}"),
+            Self::FrameTooLarge { limit } => {
+                write!(f, "frame exceeds the {limit}-byte protocol cap")
+            }
+            Self::Protocol(what) => write!(f, "protocol violation: {what}"),
+            Self::Shed { shard } => {
+                write!(f, "shard `{shard}`'s outstanding-request window is full")
+            }
+            Self::Registry(what) => write!(f, "registry error: {what}"),
+            Self::NotAssigned(key) => write!(f, "no live shard is assigned key `{key}`"),
+        }
+    }
+}
+
+impl Error for ShardError {}
+
+/// Convenience alias for results with [`ShardError`].
+pub type ShardResult<T> = Result<T, ShardError>;

@@ -1,0 +1,309 @@
+//! The TCP registry service around [`LeaseTable`].
+//!
+//! The registry is the sharded topology's single source of truth: shard
+//! servers `register` their stream keys and then `renew` their lease on a
+//! heartbeat cadence; clients fetch the epoch-versioned `routing` table. A
+//! background sweeper evicts shards whose lease expired, so a SIGKILLed
+//! shard drops out of the routing table within one TTL even if no other
+//! operation arrives.
+//!
+//! One compact JSON frame per line, request/response, several requests per
+//! connection (shards hold a connection open for their heartbeat):
+//!
+//! ```text
+//! → {"op":"register","shard":"s0","addr":"127.0.0.1:4001","keys":["k0","k1"]}
+//! ← {"ok":true,"epoch":3,"ttl_ms":250,"assigned":["k0"]}
+//! → {"op":"renew","shard":"s0"}
+//! ← {"ok":true,"epoch":3,"assigned":["k0"]}          (or {"ok":false,"error":"unknown_shard"})
+//! → {"op":"routing"}
+//! ← {"ok":true,"epoch":3,"ttl_ms":250,"assignments":{"k0":{"shard":"s0","addr":"127.0.0.1:4001"},...}}
+//! ```
+//!
+//! Malformed frames get a typed `{"ok":false,"error":...}` response and the
+//! connection is closed; a silent connection is dropped after an idle
+//! timeout. The registry never panics on peer input (`tests/wire_malice.rs`).
+
+use crate::lease::LeaseTable;
+use crate::wire::{self, FrameReader};
+use crate::{ShardError, ShardResult};
+use runtime::json::Json;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a registry connection may sit silent before it is dropped.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Budget for writing one response frame back to a peer.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Operation counters, surfaced in the registry's stats line.
+#[derive(Debug, Default)]
+struct OpCounters {
+    register: AtomicU64,
+    renew: AtomicU64,
+    routing: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A bound-but-not-yet-serving registry. Bind first so the caller learns
+/// the port before any shard races to register.
+pub struct Registry {
+    listener: TcpListener,
+    table: Arc<Mutex<LeaseTable>>,
+    started: Instant,
+    counters: Arc<OpCounters>,
+}
+
+impl Registry {
+    /// Binds on `addr` (use port 0 for an ephemeral port) with the given
+    /// lease TTL.
+    pub fn bind(addr: &str, lease_ttl_ms: u64) -> Result<Self, String> {
+        let table = LeaseTable::new(lease_ttl_ms)?;
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        Ok(Self {
+            listener,
+            table: Arc::new(Mutex::new(table)),
+            started: Instant::now(),
+            counters: Arc::new(OpCounters::default()),
+        })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.listener.local_addr().map(|a| a.port()).unwrap_or(0)
+    }
+
+    /// Starts the accept loop and the lease sweeper; returns the handle
+    /// used to stop the registry and collect its stats.
+    pub fn spawn(self) -> RegistryHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let port = self.port();
+        let ttl_ms = self.table.lock().unwrap().ttl_ms();
+
+        let sweeper = {
+            let table = Arc::clone(&self.table);
+            let stop = Arc::clone(&stop);
+            let started = self.started;
+            // Sweep well inside the TTL so an eviction lands at TTL + one
+            // sweep interval at the latest.
+            let interval = Duration::from_millis((ttl_ms / 4).max(5));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    let now_ms = started.elapsed().as_millis() as u64;
+                    table.lock().unwrap().sweep(now_ms);
+                }
+            })
+        };
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let table = Arc::clone(&self.table);
+            let counters = Arc::clone(&self.counters);
+            let started = self.started;
+            let listener = self.listener;
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let table = Arc::clone(&table);
+                    let counters = Arc::clone(&counters);
+                    std::thread::spawn(move || {
+                        serve_connection(stream, table, counters, started);
+                    });
+                }
+            })
+        };
+
+        RegistryHandle {
+            port,
+            stop,
+            table: self.table,
+            counters: self.counters,
+            threads: vec![sweeper, acceptor],
+        }
+    }
+}
+
+/// Handle to a running registry.
+pub struct RegistryHandle {
+    port: u16,
+    stop: Arc<AtomicBool>,
+    table: Arc<Mutex<LeaseTable>>,
+    counters: Arc<OpCounters>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RegistryHandle {
+    /// The registry's bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Registry stats as a JSON object: current epoch, live shards, total
+    /// evictions and per-op counters.
+    pub fn stats(&self) -> Json {
+        let (epoch, live, evictions) = {
+            let table = self.table.lock().unwrap();
+            (table.epoch(), table.live_shards(), table.evictions())
+        };
+        Json::obj([
+            ("epoch", Json::num(epoch as f64)),
+            ("live_shards", Json::arr(live.into_iter().map(Json::str))),
+            ("evictions", Json::num(evictions as f64)),
+            ("register_ops", Json::num(self.counters.register.load(Ordering::Relaxed) as f64)),
+            ("renew_ops", Json::num(self.counters.renew.load(Ordering::Relaxed) as f64)),
+            ("routing_ops", Json::num(self.counters.routing.load(Ordering::Relaxed) as f64)),
+            ("rejected_frames", Json::num(self.counters.rejected.load(Ordering::Relaxed) as f64)),
+        ])
+    }
+
+    /// Stops the accept loop and sweeper and joins them. Connection
+    /// handler threads exit on their own via the idle timeout.
+    pub fn shutdown(mut self) -> Json {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+/// Serves one registry connection until EOF, idle timeout, or a rejected
+/// frame.
+fn serve_connection(
+    stream: TcpStream,
+    table: Arc<Mutex<LeaseTable>>,
+    counters: Arc<OpCounters>,
+    started: Instant,
+) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut writer = stream;
+    let mut reader = FrameReader::new(read_half);
+    loop {
+        let frame = match reader.read_frame(Instant::now() + IDLE_TIMEOUT) {
+            Ok(frame) => frame,
+            Err(ShardError::Timeout(_)) | Err(ShardError::ConnectionLost(_)) => return,
+            Err(err) => {
+                // Garbage, truncated JSON or an oversized frame: answer
+                // typed, then drop the connection — the byte stream can no
+                // longer be trusted to be frame-aligned.
+                counters.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = wire::write_frame(
+                    &mut writer,
+                    &error_frame(&err.to_string()),
+                    Instant::now() + WRITE_TIMEOUT,
+                );
+                return;
+            }
+        };
+        let now_ms = started.elapsed().as_millis() as u64;
+        let response = match handle_frame(&frame, &table, &counters, now_ms) {
+            Ok(response) => response,
+            Err(err) => {
+                counters.rejected.fetch_add(1, Ordering::Relaxed);
+                error_frame(&err.to_string())
+            }
+        };
+        if wire::write_frame(&mut writer, &response, Instant::now() + WRITE_TIMEOUT).is_err() {
+            return;
+        }
+    }
+}
+
+/// Dispatches one well-formed frame against the lease table.
+fn handle_frame(
+    frame: &Json,
+    table: &Mutex<LeaseTable>,
+    counters: &OpCounters,
+    now_ms: u64,
+) -> ShardResult<Json> {
+    match wire::field_str(frame, "op")? {
+        "register" => {
+            let shard = wire::field_str(frame, "shard")?;
+            let addr = wire::field_str(frame, "addr")?;
+            let keys: Vec<String> = frame
+                .get("keys")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| ShardError::Protocol("register frame needs a `keys` array".into()))?
+                .iter()
+                .map(|k| {
+                    k.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| ShardError::Protocol("stream keys must be strings".into()))
+                })
+                .collect::<ShardResult<_>>()?;
+            if shard.is_empty() || addr.is_empty() || keys.is_empty() {
+                return Err(ShardError::Protocol(
+                    "register frame needs non-empty shard, addr and keys".into(),
+                ));
+            }
+            counters.register.fetch_add(1, Ordering::Relaxed);
+            let mut table = table.lock().unwrap();
+            let ttl_ms = table.ttl_ms();
+            let epoch = table.register(shard, addr, &keys, now_ms);
+            let assigned = table.assigned_keys(shard, now_ms);
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("epoch", Json::num(epoch as f64)),
+                ("ttl_ms", Json::num(ttl_ms as f64)),
+                ("assigned", Json::arr(assigned.into_iter().map(Json::str))),
+            ]))
+        }
+        "renew" => {
+            let shard = wire::field_str(frame, "shard")?;
+            counters.renew.fetch_add(1, Ordering::Relaxed);
+            let mut table = table.lock().unwrap();
+            match table.renew(shard, now_ms) {
+                Ok(epoch) => {
+                    let assigned = table.assigned_keys(shard, now_ms);
+                    Ok(Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("epoch", Json::num(epoch as f64)),
+                        ("assigned", Json::arr(assigned.into_iter().map(Json::str))),
+                    ]))
+                }
+                Err(_) => Ok(Json::obj([
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::str("unknown_shard")),
+                ])),
+            }
+        }
+        "routing" => {
+            counters.routing.fetch_add(1, Ordering::Relaxed);
+            let mut table = table.lock().unwrap();
+            let ttl_ms = table.ttl_ms();
+            let (epoch, assignments) = table.routing(now_ms);
+            let entries: Vec<(String, Json)> = assignments
+                .iter()
+                .map(|(key, a)| {
+                    (
+                        key.clone(),
+                        Json::obj([
+                            ("shard", Json::str(a.shard.clone())),
+                            ("addr", Json::str(a.addr.clone())),
+                        ]),
+                    )
+                })
+                .collect();
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("epoch", Json::num(epoch as f64)),
+                ("ttl_ms", Json::num(ttl_ms as f64)),
+                ("assignments", Json::obj(entries)),
+            ]))
+        }
+        other => Err(ShardError::Protocol(format!("unknown op `{other}`"))),
+    }
+}
+
+fn error_frame(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+}

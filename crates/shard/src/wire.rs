@@ -1,0 +1,219 @@
+//! Bounded, deadline-aware line-frame I/O.
+//!
+//! The sharding protocol reuses the workspace's wire idiom — one compact
+//! JSON object per `\n`-terminated line — but hardens it for crossing
+//! process boundaries where the peer may be slow, dead, or hostile:
+//!
+//! * **Size-bounded.** A frame longer than [`MAX_FRAME_BYTES`] is rejected
+//!   as [`ShardError::FrameTooLarge`] without buffering the whole thing, so
+//!   a peer cannot balloon our memory by never sending a newline.
+//! * **Time-bounded.** Every read and write happens under a caller-supplied
+//!   deadline propagated onto the socket's read/write timeouts; a silent
+//!   peer surfaces as [`ShardError::Timeout`], never a hang.
+//! * **Typed failures.** Garbage and truncated JSON parse into
+//!   [`ShardError::Protocol`]; resets and EOF into
+//!   [`ShardError::ConnectionLost`]. The table-driven malice tests in
+//!   `tests/wire_malice.rs` pin each byte-level misbehaviour to its
+//!   variant.
+
+use crate::{ShardError, ShardResult};
+use runtime::json::Json;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Maximum accepted frame length (the newline excluded). Generous for this
+/// protocol — routing tables and request envelopes are a few KiB — while
+/// still bounding what a misbehaving peer can make us buffer.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Clamps a remaining-time budget into something `set_read_timeout` /
+/// `set_write_timeout` accept: `Some(Duration::ZERO)` is an error in std,
+/// so an expired-but-not-checked budget becomes the 1ms minimum.
+fn socket_timeout(remaining: Duration) -> Duration {
+    remaining.max(Duration::from_millis(1))
+}
+
+/// Time left until `deadline`, or a [`ShardError::Timeout`] once it passed.
+pub fn remaining(deadline: Instant, what: &str) -> ShardResult<Duration> {
+    let now = Instant::now();
+    if now >= deadline {
+        return Err(ShardError::Timeout(what.to_string()));
+    }
+    Ok(deadline - now)
+}
+
+/// Writes one frame (`compact JSON + '\n'`) under `deadline`.
+pub fn write_frame(stream: &mut TcpStream, frame: &Json, deadline: Instant) -> ShardResult<()> {
+    let budget = remaining(deadline, "writing frame")?;
+    stream
+        .set_write_timeout(Some(socket_timeout(budget)))
+        .map_err(|e| ShardError::ConnectionLost(format!("set_write_timeout: {e}")))?;
+    let mut line = frame.to_string_compact();
+    line.push('\n');
+    match stream.write_all(line.as_bytes()).and_then(|()| stream.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if is_timeout(&e) => Err(ShardError::Timeout("writing frame".into())),
+        Err(e) => Err(ShardError::ConnectionLost(format!("write: {e}"))),
+    }
+}
+
+/// A frame reader over a [`TcpStream`] that enforces the size cap and a
+/// per-read deadline. Partial bytes received before a timeout stay
+/// buffered, so a caller with a fresh deadline may resume the same frame.
+pub struct FrameReader {
+    reader: BufReader<TcpStream>,
+    partial: Vec<u8>,
+}
+
+impl FrameReader {
+    /// Wraps `stream`. The reader owns a clone-free buffered handle; use
+    /// [`TcpStream::try_clone`] first if the caller also writes.
+    pub fn new(stream: TcpStream) -> Self {
+        Self { reader: BufReader::new(stream), partial: Vec::new() }
+    }
+
+    /// Reads one `\n`-terminated frame and parses it as JSON, failing
+    /// typed: [`ShardError::Timeout`] at `deadline`,
+    /// [`ShardError::FrameTooLarge`] past [`MAX_FRAME_BYTES`],
+    /// [`ShardError::Protocol`] on unparseable bytes and
+    /// [`ShardError::ConnectionLost`] on EOF/reset.
+    pub fn read_frame(&mut self, deadline: Instant) -> ShardResult<Json> {
+        loop {
+            let budget = remaining(deadline, "reading frame")?;
+            self.reader
+                .get_ref()
+                .set_read_timeout(Some(socket_timeout(budget)))
+                .map_err(|e| ShardError::ConnectionLost(format!("set_read_timeout: {e}")))?;
+            let consumed = match self.reader.fill_buf() {
+                Ok([]) => return Err(ShardError::ConnectionLost("peer closed the stream".into())),
+                Ok(bytes) => match bytes.iter().position(|&b| b == b'\n') {
+                    Some(newline) => {
+                        self.partial.extend_from_slice(&bytes[..newline]);
+                        let consumed = newline + 1;
+                        self.reader.consume(consumed);
+                        if self.partial.len() > MAX_FRAME_BYTES {
+                            self.partial.clear();
+                            return Err(ShardError::FrameTooLarge { limit: MAX_FRAME_BYTES });
+                        }
+                        let line = std::mem::take(&mut self.partial);
+                        return parse_frame(&line);
+                    }
+                    None => {
+                        self.partial.extend_from_slice(bytes);
+                        let consumed = bytes.len();
+                        if self.partial.len() > MAX_FRAME_BYTES {
+                            self.reader.consume(consumed);
+                            self.partial.clear();
+                            return Err(ShardError::FrameTooLarge { limit: MAX_FRAME_BYTES });
+                        }
+                        consumed
+                    }
+                },
+                Err(e) if is_timeout(&e) => continue,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ShardError::ConnectionLost(format!("read: {e}"))),
+            };
+            self.reader.consume(consumed);
+        }
+    }
+}
+
+/// Parses a received line into JSON, typed as [`ShardError::Protocol`] on
+/// any byte-level or syntax-level violation.
+fn parse_frame(line: &[u8]) -> ShardResult<Json> {
+    let text = std::str::from_utf8(line)
+        .map_err(|_| ShardError::Protocol("frame is not valid UTF-8".into()))?;
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err(ShardError::Protocol("empty frame".into()));
+    }
+    let frame =
+        Json::parse(trimmed).map_err(|e| ShardError::Protocol(format!("bad JSON frame: {e}")))?;
+    if frame.as_obj().is_none() {
+        return Err(ShardError::Protocol("frame is not a JSON object".into()));
+    }
+    Ok(frame)
+}
+
+/// A required string field of a frame, typed as [`ShardError::Protocol`]
+/// when missing or of the wrong type.
+pub fn field_str<'a>(frame: &'a Json, key: &str) -> ShardResult<&'a str> {
+    frame
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ShardError::Protocol(format!("frame is missing string field `{key}`")))
+}
+
+/// A required unsigned-integer field of a frame, typed as
+/// [`ShardError::Protocol`] when missing or of the wrong type.
+pub fn field_u64(frame: &Json, key: &str) -> ShardResult<u64> {
+    frame
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ShardError::Protocol(format!("frame is missing integer field `{key}`")))
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pipe() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn round_trips_a_frame() {
+        let (mut client, server) = pipe();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let frame = Json::obj([("op", Json::str("ping")), ("n", Json::num(3.0))]);
+        write_frame(&mut client, &frame, deadline).unwrap();
+        let mut reader = FrameReader::new(server);
+        let got = reader.read_frame(deadline).unwrap();
+        assert_eq!(field_str(&got, "op").unwrap(), "ping");
+        assert_eq!(field_u64(&got, "n").unwrap(), 3);
+    }
+
+    #[test]
+    fn split_writes_reassemble() {
+        let (mut client, server) = pipe();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        client.write_all(b"{\"op\":\"pi").unwrap();
+        client.flush().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut reader = FrameReader::new(server);
+            reader.read_frame(deadline)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        client.write_all(b"ng\"}\n").unwrap();
+        client.flush().unwrap();
+        let got = handle.join().unwrap().unwrap();
+        assert_eq!(field_str(&got, "op").unwrap(), "ping");
+    }
+
+    #[test]
+    fn silent_peer_times_out() {
+        let (_client, server) = pipe();
+        let mut reader = FrameReader::new(server);
+        let started = Instant::now();
+        let err = reader.read_frame(started + Duration::from_millis(120)).unwrap_err();
+        assert!(matches!(err, ShardError::Timeout(_)), "got {err:?}");
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn missing_fields_are_protocol_errors() {
+        let frame = Json::obj([("op", Json::str("ping"))]);
+        assert!(matches!(field_u64(&frame, "epoch"), Err(ShardError::Protocol(_))));
+        assert!(matches!(field_str(&frame, "shard"), Err(ShardError::Protocol(_))));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the heartbeat-lease state machine.
+//!
+//! `LeaseTable` is wall-clock-free (every operation takes the caller's
+//! `now_ms`), so these tests can drive arbitrary interleavings of
+//! register / renew / sweep across arbitrary time gaps and check the
+//! invariants the sharded topology leans on:
+//!
+//! 1. a lease never survives past its TTL without a renewal,
+//! 2. the epoch never decreases,
+//! 3. an evicted shard's re-registration always lands in an epoch strictly
+//!    newer than any it had observed,
+//! 4. every routed key points at a live shard that declared it.
+
+use proptest::prelude::*;
+use shard::LeaseTable;
+use std::collections::BTreeMap;
+
+/// One step of a random trace: which op, against which shard, after how
+/// much time passed.
+fn apply_trace(ttl_ms: u64, ops: &[(u8, u8, u64)]) -> Result<(), String> {
+    let mut table = LeaseTable::new(ttl_ms).unwrap();
+    let mut now_ms = 0u64;
+    // Shadow model: when each shard's lease expires, what epoch it last
+    // observed, and whether it was evicted since then.
+    let mut expiry: BTreeMap<String, u64> = BTreeMap::new();
+    let mut observed_epoch: BTreeMap<String, u64> = BTreeMap::new();
+    let mut last_epoch = table.epoch();
+    let keys: Vec<String> = (0..3).map(|k| format!("k{k}")).collect();
+
+    for &(op, shard_index, dt) in ops {
+        now_ms += dt;
+        let shard = format!("s{}", shard_index % 4);
+        // The shadow model evicts lazily, exactly like the table's sweep.
+        let was_evicted =
+            expiry.get(&shard).map(|&e| e <= now_ms).unwrap_or(false);
+        match op % 3 {
+            0 => {
+                let epoch = table.register(&shard, "127.0.0.1:1", &keys, now_ms);
+                // Invariant 3: a re-registration (evicted or not) always
+                // lands past everything this shard has seen.
+                if let Some(&seen) = observed_epoch.get(&shard) {
+                    prop_assert!(
+                        epoch > seen,
+                        "re-registration epoch {epoch} not past observed {seen} (evicted: {was_evicted})"
+                    );
+                }
+                expiry.insert(shard.clone(), now_ms + ttl_ms);
+                observed_epoch.insert(shard.clone(), epoch);
+            }
+            1 => match table.renew(&shard, now_ms) {
+                Ok(epoch) => {
+                    // Invariant 1 (contrapositive): a renewal only succeeds
+                    // while the shadow lease is still live.
+                    prop_assert!(
+                        expiry.get(&shard).map(|&e| e > now_ms).unwrap_or(false),
+                        "renew succeeded for `{shard}` at {now_ms} but shadow lease expired at {:?}",
+                        expiry.get(&shard)
+                    );
+                    expiry.insert(shard.clone(), now_ms + ttl_ms);
+                    observed_epoch.insert(shard.clone(), epoch);
+                }
+                Err(_) => {
+                    prop_assert!(
+                        expiry.get(&shard).map(|&e| e <= now_ms).unwrap_or(true),
+                        "renew failed for `{shard}` at {now_ms} but shadow lease lives until {:?}",
+                        expiry.get(&shard)
+                    );
+                    expiry.remove(&shard);
+                }
+            },
+            _ => {
+                table.sweep(now_ms);
+            }
+        }
+
+        // Invariant 2: epochs are monotone across every operation.
+        let epoch = table.epoch();
+        prop_assert!(epoch >= last_epoch, "epoch went {last_epoch} -> {epoch}");
+        last_epoch = epoch;
+
+        // Invariant 1: no live lease past its TTL.
+        for live in table.live_shards() {
+            let expires = expiry.get(&live).copied().unwrap_or(0);
+            prop_assert!(
+                expires > now_ms,
+                "shard `{live}` still live at {now_ms}, lease expired at {expires}"
+            );
+        }
+
+        // Invariant 4: routing only points at live shards (which all
+        // declared every key in this trace).
+        let live = table.live_shards();
+        let (_, assignments) = table.routing(now_ms);
+        let routed: Vec<(String, String)> =
+            assignments.iter().map(|(k, a)| (k.clone(), a.shard.clone())).collect();
+        for (key, assigned) in routed {
+            prop_assert!(
+                live.contains(&assigned),
+                "key `{key}` routed to dead shard `{assigned}`"
+            );
+        }
+        if live.is_empty() {
+            let (_, assignments) = table.routing(now_ms);
+            prop_assert!(assignments.is_empty(), "routing non-empty with no live shards");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lease_invariants_hold_across_random_traces(
+        ttl_ms in 1u64..500,
+        ops in proptest::collection::vec((0u8..3, 0u8..4, 0u64..700), 1..80),
+    ) {
+        apply_trace(ttl_ms, &ops)?;
+    }
+
+    #[test]
+    fn long_quiet_gaps_always_evict(
+        ttl_ms in 1u64..200,
+        gap in 200u64..10_000,
+        shard_count in 1u8..4,
+    ) {
+        let mut table = LeaseTable::new(ttl_ms).unwrap();
+        let keys = vec!["k".to_string()];
+        for s in 0..shard_count {
+            table.register(&format!("s{s}"), "127.0.0.1:1", &keys, 0);
+        }
+        // A gap of at least the TTL with no renewals evicts everyone.
+        let evicted = table.sweep(ttl_ms.max(gap));
+        prop_assert_eq!(evicted.len(), shard_count as usize);
+        prop_assert!(table.live_shards().is_empty());
+    }
+}

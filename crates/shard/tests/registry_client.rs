@@ -1,0 +1,347 @@
+//! Integration tests: a live registry, toy shard servers speaking the
+//! data-plane protocol, and a `ShardClient` driving requests through
+//! discovery, retry, backpressure and shard-kill failover.
+
+use runtime::json::Json;
+use shard::client::{registry_call, RegistryConn};
+use shard::wire::{self, FrameReader};
+use shard::{Registry, RegistryHandle, ShardClient, ShardClientConfig, ShardError};
+use std::collections::HashSet;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A minimal shard server: registers its keys, renews on a heartbeat, and
+/// answers every data-plane frame with `status:"ok"` (plus its name) — or
+/// `status:"wrong_epoch"` when the key is not in its last-heartbeat
+/// assignment, mirroring the real `shard_agent`.
+struct ToyShard {
+    port: u16,
+    stop: Arc<AtomicBool>,
+    /// Respond `wrong_epoch` to the first data frame regardless of
+    /// assignment (simulates a shard mid-transition).
+    wrong_epoch_once: Arc<AtomicBool>,
+    /// Accepted data-plane sockets, so `kill` can sever them like a real
+    /// process death would.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl ToyShard {
+    fn spawn(name: &str, registry_port: u16, keys: &[&str], heartbeat_ms: u64) -> ToyShard {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let stop = Arc::new(AtomicBool::new(false));
+        let wrong_epoch_once = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let assigned: Arc<Mutex<HashSet<String>>> = Arc::new(Mutex::new(HashSet::new()));
+        let epoch = Arc::new(Mutex::new(0u64));
+
+        // Register before returning so tests never race the first routing
+        // poll against an unregistered shard.
+        let register = Json::obj([
+            ("op", Json::str("register")),
+            ("shard", Json::str(name)),
+            ("addr", Json::str(format!("127.0.0.1:{port}"))),
+            ("keys", Json::arr(keys.iter().map(|k| Json::str(*k)))),
+        ]);
+        let registry_addr = format!("127.0.0.1:{registry_port}");
+        let response =
+            registry_call(&registry_addr, &register, Instant::now() + Duration::from_secs(2))
+                .unwrap();
+        *epoch.lock().unwrap() = response.get("epoch").and_then(Json::as_u64).unwrap();
+        {
+            let mut set = assigned.lock().unwrap();
+            for key in response.get("assigned").and_then(Json::as_arr).unwrap() {
+                set.insert(key.as_str().unwrap().to_string());
+            }
+        }
+
+        // Heartbeat loop: renew, refresh the assigned-key view, re-register
+        // if evicted.
+        {
+            let stop = Arc::clone(&stop);
+            let assigned = Arc::clone(&assigned);
+            let epoch = Arc::clone(&epoch);
+            let name = name.to_string();
+            let register = register.clone();
+            std::thread::spawn(move || {
+                let mut conn = RegistryConn::new(registry_addr);
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(heartbeat_ms));
+                    let renew =
+                        Json::obj([("op", Json::str("renew")), ("shard", Json::str(name.clone()))]);
+                    let deadline = Instant::now() + Duration::from_secs(1);
+                    let response = match conn.call(&renew, deadline) {
+                        Ok(response) => response,
+                        Err(ShardError::Registry(why)) if why == "unknown_shard" => {
+                            match conn.call(&register, deadline) {
+                                Ok(response) => response,
+                                Err(_) => continue,
+                            }
+                        }
+                        Err(_) => continue,
+                    };
+                    if let Some(e) = response.get("epoch").and_then(Json::as_u64) {
+                        *epoch.lock().unwrap() = e;
+                    }
+                    if let Some(keys) = response.get("assigned").and_then(Json::as_arr) {
+                        let mut set = assigned.lock().unwrap();
+                        set.clear();
+                        for key in keys {
+                            set.insert(key.as_str().unwrap().to_string());
+                        }
+                    }
+                }
+            });
+        }
+
+        // Data plane: per-connection echo loop.
+        {
+            let stop = Arc::clone(&stop);
+            let assigned = Arc::clone(&assigned);
+            let epoch = Arc::clone(&epoch);
+            let wrong_once = Arc::clone(&wrong_epoch_once);
+            let name = name.to_string();
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    if let Ok(tracked) = stream.try_clone() {
+                        conns.lock().unwrap().push(tracked);
+                    }
+                    let assigned = Arc::clone(&assigned);
+                    let epoch = Arc::clone(&epoch);
+                    let wrong_once = Arc::clone(&wrong_once);
+                    let name = name.clone();
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let Ok(read_half) = stream.try_clone() else { return };
+                        let mut writer = stream;
+                        let mut reader = FrameReader::new(read_half);
+                        loop {
+                            let frame =
+                                match reader.read_frame(Instant::now() + Duration::from_secs(2)) {
+                                    Ok(frame) => frame,
+                                    Err(ShardError::Timeout(_)) if !stop.load(Ordering::Relaxed) => {
+                                        continue
+                                    }
+                                    Err(_) => return,
+                                };
+                            let id = frame.get("id").and_then(Json::as_u64).unwrap_or(0);
+                            let key =
+                                frame.get("key").and_then(Json::as_str).unwrap_or("").to_string();
+                            let serves_key = assigned.lock().unwrap().contains(&key);
+                            let response = if wrong_once.swap(false, Ordering::Relaxed)
+                                || !serves_key
+                            {
+                                Json::obj([
+                                    ("id", Json::num(id as f64)),
+                                    ("status", Json::str("wrong_epoch")),
+                                    ("epoch", Json::num(*epoch.lock().unwrap() as f64)),
+                                ])
+                            } else {
+                                Json::obj([
+                                    ("id", Json::num(id as f64)),
+                                    ("status", Json::str("ok")),
+                                    ("shard", Json::str(name.clone())),
+                                ])
+                            };
+                            let deadline = Instant::now() + Duration::from_secs(2);
+                            if wire::write_frame(&mut writer, &response, deadline).is_err() {
+                                return;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        ToyShard { port, stop, wrong_epoch_once, conns }
+    }
+
+    /// Hard-kill: stop heartbeating, refuse new data connections and sever
+    /// the established ones (the in-library analogue of SIGKILL).
+    fn kill(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for conn in self.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+    }
+}
+
+fn registry(lease_ttl_ms: u64) -> (RegistryHandle, u16) {
+    let registry = Registry::bind("127.0.0.1:0", lease_ttl_ms).unwrap();
+    let port = registry.port();
+    (registry.spawn(), port)
+}
+
+fn client_config(registry_port: u16) -> ShardClientConfig {
+    ShardClientConfig {
+        registry_addr: format!("127.0.0.1:{registry_port}"),
+        deadline: Duration::from_secs(3),
+        request_timeout: Duration::from_millis(300),
+        max_attempts: 12,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        window: 64,
+        seed: 42,
+        routing_ttl: Duration::from_millis(50),
+    }
+}
+
+#[test]
+fn calls_route_by_key_across_shards() {
+    let (registry, port) = registry(300);
+    let s0 = ToyShard::spawn("s0", port, &["k0", "k1"], 60);
+    let s1 = ToyShard::spawn("s1", port, &["k0", "k1"], 60);
+    let client = ShardClient::new(client_config(port));
+
+    // Sorted keys over sorted shards: k0 → s0, k1 → s1.
+    let payload = Json::obj([("body", Json::str("x"))]);
+    let k0 = client.call("k0", &payload).unwrap();
+    let k1 = client.call("k1", &payload).unwrap();
+    assert_eq!(k0.response.get("shard").and_then(Json::as_str), Some("s0"));
+    assert_eq!(k1.response.get("shard").and_then(Json::as_str), Some("s1"));
+    assert_eq!(k0.attempts, 1);
+    assert_eq!(client.stats().calls, 2);
+
+    s0.kill();
+    s1.kill();
+    registry.shutdown();
+}
+
+#[test]
+fn unknown_key_is_typed_not_a_hang() {
+    let (registry, port) = registry(300);
+    let s0 = ToyShard::spawn("s0", port, &["k0"], 60);
+    let mut config = client_config(port);
+    config.deadline = Duration::from_millis(400);
+    config.max_attempts = 3;
+    let client = ShardClient::new(config);
+
+    let started = Instant::now();
+    let err = client.call("nope", &Json::obj::<String>([])).unwrap_err();
+    assert!(
+        matches!(err, ShardError::NotAssigned(_) | ShardError::Timeout(_)),
+        "got {err:?}"
+    );
+    assert!(started.elapsed() < Duration::from_secs(2));
+
+    s0.kill();
+    registry.shutdown();
+}
+
+#[test]
+fn wrong_epoch_response_is_retried_to_success() {
+    let (registry, port) = registry(300);
+    let s0 = ToyShard::spawn("s0", port, &["k0"], 60);
+    let client = ShardClient::new(client_config(port));
+
+    s0.wrong_epoch_once.store(true, Ordering::Relaxed);
+    let outcome = client.call("k0", &Json::obj::<String>([])).unwrap();
+    assert_eq!(outcome.response.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(outcome.attempts >= 2, "expected a retry, got {} attempts", outcome.attempts);
+    assert_eq!(client.stats().wrong_epoch, 1);
+
+    s0.kill();
+    registry.shutdown();
+}
+
+#[test]
+fn killed_shard_fails_over_to_the_survivor() {
+    let lease_ttl = 150u64;
+    let (registry, port) = registry(lease_ttl);
+    let s0 = ToyShard::spawn("s0", port, &["k0", "k1"], 40);
+    let s1 = ToyShard::spawn("s1", port, &["k0", "k1"], 40);
+    let client = ShardClient::new(client_config(port));
+
+    let payload = Json::obj([("body", Json::str("x"))]);
+    let before = client.call("k1", &payload).unwrap();
+    assert_eq!(before.response.get("shard").and_then(Json::as_str), Some("s1"));
+
+    // Kill the shard serving k1. Until eviction (~TTL + sweep) the client
+    // sees dead connections; its retry/backoff loop must ride that out and
+    // land on the survivor — typed errors allowed, hangs and panics not.
+    s1.kill();
+    let outcome = client.call("k1", &payload).unwrap();
+    assert_eq!(
+        outcome.response.get("shard").and_then(Json::as_str),
+        Some("s0"),
+        "expected failover to the survivor"
+    );
+    assert!(outcome.attempts >= 2, "failover consumed {} attempts", outcome.attempts);
+    assert!(outcome.failovers >= 1);
+    let stats = client.stats();
+    assert!(stats.retries >= 1);
+    assert!(stats.failovers >= 1);
+
+    // Steady state after failover: k1 keeps resolving on s0 first-try.
+    let after = client.call("k1", &payload).unwrap();
+    assert_eq!(after.response.get("shard").and_then(Json::as_str), Some("s0"));
+
+    s0.kill();
+    let stats = registry.shutdown();
+    assert!(stats.get("evictions").and_then(Json::as_u64).unwrap() >= 1);
+}
+
+#[test]
+fn full_window_sheds_immediately() {
+    let (registry, port) = registry(300);
+
+    // A shard that accepts connections but never answers: requests park in
+    // the window until they time out.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        for conn in listener.incoming() {
+            match conn {
+                Ok(stream) => held.push(stream),
+                Err(_) => break,
+            }
+        }
+    });
+    let register = Json::obj([
+        ("op", Json::str("register")),
+        ("shard", Json::str("mute")),
+        ("addr", Json::str(addr.to_string())),
+        ("keys", Json::arr([Json::str("k0")])),
+    ]);
+    registry_call(
+        &format!("127.0.0.1:{port}"),
+        &register,
+        Instant::now() + Duration::from_secs(2),
+    )
+    .unwrap();
+
+    let mut config = client_config(port);
+    config.window = 1;
+    config.max_attempts = 1;
+    config.deadline = Duration::from_secs(2);
+    config.request_timeout = Duration::from_secs(1);
+    let client = Arc::new(ShardClient::new(config));
+
+    // Park one request in the mute shard's window…
+    let parked = {
+        let client = Arc::clone(&client);
+        std::thread::spawn(move || client.call("k0", &Json::obj::<String>([])))
+    };
+    std::thread::sleep(Duration::from_millis(200));
+    // …then the second call must shed, immediately and typed.
+    let started = Instant::now();
+    let err = client.call("k0", &Json::obj::<String>([])).unwrap_err();
+    assert!(matches!(err, ShardError::Shed { ref shard } if shard == "mute"), "got {err:?}");
+    assert!(started.elapsed() < Duration::from_millis(500), "shed was not immediate");
+    assert_eq!(client.stats().sheds, 1);
+
+    let parked = parked.join().unwrap();
+    assert!(matches!(parked, Err(ShardError::Timeout(_))), "got {parked:?}");
+
+    registry.shutdown();
+}

@@ -1,0 +1,149 @@
+//! Wire-level malice tests: a peer that sends garbage, truncates frames,
+//! never terminates a line, or goes silent must always produce a *typed*
+//! error within the deadline — never a panic, never a hang, never an
+//! unbounded buffer.
+//!
+//! Two layers are attacked: the raw `FrameReader` (table-driven byte
+//! sequences) and a live `Registry` server (same attacks over its real
+//! accept loop, asserting it answers typed errors and stays up for
+//! well-formed peers afterwards).
+
+use runtime::json::Json;
+use shard::wire::{FrameReader, MAX_FRAME_BYTES};
+use shard::{Registry, ShardError};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// What a malicious byte sequence must be classified as.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Expect {
+    Protocol,
+    FrameTooLarge,
+    Timeout,
+    ConnectionLost,
+}
+
+fn classify(err: &ShardError) -> Expect {
+    match err {
+        ShardError::Protocol(_) => Expect::Protocol,
+        ShardError::FrameTooLarge { .. } => Expect::FrameTooLarge,
+        ShardError::Timeout(_) => Expect::Timeout,
+        ShardError::ConnectionLost(_) => Expect::ConnectionLost,
+        other => panic!("unexpected error class: {other:?}"),
+    }
+}
+
+/// The attack table: name, the bytes sent, whether the sender then closes
+/// the connection, and the required typed outcome.
+fn attacks() -> Vec<(&'static str, Vec<u8>, bool, Expect)> {
+    let oversized = {
+        let mut frame = vec![b'x'; MAX_FRAME_BYTES + 64];
+        frame.push(b'\n');
+        frame
+    };
+    vec![
+        ("garbage bytes", b"\xff\xfe\x00\x01garbage\n".to_vec(), false, Expect::Protocol),
+        ("plain-text line", b"hello there\n".to_vec(), false, Expect::Protocol),
+        ("truncated JSON", b"{\"op\":\"regist\n".to_vec(), false, Expect::Protocol),
+        ("unterminated JSON object", b"{\"op\":\"routing\"\n".to_vec(), false, Expect::Protocol),
+        ("empty line", b"\n".to_vec(), false, Expect::Protocol),
+        ("bare JSON scalar", b"42\n".to_vec(), false, Expect::Protocol),
+        ("oversized frame", oversized, false, Expect::FrameTooLarge),
+        (
+            "endless unterminated frame",
+            vec![b'y'; MAX_FRAME_BYTES + 4096],
+            false,
+            Expect::FrameTooLarge,
+        ),
+        ("silent peer", Vec::new(), false, Expect::Timeout),
+        ("close without a byte", Vec::new(), true, Expect::ConnectionLost),
+        ("close mid-frame", b"{\"op\":\"rou".to_vec(), true, Expect::ConnectionLost),
+    ]
+}
+
+/// Each attack against a raw `FrameReader`: the typed error arrives within
+/// the deadline.
+#[test]
+fn frame_reader_types_every_attack() {
+    for (name, bytes, close, expected) in attacks() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut attacker = TcpStream::connect(addr).unwrap();
+        let (victim, _) = listener.accept().unwrap();
+
+        attacker.write_all(&bytes).unwrap();
+        attacker.flush().unwrap();
+        if close {
+            drop(attacker);
+        }
+        // (`attacker` stays in scope otherwise, so EOF cannot mask the
+        // real error class.)
+
+        let mut reader = FrameReader::new(victim);
+        let started = Instant::now();
+        let deadline = started + Duration::from_millis(400);
+        let err = reader
+            .read_frame(deadline)
+            .expect_err(&format!("attack `{name}` produced a frame"));
+        assert_eq!(classify(&err), expected, "attack `{name}`: got {err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "attack `{name}` took {:?} — deadline not enforced",
+            started.elapsed()
+        );
+    }
+}
+
+/// Each attack against a live registry: the server answers a typed
+/// `{"ok":false,...}` frame (or silence for attacks that cannot complete a
+/// frame), never panics, and keeps serving well-formed peers afterwards.
+#[test]
+fn registry_survives_every_attack() {
+    let registry = Registry::bind("127.0.0.1:0", 200).unwrap();
+    let port = registry.port();
+    let handle = registry.spawn();
+
+    for (name, bytes, close, expected) in attacks() {
+        // Silent-peer handling is the registry's idle timeout (seconds);
+        // covered by the FrameReader table above, skipped here for speed.
+        if expected == Expect::Timeout {
+            continue;
+        }
+        let mut attacker = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        attacker.write_all(&bytes).unwrap();
+        attacker.flush().unwrap();
+        if close {
+            drop(attacker);
+            continue;
+        }
+        attacker.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+        let mut response = Vec::new();
+        let _ = attacker.read_to_end(&mut response);
+        let text = String::from_utf8_lossy(&response);
+        let line = text.lines().next().unwrap_or("");
+        assert!(
+            !line.is_empty(),
+            "attack `{name}`: registry closed without a typed error frame"
+        );
+        let frame = Json::parse(line)
+            .unwrap_or_else(|e| panic!("attack `{name}`: unparseable error frame `{line}`: {e}"));
+        assert_eq!(
+            frame.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "attack `{name}`: expected ok:false, got `{line}`"
+        );
+    }
+
+    // The registry still serves a well-formed peer.
+    let mut good = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    let request = Json::obj([("op", Json::str("routing"))]);
+    good.write_all(format!("{}\n", request.to_string_compact()).as_bytes()).unwrap();
+    let mut reader = FrameReader::new(good.try_clone().unwrap());
+    let response = reader.read_frame(Instant::now() + Duration::from_secs(3)).unwrap();
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(response.get("epoch").and_then(Json::as_u64), Some(0));
+
+    let stats = handle.shutdown();
+    assert!(stats.get("rejected_frames").and_then(Json::as_u64).unwrap() >= 5);
+}
