@@ -122,6 +122,10 @@ impl DelayAndSum {
             // apodization path allocates once per block, not incrementally
             // across the block's first pixels.
             let mut scratch: Vec<f32> = Vec::with_capacity(element_xs.len());
+            // Per-channel contributions, gathered first and then reduced in
+            // `runtime::simd`'s lane order — the same reduction the planned
+            // gather kernel uses, which keeps the two paths bitwise identical.
+            let mut contrib: Vec<f32> = Vec::with_capacity(element_xs.len());
             for (local, rf_row) in block.chunks_mut(cols).enumerate() {
                 let z = grid.z(first_row + local);
                 for (col, out) in rf_row.iter_mut().enumerate() {
@@ -134,7 +138,7 @@ impl DelayAndSum {
                         }
                     };
                     let t_tx = self.transmit.transmit_delay(x, z, sound_speed);
-                    let mut acc = 0.0f32;
+                    contrib.clear();
                     for (ch, &w) in weights.iter().enumerate() {
                         if w == 0.0 {
                             continue;
@@ -142,9 +146,9 @@ impl DelayAndSum {
                         let dx = x - element_xs[ch];
                         let t_rx = (dx * dx + z * z).sqrt() / sound_speed;
                         let idx = (t_tx + t_rx - start_time) * fs;
-                        acc += w * sample_at(&traces[ch], idx, self.interpolation);
+                        contrib.push(w * sample_at(&traces[ch], idx, self.interpolation));
                     }
-                    *out = acc;
+                    *out = runtime::simd::reduce_lanes(&contrib);
                 }
             }
         });
@@ -291,11 +295,13 @@ mod tests {
         let das = DelayAndSum::default();
         let image = das.beamform_iq(&rf, &array, &grid, 1540.0).unwrap();
         let envelope = image.envelope();
+        // A perfectly centred target yields mirror-symmetric columns whose
+        // envelopes can tie bitwise; take the first maximum so the tie
+        // resolves to the column adjacent to the expected one.
         let (peak_idx, _) = envelope
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+            .fold((0usize, f32::MIN), |best, (i, &v)| if v > best.1 { (i, v) } else { best });
         let peak_row = peak_idx / grid.num_cols();
         let peak_col = peak_idx % grid.num_cols();
         let expected_row = grid.nearest_row(depth);

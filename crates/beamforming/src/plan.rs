@@ -574,26 +574,33 @@ impl BeamformPlan {
         let mut rf = vec![0.0f32; self.grid.num_pixels()];
         runtime::par_map_rows(&mut rf, cols, num_threads, |first_row, block| {
             let first_pixel = first_row * cols;
+            // Cubic contributions land here before the lane-order reduce;
+            // sized once per block for the widest possible tap run so the
+            // per-pixel hot path never grows a Vec.
+            let mut contrib: Vec<f32> = Vec::with_capacity(self.channels);
             for (i, out) in block.iter_mut().enumerate() {
                 let pixel = first_pixel + i;
                 let lo = self.offsets[pixel] as usize;
                 let hi = self.offsets[pixel + 1] as usize;
-                let mut acc = 0.0f32;
-                match self.method {
-                    InterpMethod::Nearest | InterpMethod::Linear => {
-                        for e in lo..hi {
-                            let v = flat[self.tap0[e] as usize] * self.w0[e]
-                                + flat[self.tap1[e] as usize] * self.w1[e];
-                            acc += self.apod[e] * v;
-                        }
-                    }
+                debug_assert!(
+                    lo <= hi && hi <= self.tap0.len() && hi - lo <= self.channels,
+                    "tap run {lo}..{hi} escapes the CSR row bounds"
+                );
+                *out = match self.method {
+                    InterpMethod::Nearest | InterpMethod::Linear => runtime::simd::das_gather_reduce(
+                        &flat,
+                        &self.tap0[lo..hi],
+                        &self.tap1[lo..hi],
+                        &self.w0[lo..hi],
+                        &self.w1[lo..hi],
+                        &self.apod[lo..hi],
+                    ),
                     InterpMethod::Cubic => {
-                        for e in lo..hi {
-                            acc += self.apod[e] * self.cubic_real(&flat, e, n);
-                        }
+                        contrib.clear();
+                        contrib.extend((lo..hi).map(|e| self.apod[e] * self.cubic_real(&flat, e, n)));
+                        runtime::simd::reduce_lanes(&contrib)
                     }
-                }
-                *out = acc;
+                };
             }
         });
         Ok(rf)
@@ -662,15 +669,18 @@ impl BeamformPlan {
                 let row = first_row + local;
                 for col in 0..cols {
                     let lo = self.offsets[row * cols + col] as usize;
+                    let hi = lo + channels;
+                    debug_assert!(hi <= self.tap0.len(), "tap run {lo}..{hi} escapes the CSR row bounds");
                     let pixel = &mut row_data[col * channels..(col + 1) * channels];
                     match self.method {
-                        InterpMethod::Nearest | InterpMethod::Linear => {
-                            for (j, out) in pixel.iter_mut().enumerate() {
-                                let e = lo + j;
-                                *out = flat[self.tap0[e] as usize] * self.w0[e]
-                                    + flat[self.tap1[e] as usize] * self.w1[e];
-                            }
-                        }
+                        InterpMethod::Nearest | InterpMethod::Linear => runtime::simd::gather_two_tap(
+                            &flat,
+                            &self.tap0[lo..hi],
+                            &self.tap1[lo..hi],
+                            &self.w0[lo..hi],
+                            &self.w1[lo..hi],
+                            pixel,
+                        ),
                         InterpMethod::Cubic => {
                             for (j, out) in pixel.iter_mut().enumerate() {
                                 *out = self.cubic_real(&flat, lo + j, n);
@@ -706,13 +716,20 @@ impl BeamformPlan {
             return;
         }
         let n = self.frame.num_samples;
+        debug_assert!(hi <= self.tap0.len(), "tap run {lo}..{hi} escapes the CSR row bounds");
         match self.method {
             InterpMethod::Nearest | InterpMethod::Linear => {
-                for (j, out) in aligned.iter_mut().enumerate() {
-                    let e = lo + j;
-                    *out = analytic_flat[self.tap0[e] as usize].scale(self.w0[e])
-                        + analytic_flat[self.tap1[e] as usize].scale(self.w1[e]);
-                }
+                // Component-wise complex two-tap blend as interleaved float
+                // lanes: out.re/out.im each get flat*w0 + flat*w1, exactly the
+                // `scale`+`add` expression the scalar path evaluates.
+                runtime::simd::gather_two_tap_interleaved(
+                    usdsp::complex::as_float_slice(analytic_flat),
+                    &self.tap0[lo..hi],
+                    &self.tap1[lo..hi],
+                    &self.w0[lo..hi],
+                    &self.w1[lo..hi],
+                    usdsp::complex::as_float_slice_mut(aligned),
+                );
             }
             InterpMethod::Cubic => {
                 for (j, out) in aligned.iter_mut().enumerate() {

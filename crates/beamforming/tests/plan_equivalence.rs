@@ -152,6 +152,48 @@ fn planned_batch_matches_direct_batch() {
 }
 
 #[test]
+fn planned_and_direct_outputs_are_bitwise_identical_across_simd_modes() {
+    use runtime::simd::{self, SimdMode};
+    // Restore the environment-default dispatch even if an assertion fires.
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            simd::force_mode(None);
+        }
+    }
+    let _restore = Restore;
+
+    let (data, array) = test_frame();
+    let grid = ImagingGrid::for_array(&array, 0.012, 0.014, 18, 9);
+    let das = DelayAndSum::with_hann_aperture();
+    let frame = FrameFormat::of(&data);
+    let plan = das.plan(&array, &grid, 1540.0, frame).unwrap();
+    let tof_plan =
+        BeamformPlan::for_tof(&array, &grid, PlaneWave::zero_angle(), 1540.0, frame).unwrap();
+
+    // The asserted reference: the scalar tier, single-threaded.
+    simd::force_mode(Some(SimdMode::Scalar));
+    let rf_ref = das.beamform_rf_with_threads(&data, &array, &grid, 1540.0, 1).unwrap();
+    let iq_ref = das.beamform_iq_planned_with_threads(&data, &plan, 1).unwrap();
+    let tof_ref = tof_correct_planned_with_threads(&data, &tof_plan, 1).unwrap();
+
+    for mode in simd::available_modes() {
+        simd::force_mode(Some(mode));
+        for threads in THREAD_COUNTS {
+            let ctx = format!("{mode:?}/threads {threads}");
+            let direct = das.beamform_rf_with_threads(&data, &array, &grid, 1540.0, threads).unwrap();
+            assert_bits_eq(&rf_ref, &direct, &format!("direct rf {ctx}"));
+            let planned = das.beamform_rf_planned_with_threads(&data, &plan, threads).unwrap();
+            assert_bits_eq(&rf_ref, &planned, &format!("planned rf {ctx}"));
+            let iq = das.beamform_iq_planned_with_threads(&data, &plan, threads).unwrap();
+            assert_iq_bits_eq(&iq_ref, &iq, &format!("planned iq {ctx}"));
+            let tof = tof_correct_planned_with_threads(&data, &tof_plan, threads).unwrap();
+            assert_bits_eq(tof_ref.as_slice(), tof.as_slice(), &format!("planned tof {ctx}"));
+        }
+    }
+}
+
+#[test]
 fn plan_rejects_mismatched_configurations() {
     let (data, array) = test_frame();
     let grid = ImagingGrid::for_array(&array, 0.014, 0.01, 8, 6);

@@ -11,6 +11,7 @@
 //! | `planned_vs_direct` | bench_pr3 | plan-cache reuse vs per-frame geometry |
 //! | `router_fanout` | bench_pr4 | heterogeneous streams + deadline under fan-out |
 //! | `quantized_sweep` | bench_pr5 | all six quantization schemes side by side |
+//! | `simd_kernels` | bench_pr9 | float vs fx16 integer datapath under serve load |
 //! | `poisson_openloop` | new | open-loop offered load (queueing, not capacity) |
 //! | `chaos_availability` | bench_pr6 | success rate under injected faults + ladder |
 //!
@@ -28,6 +29,7 @@ pub fn scenario_names() -> Vec<&'static str> {
         "planned_vs_direct",
         "router_fanout",
         "quantized_sweep",
+        "simd_kernels",
         "poisson_openloop",
         "chaos_availability",
         "stream_churn",
@@ -121,6 +123,24 @@ pub fn scenario(name: &str, profile: Profile) -> Option<ScenarioConfig> {
             config.grid_cols = 8;
             config.num_samples = 256;
             config.seed = 0x0A17;
+        }
+        "simd_kernels" => {
+            // bench_pr9's question carried into the serving harness: with
+            // the SIMD datapath under the hot loops, does the fx16 integer
+            // rung actually undercut the float path end to end? Two
+            // Tiny-VBF streams — float and fx16 — share one TOF plan cache;
+            // the per-engine latency split carries the comparison, and the
+            // gate tracks both rungs against the recorded baseline.
+            config.streams =
+                vec![StreamLoad::new("tiny-vbf-fp"), StreamLoad::new("tiny-vbf-fx16")];
+            config.load = LoadModel::ClosedLoop { inflight: 6 };
+            // Same reasoning as `quantized_sweep`: inference is the heavy
+            // path, so the full profile stretches duration, not geometry.
+            config.channels = 32;
+            config.grid_rows = 16;
+            config.grid_cols = 8;
+            config.num_samples = 256;
+            config.seed = 0x51D9;
         }
         "poisson_openloop" => {
             // New with the harness: open-loop offered load. A closed loop

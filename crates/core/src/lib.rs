@@ -37,6 +37,7 @@ pub mod gops;
 pub mod inference;
 pub mod model;
 pub mod quantized;
+mod quantized_int;
 pub mod training;
 
 pub use config::TinyVbfConfig;

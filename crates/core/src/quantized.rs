@@ -1,11 +1,14 @@
 //! Fixed-point (quantized) Tiny-VBF inference.
 //!
 //! The FPGA deployment runs the network in fixed point. This module replays the exact
-//! operation sequence of [`crate::model::TinyVbf`] on exported weights, but rounds
-//! every value class onto its scheme-assigned grid: weights once up front, every
-//! multiply-accumulate result, every softmax, and every intermediate activation
-//! (Table III). Evaluating the resulting images against the float model reproduces
-//! Tables IV and V and Fig. 15.
+//! operation sequence of [`crate::model::TinyVbf`] on exported weights with **real
+//! integer kernels** (`quantized_int`): weights become integer codes once up
+//! front, dense layers run exact i16/i32/i64 multiply-accumulates, and every MAC
+//! result / softmax / intermediate activation is requantized onto its scheme-assigned
+//! grid by an integer rounding shift (Table III). The float scheme short-circuits to
+//! a plain `f32` datapath. Evaluating the resulting images against the float model
+//! reproduces Tables IV and V and Fig. 15 — and, because the datapath is integer, a
+//! quantized rung is now *cheaper* than float instead of paying to simulate rounding.
 //!
 //! Two entry points consume a quantized model:
 //!
@@ -42,6 +45,9 @@ use usdsp::Complex32;
 pub struct QuantizedTinyVbf {
     weights: TinyVbfWeights,
     scheme: QuantScheme,
+    /// The integer-code model driving fixed-point inference; `None` for the
+    /// float scheme (which runs the plain `f32` datapath).
+    int: Option<Arc<crate::quantized_int::IntModel>>,
 }
 
 impl QuantizedTinyVbf {
@@ -74,7 +80,8 @@ impl QuantizedTinyVbf {
         weights.decoder_in_bias = q(&weights.decoder_in_bias);
         weights.decoder_out_weight = q(&weights.decoder_out_weight);
         weights.decoder_out_bias = q(&weights.decoder_out_bias);
-        Self { weights, scheme }
+        let int = crate::quantized_int::IntModel::build(&weights, &scheme).map(Arc::new);
+        Self { weights, scheme, int }
     }
 
     /// The quantization scheme in use.
@@ -87,23 +94,11 @@ impl QuantizedTinyVbf {
         &self.weights
     }
 
-    fn q_mac(&self, t: Tensor) -> Tensor {
-        quantize_for_role(&t, &self.scheme, TensorRole::MacResult)
+    fn dense_f32(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
+        input.matmul(weight).add_row_broadcast(bias)
     }
 
-    fn q_inter(&self, t: Tensor) -> Tensor {
-        quantize_for_role(&t, &self.scheme, TensorRole::Intermediate)
-    }
-
-    fn q_softmax(&self, t: Tensor) -> Tensor {
-        quantize_for_role(&t, &self.scheme, TensorRole::Softmax)
-    }
-
-    fn dense(&self, input: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
-        self.q_mac(input.matmul(weight).add_row_broadcast(bias))
-    }
-
-    fn layer_norm(&self, input: &Tensor, gamma: &Tensor, beta: &Tensor) -> Tensor {
+    fn layer_norm_f32(input: &Tensor, gamma: &Tensor, beta: &Tensor) -> Tensor {
         let (rows, cols) = (input.rows(), input.cols());
         let mut out = Tensor::zeros(&[rows, cols]);
         for r in 0..rows {
@@ -114,16 +109,16 @@ impl QuantizedTinyVbf {
                 *out.at_mut(r, c) = (input.at(r, c) - mean) * inv_std * gamma.at(0, c) + beta.at(0, c);
             }
         }
-        self.q_inter(out)
+        out
     }
 
-    fn attention(&self, input: &Tensor, block: &TransformerBlockWeights) -> Tensor {
+    fn attention_f32(&self, input: &Tensor, block: &TransformerBlockWeights) -> Tensor {
         let config = &self.weights.config;
         let head_dim = config.model_dim / config.num_heads;
         let scale = 1.0 / (head_dim as f32).sqrt();
-        let q = self.q_mac(input.matmul(&block.wq));
-        let k = self.q_mac(input.matmul(&block.wk));
-        let v = self.q_mac(input.matmul(&block.wv));
+        let q = input.matmul(&block.wq);
+        let k = input.matmul(&block.wk);
+        let v = input.matmul(&block.wv);
         let tokens = input.rows();
         let mut concat = Tensor::zeros(&[tokens, config.model_dim]);
         for h in 0..config.num_heads {
@@ -131,24 +126,20 @@ impl QuantizedTinyVbf {
             let qh = q.slice_cols(start, head_dim);
             let kh = k.slice_cols(start, head_dim);
             let vh = v.slice_cols(start, head_dim);
-            let scores = self.q_mac(qh.matmul(&kh.transpose()).scale(scale));
-            let attention = self.q_softmax(softmax_rows(&scores));
-            let oh = self.q_mac(attention.matmul(&vh));
+            let scores = qh.matmul(&kh.transpose()).scale(scale);
+            let attention = softmax_rows(&scores);
+            let oh = attention.matmul(&vh);
             concat.set_cols(start, &oh);
         }
-        self.q_mac(concat.matmul(&block.wo))
+        concat.matmul(&block.wo)
     }
 
-    /// Runs quantized inference on one `(tokens, channels)` depth row.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the row width does not match the configured channel count.
-    pub fn infer_row(&self, row: &Tensor) -> Tensor {
-        let config = &self.weights.config;
-        assert_eq!(row.cols(), config.channels, "quantized inference: channel mismatch");
-        let quant_input = self.q_inter(row.clone());
-        let mut x = self.dense(&quant_input, &self.weights.encoder_weight, &self.weights.encoder_bias);
+    /// The float-scheme datapath, also the reference the serving adapter's
+    /// output-SQNR proxy compares the integer path against. Same op sequence
+    /// as [`QuantizedTinyVbf::infer_row`], plain `f32` arithmetic throughout
+    /// (the float scheme's "quantizers" were always identities).
+    pub(crate) fn infer_row_float(&self, row: &Tensor) -> Tensor {
+        let mut x = Self::dense_f32(row, &self.weights.encoder_weight, &self.weights.encoder_bias);
         if let Some(pos) = self.weights.positional.as_ref() {
             let rows = x.rows();
             for r in 0..rows {
@@ -157,24 +148,40 @@ impl QuantizedTinyVbf {
                     *x.at_mut(r, c) += pos.at(pr, c);
                 }
             }
-            x = self.q_inter(x);
         }
         for block in &self.weights.blocks {
-            let normed = self.layer_norm(&x, &block.norm1_gamma, &block.norm1_beta);
-            let attended = self.attention(&normed, block);
-            let after_attention = self.q_inter(x.add(&attended));
-            let normed2 = self.layer_norm(&after_attention, &block.norm2_gamma, &block.norm2_beta);
-            let hidden = self
-                .dense(&normed2, &block.mlp_in_weight, &block.mlp_in_bias)
-                .map(|v| v.max(0.0));
-            let mlp = self.dense(&hidden, &block.mlp_out_weight, &block.mlp_out_bias);
-            x = self.q_inter(after_attention.add(&mlp));
+            let normed = Self::layer_norm_f32(&x, &block.norm1_gamma, &block.norm1_beta);
+            let attended = self.attention_f32(&normed, block);
+            let after_attention = x.add(&attended);
+            let normed2 = Self::layer_norm_f32(&after_attention, &block.norm2_gamma, &block.norm2_beta);
+            let hidden = Self::dense_f32(&normed2, &block.mlp_in_weight, &block.mlp_in_bias).map(|v| v.max(0.0));
+            let mlp = Self::dense_f32(&hidden, &block.mlp_out_weight, &block.mlp_out_bias);
+            x = after_attention.add(&mlp);
         }
-        let hidden = self
-            .dense(&x, &self.weights.decoder_in_weight, &self.weights.decoder_in_bias)
-            .map(|v| v.max(0.0));
-        let out = self.dense(&hidden, &self.weights.decoder_out_weight, &self.weights.decoder_out_bias);
-        self.q_inter(out.map(|v| v.tanh()))
+        let hidden = Self::dense_f32(&x, &self.weights.decoder_in_weight, &self.weights.decoder_in_bias).map(|v| v.max(0.0));
+        let out = Self::dense_f32(&hidden, &self.weights.decoder_out_weight, &self.weights.decoder_out_bias);
+        out.map(|v| v.tanh())
+    }
+
+    /// Runs quantized inference on one `(tokens, channels)` depth row —
+    /// through the integer datapath for fixed-point schemes, or the plain
+    /// `f32` datapath for the float scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width does not match the configured channel count,
+    /// or when a fixed-point scheme was attached to a model without its
+    /// integer weights (only reachable by hand-assembling the struct).
+    pub fn infer_row(&self, row: &Tensor) -> Tensor {
+        let config = &self.weights.config;
+        assert_eq!(row.cols(), config.channels, "quantized inference: channel mismatch");
+        // Scheme first: struct-update construction can pair a float scheme
+        // with a stale integer model, and the scheme is authoritative.
+        if self.scheme.is_float() {
+            return self.infer_row_float(row);
+        }
+        let int = self.int.as_ref().expect("fixed-point scheme requires the integer model from from_model()");
+        int.infer_row(&self.weights, row)
     }
 
     fn check_row(&self, row: &Tensor) -> TinyVbfResult<()> {
@@ -272,11 +279,11 @@ impl Beamformer for QuantizedTinyVbf {
 /// * the row sweep is parallel via `runtime` (bitwise identical for every
 ///   thread count), and batches inherit the frame-concurrent × row-parallel
 ///   default of [`Beamformer::beamform_batch_results`],
-/// * every served frame accumulates an SQNR **accuracy proxy** — the
-///   signal/noise energies of rounding the normalized ToF cube onto the
-///   scheme's intermediate grid (the first quantization the datapath
-///   applies) — surfaced through [`Beamformer::quant_quality_stats`] so
-///   `RouterStats` can report per-backend degradation under load.
+/// * every served frame accumulates an SQNR **accuracy proxy** — one probe
+///   row of the frame is inferred through both the integer datapath and the
+///   `f32` reference, and the output signal/noise energies accumulate —
+///   surfaced through [`Beamformer::quant_quality_stats`] so `RouterStats`
+///   can report per-backend degradation under load.
 ///
 /// [`Beamformer::name`] returns the scheme's serving label
 /// ([`QuantScheme::backend_label`]), so registering one engine per Table III
@@ -302,8 +309,9 @@ pub struct QuantizedTinyVbfBeamformer {
     /// Dense ToF plans keyed on (probe, grid, sound speed, frame format);
     /// shared by clones and, optionally, across per-scheme backends.
     tof_plans: Arc<PlanCache>,
-    /// Input-quantization SQNR accumulators; shared by clones so serving
-    /// worker clones feed one per-backend counter.
+    /// Output-SQNR accumulators (integer path vs float reference on a probe
+    /// row per frame); shared by clones so serving worker clones feed one
+    /// per-backend counter.
     quality: Arc<Mutex<QuantQualityStats>>,
 }
 
@@ -363,28 +371,35 @@ impl QuantizedTinyVbfBeamformer {
         crate::inference::planned_normalized_cube(&self.tof_plans, data, array, grid, sound_speed)
     }
 
-    /// Accumulates the SQNR proxy for one served frame: the energy of the
-    /// normalized cube versus the noise of rounding it onto the scheme's
-    /// intermediate-activation grid. One pass over the cube, no model
-    /// evaluation. Float backends quantize nothing, so only the frame
-    /// counter advances (their SQNR stays infinite whatever the signal) and
-    /// their signal energy never dilutes an aggregated lossy SQNR.
-    fn record_input_quality(&self, cube: &TofCube) {
+    /// Accumulates the SQNR proxy for one served frame from the integer
+    /// datapath's **actual outputs**: one deterministic probe row (the middle
+    /// depth row) is inferred through both the integer path and the `f32`
+    /// reference path, and the reference's energy versus the output
+    /// difference energy feed the counters. This measures the degradation
+    /// the scheme really delivers end to end — MAC requantization, softmax
+    /// grids, saturations — not merely the input rounding error of the old
+    /// f32 simulation. Float backends run one datapath, so only their frame
+    /// counter advances (SQNR stays infinite) and their signal energy never
+    /// dilutes an aggregated lossy SQNR.
+    fn record_output_quality(&self, cube: &TofCube) {
         let quality_for = |signal: f64, noise: f64| {
             let mut quality = self.quality.lock().expect("quantized quality mutex poisoned");
             quality.frames += 1;
             quality.signal_energy += signal;
             quality.noise_energy += noise;
         };
-        let Some(format) = self.model.scheme().format_for(TensorRole::Intermediate) else {
+        if self.model.scheme().is_float() || cube.rows() == 0 {
             quality_for(0.0, 0.0);
             return;
-        };
+        }
+        let input = cube_row(cube, cube.rows() / 2);
+        let reference = self.model.infer_row_float(&input);
+        let quantized = self.model.infer_row(&input);
         let mut signal = 0.0f64;
         let mut noise = 0.0f64;
-        for &v in cube.as_slice() {
-            signal += f64::from(v) * f64::from(v);
-            let error = f64::from(v - format.quantize(v));
+        for (&a, &b) in reference.as_slice().iter().zip(quantized.as_slice()) {
+            signal += f64::from(a) * f64::from(a);
+            let error = f64::from(a) - f64::from(b);
             noise += error * error;
         }
         quality_for(signal, noise);
@@ -457,7 +472,7 @@ impl Beamformer for QuantizedTinyVbfBeamformer {
             .map_err(|e| BeamformError::InvalidParameter { name: "quantized_tiny_vbf", reason: e.to_string() })?;
         // Count quality only for frames that actually served: the counters
         // mean "served frames", so a failing stream must not inflate them.
-        self.record_input_quality(&cube);
+        self.record_output_quality(&cube);
         Ok(image)
     }
 

@@ -17,11 +17,30 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// assert_eq!(c, Complex32::new(5.0, 5.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex32 {
     /// Real part.
     pub re: f32,
     /// Imaginary part.
     pub im: f32,
+}
+
+/// Views a complex slice as its interleaved `[re, im, re, im, ..]` floats.
+///
+/// Sound because [`Complex32`] is `#[repr(C)]` with exactly two `f32` fields:
+/// its layout is two consecutive `f32`s at `f32` alignment. The SIMD kernels
+/// use this to run component-wise complex arithmetic as plain float lanes.
+pub fn as_float_slice(values: &[Complex32]) -> &[f32] {
+    // SAFETY: see the doc comment — layout and alignment are guaranteed by
+    // #[repr(C)], and the lifetime/borrow are inherited from `values`.
+    unsafe { std::slice::from_raw_parts(values.as_ptr() as *const f32, values.len() * 2) }
+}
+
+/// Mutable variant of [`as_float_slice`].
+pub fn as_float_slice_mut(values: &mut [Complex32]) -> &mut [f32] {
+    // SAFETY: see `as_float_slice`; exclusive access is inherited from the
+    // exclusive borrow of `values`.
+    unsafe { std::slice::from_raw_parts_mut(values.as_mut_ptr() as *mut f32, values.len() * 2) }
 }
 
 impl Complex32 {

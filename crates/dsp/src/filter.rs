@@ -85,9 +85,9 @@ pub fn convolve(signal: &[f32], kernel: &[f32]) -> DspResult<Vec<f32>> {
         if s == 0.0 {
             continue;
         }
-        for (j, &k) in kernel.iter().enumerate() {
-            out[i + j] += s * k;
-        }
+        // out[i + j] += s * kernel[j]: the SIMD axpy keeps the identical
+        // per-element multiply-add, just eight lanes at a time.
+        runtime::simd::axpy(&mut out[i..i + m], s, kernel);
     }
     Ok(out)
 }

@@ -51,17 +51,14 @@ fn analytic_signal_scratch(signal: &[f32], scratch: &mut Vec<Complex32>) -> DspR
     scratch.resize(n, Complex32::ZERO);
     fft_in_place(scratch, false)?;
 
-    // One-sided spectrum weighting: keep DC and Nyquist, double positive frequencies,
-    // zero negative frequencies.
+    // One-sided spectrum weighting: keep DC and Nyquist, double positive
+    // frequencies, zero negative frequencies. `n` is a power of two, so the
+    // bands are the contiguous ranges 1..half (doubled, component-wise over
+    // the interleaved floats — bitwise `scale(2.0)`) and half+1..n (zeroed).
     let half = n / 2;
-    for (k, value) in scratch.iter_mut().enumerate() {
-        if k == 0 || (n % 2 == 0 && k == half) {
-            // unchanged
-        } else if k < half || (n % 2 == 1 && k == half) {
-            *value = value.scale(2.0);
-        } else {
-            *value = Complex32::ZERO;
-        }
+    if n > 1 {
+        runtime::simd::scale(crate::complex::as_float_slice_mut(&mut scratch[1..half]), 2.0);
+        scratch[half + 1..].fill(Complex32::ZERO);
     }
     fft_in_place(scratch, true)?;
     Ok(())

@@ -372,8 +372,63 @@ impl Tensor {
 /// write-back, so the steady-state memory traffic per FMA is a single
 /// streaming read of `B`. For every output element the additions happen in
 /// ascending `p` order, keeping results bitwise identical to the naive triple
-/// loop regardless of tiling or thread count.
+/// loop regardless of tiling, thread count, or `runtime::simd` dispatch tier:
+/// the scalar tier runs the naive loop as the reference, while portable and
+/// native run the tiled body (natively recompiled under AVX2/NEON — without
+/// FMA, so no multiply-add fusion can change rounding).
 fn matmul_row_block(a: &[f32], b: &[f32], out: &mut [f32], first_row: usize, k: usize, m: usize) {
+    match runtime::simd::mode() {
+        runtime::simd::SimdMode::Scalar => matmul_row_block_scalar(a, b, out, first_row, k, m),
+        runtime::simd::SimdMode::Portable => matmul_row_block_body(a, b, out, first_row, k, m),
+        runtime::simd::SimdMode::Native => matmul_row_block_native(a, b, out, first_row, k, m),
+    }
+}
+
+/// Naive ascending-`p` triple loop: the bitwise reference for the tiled body.
+fn matmul_row_block_scalar(a: &[f32], b: &[f32], out: &mut [f32], first_row: usize, k: usize, m: usize) {
+    let rows = out.len() / m.max(1);
+    for r in 0..rows {
+        let a_base = (first_row + r) * k;
+        for j in 0..m {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[a_base + p] * b[p * m + j];
+            }
+            out[r * m + j] = acc;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn matmul_row_block_native(a: &[f32], b: &[f32], out: &mut [f32], first_row: usize, k: usize, m: usize) {
+    #[target_feature(enable = "avx2")]
+    unsafe fn go(a: &[f32], b: &[f32], out: &mut [f32], first_row: usize, k: usize, m: usize) {
+        matmul_row_block_body(a, b, out, first_row, k, m)
+    }
+    // SAFETY: `runtime::simd::mode()` returns `Native` only after detecting
+    // AVX2 at runtime. `avx2` does not imply `fma`, so no multiply-add fuses
+    // and the result stays bitwise identical to the portable body.
+    unsafe { go(a, b, out, first_row, k, m) }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn matmul_row_block_native(a: &[f32], b: &[f32], out: &mut [f32], first_row: usize, k: usize, m: usize) {
+    #[target_feature(enable = "neon")]
+    unsafe fn go(a: &[f32], b: &[f32], out: &mut [f32], first_row: usize, k: usize, m: usize) {
+        matmul_row_block_body(a, b, out, first_row, k, m)
+    }
+    // SAFETY: NEON is baseline on our aarch64 targets and introduces no
+    // contraction; results stay bitwise identical to the portable body.
+    unsafe { go(a, b, out, first_row, k, m) }
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn matmul_row_block_native(a: &[f32], b: &[f32], out: &mut [f32], first_row: usize, k: usize, m: usize) {
+    matmul_row_block_body(a, b, out, first_row, k, m)
+}
+
+#[inline(always)]
+fn matmul_row_block_body(a: &[f32], b: &[f32], out: &mut [f32], first_row: usize, k: usize, m: usize) {
     /// Register-tile width (output columns per micro-kernel invocation).
     const NR: usize = 32;
     /// Register-tile height (output rows per micro-kernel invocation).
@@ -402,14 +457,24 @@ fn matmul_row_block(a: &[f32], b: &[f32], out: &mut [f32], first_row: usize, k: 
             }
             j0 += NR;
         }
-        // Column remainder: per-row scalar inner products (same ascending-p order).
-        for q in 0..MR {
-            for j in j0..m {
-                let mut acc = 0.0f32;
-                for p in 0..k {
-                    acc += a[a_base + q * k + p] * b[p * m + j];
+        // Column remainder: a variable-width (≤ NR) lane tile, so narrow
+        // matrices (the model's m = 8..16 layers) still accumulate whole
+        // output rows in registers. Per output element the adds remain in
+        // ascending-p order — bitwise identical to the scalar reference.
+        let cw = m - j0;
+        if cw > 0 {
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in 0..k {
+                let bvals = &b[p * m + j0..p * m + j0 + cw];
+                for (q, acc_row) in acc.iter_mut().enumerate() {
+                    let av = a[a_base + q * k + p];
+                    for (o, &bv) in acc_row[..cw].iter_mut().zip(bvals) {
+                        *o += av * bv;
+                    }
                 }
-                out[out_base + q * m + j] = acc;
+            }
+            for (q, acc_row) in acc.iter().enumerate() {
+                out[out_base + q * m + j0..out_base + q * m + j0 + cw].copy_from_slice(&acc_row[..cw]);
             }
         }
         r += MR;
@@ -431,12 +496,16 @@ fn matmul_row_block(a: &[f32], b: &[f32], out: &mut [f32], first_row: usize, k: 
             out_row[j0..j0 + NR].copy_from_slice(&acc);
             j0 += NR;
         }
-        for j in j0..m {
-            let mut acc = 0.0f32;
+        let cw = m - j0;
+        if cw > 0 {
+            let mut acc = [0.0f32; NR];
             for (p, &av) in arow.iter().enumerate() {
-                acc += av * b[p * m + j];
+                let bvals = &b[p * m + j0..p * m + j0 + cw];
+                for (o, &bv) in acc[..cw].iter_mut().zip(bvals) {
+                    *o += av * bv;
+                }
             }
-            out_row[j] = acc;
+            out_row[j0..j0 + cw].copy_from_slice(&acc[..cw]);
         }
         r += 1;
     }

@@ -50,6 +50,7 @@ impl FixedFormat {
     }
 
     /// Number of fractional bits.
+    #[inline]
     pub fn frac_bits(&self) -> u32 {
         self.frac_bits
     }
@@ -60,23 +61,27 @@ impl FixedFormat {
     }
 
     /// Quantization step (resolution).
+    #[inline]
     pub fn resolution(&self) -> f32 {
         2.0f32.powi(-(self.frac_bits as i32))
     }
 
     /// Largest representable value.
+    #[inline]
     pub fn max_value(&self) -> f32 {
         let max_raw = (1i64 << (self.word_bits - 1)) - 1;
         max_raw as f32 * self.resolution()
     }
 
     /// Smallest (most negative) representable value.
+    #[inline]
     pub fn min_value(&self) -> f32 {
         let min_raw = -(1i64 << (self.word_bits - 1));
         min_raw as f32 * self.resolution()
     }
 
     /// Raw integer code for a value (round-to-nearest, saturating).
+    #[inline]
     pub fn to_raw(&self, value: f32) -> i64 {
         if value.is_nan() {
             return 0;
@@ -94,11 +99,13 @@ impl FixedFormat {
     }
 
     /// Value represented by a raw integer code.
+    #[inline]
     pub fn from_raw(&self, raw: i64) -> f32 {
         raw as f32 * self.resolution()
     }
 
     /// Rounds a value onto the representable grid (saturating).
+    #[inline]
     pub fn quantize(&self, value: f32) -> f32 {
         self.from_raw(self.to_raw(value))
     }
@@ -113,6 +120,66 @@ impl FixedFormat {
     /// Worst-case quantization error (half a step) for in-range values.
     pub fn max_rounding_error(&self) -> f32 {
         self.resolution() / 2.0
+    }
+
+    /// Largest raw code (`2^(word_bits-1) − 1`).
+    #[inline]
+    pub fn max_raw(&self) -> i64 {
+        (1i64 << (self.word_bits - 1)) - 1
+    }
+
+    /// Smallest raw code (`−2^(word_bits-1)`).
+    #[inline]
+    pub fn min_raw(&self) -> i64 {
+        -(1i64 << (self.word_bits - 1))
+    }
+
+    /// Raw code as `i32` (valid because `word_bits <= 32`). The working type
+    /// of the integer kernels in `core::quantized`.
+    #[inline]
+    pub fn to_code(&self, value: f32) -> i32 {
+        self.to_raw(value) as i32
+    }
+
+    /// Value of an `i32` code; exact for every representable code because
+    /// `word_bits <= 24` formats fit in an f32 mantissa (wider formats keep
+    /// the usual f32 rounding of [`Self::from_raw`]).
+    #[inline]
+    pub fn from_code(&self, code: i32) -> f32 {
+        self.from_raw(code as i64)
+    }
+
+    /// Requantizes an exact integer accumulator from a grid with
+    /// `from_frac_bits` fractional bits onto this format: round half away
+    /// from zero (matching `f32::round`), then saturate to the code range.
+    ///
+    /// This is the integer-datapath equivalent of `quantize()` applied to the
+    /// accumulator's real value, with one exactness caveat: an accumulator
+    /// landing exactly halfway between grid steps rounds away from zero here,
+    /// while the f32 simulation may not represent the halfway point at all.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when `from_frac_bits` is smaller than this format's
+    /// fractional bits (the shift would have to be negative).
+    #[inline]
+    pub fn requantize_i64(&self, acc: i64, from_frac_bits: u32) -> i32 {
+        debug_assert!(from_frac_bits >= self.frac_bits, "requantize must narrow fractional bits");
+        let shift = from_frac_bits - self.frac_bits;
+        let rounded = if shift == 0 {
+            acc
+        } else {
+            // Branchless round-half-away: fold to magnitude, round, restore the
+            // sign. Equivalent to `if acc >= 0 { (acc + half) >> shift } else
+            // { -((-acc + half) >> shift) }` but with no data-dependent branch,
+            // which matters in the integer inference inner loops where the
+            // accumulator sign is effectively random.
+            let half = 1i64 << (shift - 1);
+            let sign = acc >> 63; // 0 for non-negative, -1 for negative
+            let magnitude = (acc ^ sign) - sign;
+            (((magnitude + half) >> shift) ^ sign) - sign
+        };
+        rounded.clamp(self.min_raw(), self.max_raw()) as i32
     }
 }
 

@@ -64,6 +64,7 @@
 pub mod backoff;
 pub mod json;
 pub mod poisson;
+pub mod simd;
 
 use std::sync::OnceLock;
 

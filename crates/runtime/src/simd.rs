@@ -1,0 +1,1326 @@
+//! Portable SIMD kernels with runtime dispatch.
+//!
+//! Every hot inner loop in the workspace (planned DAS/ToF/MVDR gathers, the
+//! register-tiled matmul, Hilbert/FIR passes, and the integer fixed-point
+//! datapath) funnels through this module. Three dispatch tiers exist:
+//!
+//! * **Scalar** — straightforward per-element loops. For reductions the
+//!   scalar path is written in the *lane-order* defined below, and is the
+//!   asserted bitwise reference for the other tiers.
+//! * **Portable** — the same arithmetic restructured around fixed-width
+//!   `[T; N]` lane blocks so LLVM can autovectorize it on any target.
+//! * **Native** — the portable bodies recompiled under
+//!   `#[target_feature(enable = "avx2")]` (x86-64) or `"neon"` (aarch64),
+//!   selected by runtime CPU detection, plus hand-written intrinsics where
+//!   autovectorization cannot reach (the i16 pair-madd kernel). The native
+//!   wrappers deliberately do **not** enable FMA: fusing a multiply-add
+//!   would change rounding and break bitwise identity with the reference.
+//!
+//! The active tier is picked once from the [`SIMD_ENV`] environment variable
+//! (`scalar`, `portable` or `native`) falling back to auto-detection, and can
+//! be overridden in-process with [`force_mode`] (used by equivalence tests to
+//! sweep tiers). Because every tier is bitwise identical, concurrent tests
+//! observing a forced mode mid-sweep still compute identical results.
+//!
+//! # Lane-order reduction contract
+//!
+//! Reducing kernels ([`reduce_lanes`], [`das_gather_reduce`]) accumulate
+//! element `e` into lane `e % 8`, tree-reduce the eight lanes as
+//! `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`, then fold the ragged tail in
+//! element order. All tiers implement exactly this order, which is why their
+//! floating-point results are bit-for-bit equal.
+//!
+//! # Adding a kernel
+//!
+//! 1. Write the scalar body (the reference) and, if it reduces, make it use
+//!    the lane order above.
+//! 2. Write the portable body over `[T; N]` chunks with the identical
+//!    per-element / per-lane arithmetic order.
+//! 3. Add a `#[target_feature]` wrapper in the `native` module (usually just
+//!    calling the portable body; intrinsics only when required — and never
+//!    FMA or reassociating ones).
+//! 4. Dispatch through [`mode`] and extend the proptest suite in
+//!    `tests/simd_equivalence.rs` with the new kernel.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable selecting the dispatch tier: `scalar`, `portable` or
+/// `native`. Unset or unrecognised values auto-detect (native when the CPU
+/// supports it, portable otherwise).
+pub const SIMD_ENV: &str = "TINY_VBF_SIMD";
+
+/// Fixed lane width for `f32` kernels. Matches a 256-bit AVX2 register; NEON
+/// targets process the same logical 8-lane block as two 128-bit halves.
+pub const F32_LANES: usize = 8;
+
+/// The dispatch tier a kernel call runs under. See the module docs for the
+/// exact semantics of each tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdMode {
+    /// Plain per-element loops; the bitwise reference.
+    Scalar,
+    /// Autovectorization-friendly fixed-width lane blocks.
+    Portable,
+    /// `#[target_feature]` specializations behind runtime CPU detection.
+    Native,
+}
+
+impl SimdMode {
+    /// Stable lowercase label (`"scalar"` / `"portable"` / `"native"`),
+    /// matching the [`SIMD_ENV`] vocabulary.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimdMode::Scalar => "scalar",
+            SimdMode::Portable => "portable",
+            SimdMode::Native => "native",
+        }
+    }
+}
+
+/// 0 = no override, 1 = scalar, 2 = portable, 3 = native.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+static DEFAULT: OnceLock<SimdMode> = OnceLock::new();
+
+/// Whether this CPU supports the native tier (AVX2 on x86-64, NEON on
+/// aarch64). Other architectures report `false` and fall back to portable.
+pub fn native_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true // NEON is baseline for the aarch64 targets we build.
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+fn detect() -> SimdMode {
+    let requested = std::env::var(SIMD_ENV).unwrap_or_default();
+    let mode = match requested.to_ascii_lowercase().as_str() {
+        "scalar" => SimdMode::Scalar,
+        "portable" => SimdMode::Portable,
+        "native" => SimdMode::Native,
+        _ => {
+            if native_available() {
+                SimdMode::Native
+            } else {
+                SimdMode::Portable
+            }
+        }
+    };
+    clamp_to_available(mode)
+}
+
+fn clamp_to_available(mode: SimdMode) -> SimdMode {
+    if mode == SimdMode::Native && !native_available() {
+        SimdMode::Portable
+    } else {
+        mode
+    }
+}
+
+/// The dispatch tier kernels currently run under. Resolved once from
+/// [`SIMD_ENV`] + CPU detection, unless overridden by [`force_mode`].
+/// Guaranteed never to return [`SimdMode::Native`] on a CPU without the
+/// required features.
+pub fn mode() -> SimdMode {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => SimdMode::Scalar,
+        2 => SimdMode::Portable,
+        3 => SimdMode::Native,
+        _ => *DEFAULT.get_or_init(detect),
+    }
+}
+
+/// Override the dispatch tier in-process (`None` restores the environment
+/// default). Intended for equivalence tests that sweep tiers; requesting
+/// `Native` on a CPU without it silently clamps to `Portable`. Because all
+/// tiers are bitwise identical, racing callers still get identical numbers.
+pub fn force_mode(mode: Option<SimdMode>) {
+    let raw = match mode.map(clamp_to_available) {
+        None => 0,
+        Some(SimdMode::Scalar) => 1,
+        Some(SimdMode::Portable) => 2,
+        Some(SimdMode::Native) => 3,
+    };
+    FORCED.store(raw, Ordering::Relaxed);
+}
+
+/// Every tier that can run on this machine, scalar first. Test helper for
+/// exhaustive mode sweeps.
+pub fn available_modes() -> Vec<SimdMode> {
+    let mut modes = vec![SimdMode::Scalar, SimdMode::Portable];
+    if native_available() {
+        modes.push(SimdMode::Native);
+    }
+    modes
+}
+
+#[inline(always)]
+fn lane_tree(l: &[f32; F32_LANES]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+// ---------------------------------------------------------------------------
+// f32 kernels: scalar references
+// ---------------------------------------------------------------------------
+
+fn axpy_scalar(acc: &mut [f32], a: f32, x: &[f32]) {
+    debug_assert_eq!(acc.len(), x.len());
+    for (o, &v) in acc.iter_mut().zip(x) {
+        *o += a * v;
+    }
+}
+
+fn scale_scalar(values: &mut [f32], factor: f32) {
+    for v in values {
+        *v *= factor;
+    }
+}
+
+fn reduce_scalar(values: &[f32]) -> f32 {
+    let chunks = values.len() / F32_LANES;
+    let mut lanes = [0.0f32; F32_LANES];
+    for c in 0..chunks {
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            *lane += values[c * F32_LANES + j];
+        }
+    }
+    let mut acc = lane_tree(&lanes);
+    for &v in &values[chunks * F32_LANES..] {
+        acc += v;
+    }
+    acc
+}
+
+fn gather_two_tap_scalar(flat: &[f32], tap0: &[u32], tap1: &[u32], w0: &[f32], w1: &[f32], out: &mut [f32]) {
+    debug_assert!(tap1.len() == tap0.len() && w0.len() == tap0.len() && w1.len() == tap0.len());
+    debug_assert_eq!(out.len(), tap0.len());
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = flat[tap0[j] as usize] * w0[j] + flat[tap1[j] as usize] * w1[j];
+    }
+}
+
+fn gather_two_tap_interleaved_scalar(
+    flat: &[f32],
+    tap0: &[u32],
+    tap1: &[u32],
+    w0: &[f32],
+    w1: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert!(tap1.len() == tap0.len() && w0.len() == tap0.len() && w1.len() == tap0.len());
+    debug_assert_eq!(out.len(), 2 * tap0.len());
+    for j in 0..tap0.len() {
+        let t0 = 2 * tap0[j] as usize;
+        let t1 = 2 * tap1[j] as usize;
+        out[2 * j] = flat[t0] * w0[j] + flat[t1] * w1[j];
+        out[2 * j + 1] = flat[t0 + 1] * w0[j] + flat[t1 + 1] * w1[j];
+    }
+}
+
+fn das_gather_reduce_scalar(
+    flat: &[f32],
+    tap0: &[u32],
+    tap1: &[u32],
+    w0: &[f32],
+    w1: &[f32],
+    apod: &[f32],
+) -> f32 {
+    let len = tap0.len();
+    debug_assert!(tap1.len() == len && w0.len() == len && w1.len() == len && apod.len() == len);
+    let chunks = len / F32_LANES;
+    let mut lanes = [0.0f32; F32_LANES];
+    for c in 0..chunks {
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            let e = c * F32_LANES + j;
+            let v = flat[tap0[e] as usize] * w0[e] + flat[tap1[e] as usize] * w1[e];
+            *lane += apod[e] * v;
+        }
+    }
+    let mut acc = lane_tree(&lanes);
+    for e in chunks * F32_LANES..len {
+        let v = flat[tap0[e] as usize] * w0[e] + flat[tap1[e] as usize] * w1[e];
+        acc += apod[e] * v;
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// f32 kernels: portable lane bodies (identical arithmetic order)
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn axpy_lanes(acc: &mut [f32], a: f32, x: &[f32]) {
+    debug_assert_eq!(acc.len(), x.len());
+    let mut oc = acc.chunks_exact_mut(F32_LANES);
+    let mut xc = x.chunks_exact(F32_LANES);
+    for (o, v) in (&mut oc).zip(&mut xc) {
+        let v: &[f32; F32_LANES] = v.try_into().unwrap();
+        for (j, o) in o.iter_mut().enumerate() {
+            *o += a * v[j];
+        }
+    }
+    for (o, &v) in oc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *o += a * v;
+    }
+}
+
+#[inline(always)]
+fn scale_lanes(values: &mut [f32], factor: f32) {
+    let mut vc = values.chunks_exact_mut(F32_LANES);
+    for block in &mut vc {
+        for v in block.iter_mut() {
+            *v *= factor;
+        }
+    }
+    for v in vc.into_remainder() {
+        *v *= factor;
+    }
+}
+
+#[inline(always)]
+fn reduce_lanes_body(values: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; F32_LANES];
+    let mut vc = values.chunks_exact(F32_LANES);
+    for block in &mut vc {
+        let block: &[f32; F32_LANES] = block.try_into().unwrap();
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            *lane += block[j];
+        }
+    }
+    let mut acc = lane_tree(&lanes);
+    for &v in vc.remainder() {
+        acc += v;
+    }
+    acc
+}
+
+#[inline(always)]
+fn gather_two_tap_lanes(flat: &[f32], tap0: &[u32], tap1: &[u32], w0: &[f32], w1: &[f32], out: &mut [f32]) {
+    debug_assert!(tap1.len() == tap0.len() && w0.len() == tap0.len() && w1.len() == tap0.len());
+    debug_assert_eq!(out.len(), tap0.len());
+    let len = tap0.len();
+    let blocks = len / F32_LANES;
+    for b in 0..blocks {
+        let base = b * F32_LANES;
+        let mut vals = [0.0f32; F32_LANES];
+        for (j, val) in vals.iter_mut().enumerate() {
+            let e = base + j;
+            *val = flat[tap0[e] as usize] * w0[e] + flat[tap1[e] as usize] * w1[e];
+        }
+        out[base..base + F32_LANES].copy_from_slice(&vals);
+    }
+    for e in blocks * F32_LANES..len {
+        out[e] = flat[tap0[e] as usize] * w0[e] + flat[tap1[e] as usize] * w1[e];
+    }
+}
+
+#[inline(always)]
+fn gather_two_tap_interleaved_lanes(
+    flat: &[f32],
+    tap0: &[u32],
+    tap1: &[u32],
+    w0: &[f32],
+    w1: &[f32],
+    out: &mut [f32],
+) {
+    gather_two_tap_interleaved_scalar(flat, tap0, tap1, w0, w1, out);
+}
+
+#[inline(always)]
+fn das_gather_reduce_body(
+    flat: &[f32],
+    tap0: &[u32],
+    tap1: &[u32],
+    w0: &[f32],
+    w1: &[f32],
+    apod: &[f32],
+) -> f32 {
+    let len = tap0.len();
+    debug_assert!(tap1.len() == len && w0.len() == len && w1.len() == len && apod.len() == len);
+    let chunks = len / F32_LANES;
+    let mut lanes = [0.0f32; F32_LANES];
+    for c in 0..chunks {
+        let base = c * F32_LANES;
+        let mut vals = [0.0f32; F32_LANES];
+        for (j, val) in vals.iter_mut().enumerate() {
+            let e = base + j;
+            *val = flat[tap0[e] as usize] * w0[e] + flat[tap1[e] as usize] * w1[e];
+        }
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            *lane += apod[base + j] * vals[j];
+        }
+    }
+    let mut acc = lane_tree(&lanes);
+    for e in chunks * F32_LANES..len {
+        let v = flat[tap0[e] as usize] * w0[e] + flat[tap1[e] as usize] * w1[e];
+        acc += apod[e] * v;
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Integer kernels (exact arithmetic — every tier is trivially identical, the
+// native tier just executes more of it per instruction)
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn i64_axpy_body(acc: &mut [i64], a: i32, x: &[i32]) {
+    debug_assert_eq!(acc.len(), x.len());
+    let a = a as i64;
+    for (o, &v) in acc.iter_mut().zip(x) {
+        *o += a * v as i64;
+    }
+}
+
+#[inline(always)]
+fn madd_pairs_body(acc: &mut [i32], a_pair: i32, pairs: &[i32]) {
+    debug_assert_eq!(acc.len(), pairs.len());
+    let a0 = a_pair as i16 as i32;
+    let a1 = (a_pair >> 16) as i16 as i32;
+    for (o, &p) in acc.iter_mut().zip(pairs) {
+        let w0 = p as i16 as i32;
+        let w1 = (p >> 16) as i16 as i32;
+        *o += a0 * w0 + a1 * w1;
+    }
+}
+
+#[inline(always)]
+fn madd_block_body(acc: &mut [i32], a_pairs: &[i32], b_pairs: &[i32]) {
+    let m = acc.len();
+    debug_assert_eq!(b_pairs.len(), a_pairs.len() * m);
+    for (p, &ap) in a_pairs.iter().enumerate() {
+        madd_pairs_body(acc, ap, &b_pairs[p * m..(p + 1) * m]);
+    }
+}
+
+#[inline(always)]
+fn i64_mac_row_body(acc: &mut [i64], a_row: &[i32], b: &[i32]) {
+    let m = acc.len();
+    debug_assert_eq!(b.len(), a_row.len() * m);
+    for (p, &a) in a_row.iter().enumerate() {
+        i64_axpy_body(acc, a, &b[p * m..(p + 1) * m]);
+    }
+}
+
+#[inline(always)]
+fn madd_dot_body(a_pairs: &[i32], b_pairs: &[i32]) -> i64 {
+    debug_assert_eq!(a_pairs.len(), b_pairs.len());
+    let mut acc = 0i64;
+    for (&a, &b) in a_pairs.iter().zip(b_pairs) {
+        let a0 = a as i16 as i32;
+        let a1 = (a >> 16) as i16 as i32;
+        let b0 = b as i16 as i32;
+        let b1 = (b >> 16) as i16 as i32;
+        acc += (a0 * b0 + a1 * b1) as i64;
+    }
+    acc
+}
+
+#[inline(always)]
+fn accumulate_i32_into_i64_body(acc: &mut [i64], add: &[i32]) {
+    debug_assert_eq!(acc.len(), add.len());
+    for (o, &v) in acc.iter_mut().zip(add) {
+        *o += v as i64;
+    }
+}
+
+/// Pack two i16-range fixed-point codes into the `(lo, hi)` pair layout the
+/// [`madd_pairs`] kernel consumes. Both values must fit in `i16`.
+#[inline(always)]
+pub fn pack_i16_pair(lo: i32, hi: i32) -> i32 {
+    debug_assert!((-32768..=32767).contains(&lo) && (-32768..=32767).contains(&hi));
+    (((hi as u16 as u32) << 16) | (lo as u16 as u32)) as i32
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-point boundary conversion kernels (f32 <-> codes)
+// ---------------------------------------------------------------------------
+
+/// Scalar reference for [`quantize_codes`]: `round(v / 2^-frac)` half away
+/// from zero, saturated to `[min_raw, max_raw]`, NaN to code 0. `inv_step`
+/// must be the exact power of two `2^frac` so the multiply equals the
+/// division bit-for-bit.
+fn quantize_codes_scalar(values: &[f32], inv_step: f32, max_raw: i32, min_raw: i32, out: &mut [i32]) {
+    debug_assert_eq!(values.len(), out.len());
+    let max_f = max_raw as f32;
+    let min_f = min_raw as f32;
+    for (o, &v) in out.iter_mut().zip(values) {
+        let scaled = (v * inv_step).round();
+        *o = if scaled.is_nan() {
+            0
+        } else if scaled >= max_f {
+            max_raw
+        } else if scaled <= min_f {
+            min_raw
+        } else {
+            scaled as i32
+        };
+    }
+}
+
+/// Element-wise with one rounding per element, so the scalar loop is already
+/// the canonical order; the portable tier shares it verbatim.
+#[inline(always)]
+fn quantize_codes_body(values: &[f32], inv_step: f32, max_raw: i32, min_raw: i32, out: &mut [i32]) {
+    quantize_codes_scalar(values, inv_step, max_raw, min_raw, out)
+}
+
+/// Scalar reference for [`codes_to_f32`]: `code as f32 * step`. With `step`
+/// a power of two the multiply is exact, so every tier agrees trivially.
+fn codes_to_f32_scalar(codes: &[i32], step: f32, out: &mut [f32]) {
+    debug_assert_eq!(codes.len(), out.len());
+    for (o, &c) in out.iter_mut().zip(codes) {
+        *o = c as f32 * step;
+    }
+}
+
+#[inline(always)]
+fn codes_to_f32_body(codes: &[i32], step: f32, out: &mut [f32]) {
+    codes_to_f32_scalar(codes, step, out)
+}
+
+/// Scalar reference for [`shift_round_saturate_i32`]: drop `shift` fractional
+/// bits from exact i32 accumulators — round half away from zero — then clamp
+/// to `[min_raw, max_raw]`. Matches `FixedFormat::requantize_i64` on every
+/// input except `i32::MIN` (the magnitude fold would wrap), which callers
+/// must exclude through their accumulator bound.
+fn shift_round_saturate_i32_scalar(values: &[i32], shift: u32, min_raw: i32, max_raw: i32, out: &mut [i32]) {
+    debug_assert_eq!(values.len(), out.len());
+    debug_assert!(shift < 32);
+    if shift == 0 {
+        for (o, &v) in out.iter_mut().zip(values) {
+            *o = v.clamp(min_raw, max_raw);
+        }
+        return;
+    }
+    for (o, &v) in out.iter_mut().zip(values) {
+        debug_assert!(v != i32::MIN);
+        let sign = v >> 31;
+        let mag = (v ^ sign) - sign;
+        // `(mag + half) >> shift` without the overflowing add: the rounding
+        // carry out of the discarded bits is exactly bit `shift - 1` of the
+        // magnitude.
+        let rounded = (mag >> shift) + ((mag >> (shift - 1)) & 1);
+        *o = ((rounded ^ sign) - sign).clamp(min_raw, max_raw);
+    }
+}
+
+#[inline(always)]
+fn shift_round_saturate_i32_body(values: &[i32], shift: u32, min_raw: i32, max_raw: i32, out: &mut [i32]) {
+    shift_round_saturate_i32_scalar(values, shift, min_raw, max_raw, out)
+}
+
+// ---------------------------------------------------------------------------
+// Native tier
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod native {
+    use super::*;
+
+    // SAFETY (all wrappers): dispatch reaches this module only when `mode()`
+    // returned `Native`, which `clamp_to_available` guarantees implies AVX2
+    // was detected at runtime. `avx2` deliberately does not imply `fma`, so
+    // no multiply-add can be fused and every body stays bitwise identical to
+    // its scalar reference.
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_avx2(acc: &mut [f32], a: f32, x: &[f32]) {
+        axpy_lanes(acc, a, x)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn scale_avx2(values: &mut [f32], factor: f32) {
+        scale_lanes(values, factor)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce_avx2(values: &[f32]) -> f32 {
+        reduce_lanes_body(values)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn gather_two_tap_avx2(
+        flat: &[f32],
+        tap0: &[u32],
+        tap1: &[u32],
+        w0: &[f32],
+        w1: &[f32],
+        out: &mut [f32],
+    ) {
+        gather_two_tap_lanes(flat, tap0, tap1, w0, w1, out)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn gather_two_tap_interleaved_avx2(
+        flat: &[f32],
+        tap0: &[u32],
+        tap1: &[u32],
+        w0: &[f32],
+        w1: &[f32],
+        out: &mut [f32],
+    ) {
+        gather_two_tap_interleaved_lanes(flat, tap0, tap1, w0, w1, out)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn das_gather_reduce_avx2(
+        flat: &[f32],
+        tap0: &[u32],
+        tap1: &[u32],
+        w0: &[f32],
+        w1: &[f32],
+        apod: &[f32],
+    ) -> f32 {
+        das_gather_reduce_body(flat, tap0, tap1, w0, w1, apod)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn i64_axpy_avx2(acc: &mut [i64], a: i32, x: &[i32]) {
+        i64_axpy_body(acc, a, x)
+    }
+
+    /// 16 integer MACs per instruction via `_mm256_madd_epi16`. Exact: the
+    /// caller bounds `2 * |a| * |w|` per lane below `i32::MAX`, which also
+    /// excludes the lone wrapping case of `madd` (both products equal to
+    /// `(-32768)^2`).
+    #[target_feature(enable = "avx2")]
+    unsafe fn madd_pairs_avx2(acc: &mut [i32], a_pair: i32, pairs: &[i32]) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(acc.len(), pairs.len());
+        let av = _mm256_set1_epi32(a_pair);
+        let n = acc.len();
+        let blocks = n / 8;
+        for b in 0..blocks {
+            let i = b * 8;
+            // SAFETY: i + 8 <= n for both slices; loads/stores are unaligned.
+            let p = _mm256_loadu_si256(pairs.as_ptr().add(i) as *const __m256i);
+            let o = _mm256_loadu_si256(acc.as_ptr().add(i) as *const __m256i);
+            let r = _mm256_add_epi32(o, _mm256_madd_epi16(p, av));
+            _mm256_storeu_si256(acc.as_mut_ptr().add(i) as *mut __m256i, r);
+        }
+        // Half-width tail: narrow panels (e.g. head_dim-wide attention
+        // outputs) would otherwise fall through to the scalar loop entirely.
+        let mut i = blocks * 8;
+        if n - i >= 4 {
+            // SAFETY: i + 4 <= n for both slices.
+            let p = _mm_loadu_si128(pairs.as_ptr().add(i) as *const __m128i);
+            let o = _mm_loadu_si128(acc.as_ptr().add(i) as *const __m128i);
+            let r = _mm_add_epi32(o, _mm_madd_epi16(p, _mm256_castsi256_si128(av)));
+            _mm_storeu_si128(acc.as_mut_ptr().add(i) as *mut __m128i, r);
+            i += 4;
+        }
+        madd_pairs_body(&mut acc[i..], a_pair, &pairs[i..]);
+    }
+
+    /// Register-resident dot product over packed i16 pairs: the i32 lane
+    /// accumulator never touches memory, so narrow output panels avoid the
+    /// store-to-load chain of [`madd_pairs_avx2`]. Exact under the caller's
+    /// per-lane bound `2 * ceil(len/8) * max|a| * max|w| < i32::MAX`; the
+    /// ragged tail accumulates directly in i64 and needs no bound.
+    #[target_feature(enable = "avx2")]
+    unsafe fn madd_dot_avx2(a_pairs: &[i32], b_pairs: &[i32]) -> i64 {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(a_pairs.len(), b_pairs.len());
+        let n = a_pairs.len();
+        let blocks = n / 8;
+        let mut acc = 0i64;
+        if blocks > 0 {
+            let mut lanes = _mm256_setzero_si256();
+            for b in 0..blocks {
+                let i = b * 8;
+                // SAFETY: i + 8 <= n for both slices; loads are unaligned.
+                let a = _mm256_loadu_si256(a_pairs.as_ptr().add(i) as *const __m256i);
+                let w = _mm256_loadu_si256(b_pairs.as_ptr().add(i) as *const __m256i);
+                lanes = _mm256_add_epi32(lanes, _mm256_madd_epi16(a, w));
+            }
+            let lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(lanes));
+            let hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(lanes));
+            let sum = _mm256_add_epi64(lo, hi);
+            let s128 = _mm_add_epi64(_mm256_castsi256_si128(sum), _mm256_extracti128_si256::<1>(sum));
+            let s = _mm_add_epi64(s128, _mm_unpackhi_epi64(s128, s128));
+            acc = _mm_cvtsi128_si64(s);
+        }
+        acc + madd_dot_body(&a_pairs[blocks * 8..], &b_pairs[blocks * 8..])
+    }
+
+    /// Widen four i32 lanes to i64 and add — exact sign extension, so the
+    /// result is identical to the per-element reference.
+    #[target_feature(enable = "avx2")]
+    unsafe fn accumulate_i32_into_i64_avx2(acc: &mut [i64], add: &[i32]) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(acc.len(), add.len());
+        let n = acc.len();
+        let blocks = n / 4;
+        for b in 0..blocks {
+            let i = b * 4;
+            // SAFETY: i + 4 <= n for both slices; loads/stores are unaligned.
+            let a = _mm_loadu_si128(add.as_ptr().add(i) as *const __m128i);
+            let o = _mm256_loadu_si256(acc.as_ptr().add(i) as *const __m256i);
+            let r = _mm256_add_epi64(o, _mm256_cvtepi32_epi64(a));
+            _mm256_storeu_si256(acc.as_mut_ptr().add(i) as *mut __m256i, r);
+        }
+        accumulate_i32_into_i64_body(&mut acc[blocks * 4..], &add[blocks * 4..]);
+    }
+
+    /// Vectorized [`quantize_codes`]. Bitwise identity with the scalar
+    /// reference:
+    ///
+    /// * round half away from zero is computed as `trunc(x + copysign(0.5,
+    ///   x))`, which equals `f32::round` for every `|x| < 2^23` (0.5 divides
+    ///   the ulp there, so the add is exact); any `|x| >= 2^23` is integral,
+    ///   lies outside the 24-bit code range, and saturates to the same bound
+    ///   in both paths, so the zone where the two roundings could differ is
+    ///   unobservable.
+    /// * saturation compares the rounded value against `max_raw as f32` /
+    ///   `min_raw as f32` exactly like the reference (ordered compares, so
+    ///   NaN lanes fall through and are blended to code 0 afterwards).
+    /// * the final cvt sees an integral value clamped into `[min_raw,
+    ///   max_raw]`, hence exact under any rounding mode.
+    #[target_feature(enable = "avx2")]
+    unsafe fn quantize_codes_avx2(values: &[f32], inv_step: f32, max_raw: i32, min_raw: i32, out: &mut [i32]) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(values.len(), out.len());
+        let inv = _mm256_set1_ps(inv_step);
+        let max_f = _mm256_set1_ps(max_raw as f32);
+        let min_f = _mm256_set1_ps(min_raw as f32);
+        let max_i = _mm256_set1_epi32(max_raw);
+        let min_i = _mm256_set1_epi32(min_raw);
+        let half = _mm256_set1_ps(0.5);
+        let sign_bit = _mm256_set1_ps(-0.0);
+        let zero = _mm256_setzero_si256();
+        let n = values.len();
+        let blocks = n / 8;
+        for b in 0..blocks {
+            let i = b * 8;
+            // SAFETY: i + 8 <= n for both slices; loads/stores are unaligned.
+            let v = _mm256_loadu_ps(values.as_ptr().add(i));
+            let scaled = _mm256_mul_ps(v, inv);
+            let signed_half = _mm256_or_ps(half, _mm256_and_ps(scaled, sign_bit));
+            let rounded = _mm256_round_ps::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(
+                _mm256_add_ps(scaled, signed_half),
+            );
+            let sat_hi = _mm256_cmp_ps::<_CMP_GE_OQ>(rounded, max_f);
+            let sat_lo = _mm256_cmp_ps::<_CMP_LE_OQ>(rounded, min_f);
+            let nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(scaled, scaled);
+            // Clamp before the cvt so every lane converts exactly (a NaN lane
+            // becomes `min_f` under max_ps's second-operand rule and is then
+            // blended to zero).
+            let clamped = _mm256_min_ps(_mm256_max_ps(rounded, min_f), max_f);
+            let mut codes = _mm256_cvtps_epi32(clamped);
+            codes = _mm256_blendv_epi8(codes, max_i, _mm256_castps_si256(sat_hi));
+            codes = _mm256_blendv_epi8(codes, min_i, _mm256_castps_si256(sat_lo));
+            codes = _mm256_blendv_epi8(codes, zero, _mm256_castps_si256(nan));
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, codes);
+        }
+        quantize_codes_body(&values[blocks * 8..], inv_step, max_raw, min_raw, &mut out[blocks * 8..]);
+    }
+
+    /// Vectorized [`codes_to_f32`]: cvtdq2ps rounds to nearest exactly like
+    /// `c as f32`, and the power-of-two multiply is exact, so the result is
+    /// bitwise identical by construction.
+    #[target_feature(enable = "avx2")]
+    unsafe fn codes_to_f32_avx2(codes: &[i32], step: f32, out: &mut [f32]) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(codes.len(), out.len());
+        let stepv = _mm256_set1_ps(step);
+        let n = codes.len();
+        let blocks = n / 8;
+        for b in 0..blocks {
+            let i = b * 8;
+            // SAFETY: i + 8 <= n for both slices; loads/stores are unaligned.
+            let c = _mm256_loadu_si256(codes.as_ptr().add(i) as *const __m256i);
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_mul_ps(_mm256_cvtepi32_ps(c), stepv));
+        }
+        codes_to_f32_body(&codes[blocks * 8..], step, &mut out[blocks * 8..]);
+    }
+
+    /// 8-wide requantize: pure integer shifts/adds/compares, so every lane
+    /// computes exactly the scalar reference's value — bitwise identical by
+    /// construction. The rounding carry is recovered from bit `shift − 1` of
+    /// the magnitude, mirroring the scalar overflow-free formulation.
+    #[target_feature(enable = "avx2")]
+    unsafe fn shift_round_saturate_i32_avx2(values: &[i32], shift: u32, min_raw: i32, max_raw: i32, out: &mut [i32]) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(values.len(), out.len());
+        let minv = _mm256_set1_epi32(min_raw);
+        let maxv = _mm256_set1_epi32(max_raw);
+        let n = values.len();
+        let blocks = n / 8;
+        if shift == 0 {
+            for b in 0..blocks {
+                let i = b * 8;
+                // SAFETY: i + 8 <= n for both slices; loads/stores unaligned.
+                let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
+                let clamped = _mm256_min_epi32(_mm256_max_epi32(v, minv), maxv);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, clamped);
+            }
+        } else {
+            let cnt = _mm_cvtsi32_si128(shift as i32);
+            let cnt1 = _mm_cvtsi32_si128(shift as i32 - 1);
+            let one = _mm256_set1_epi32(1);
+            for b in 0..blocks {
+                let i = b * 8;
+                // SAFETY: i + 8 <= n for both slices; loads/stores unaligned.
+                let v = _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i);
+                let sign = _mm256_srai_epi32::<31>(v);
+                let mag = _mm256_sub_epi32(_mm256_xor_si256(v, sign), sign);
+                let q = _mm256_sra_epi32(mag, cnt);
+                let carry = _mm256_and_si256(_mm256_sra_epi32(mag, cnt1), one);
+                let r = _mm256_add_epi32(q, carry);
+                let res = _mm256_sub_epi32(_mm256_xor_si256(r, sign), sign);
+                let clamped = _mm256_min_epi32(_mm256_max_epi32(res, minv), maxv);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, clamped);
+            }
+        }
+        shift_round_saturate_i32_body(&values[blocks * 8..], shift, min_raw, max_raw, &mut out[blocks * 8..]);
+    }
+
+    /// Whole-block madd: one dispatch for an entire packed weight panel.
+    /// Same-feature calls inline, so the inner intrinsic loop fuses.
+    #[target_feature(enable = "avx2")]
+    unsafe fn madd_block_avx2(acc: &mut [i32], a_pairs: &[i32], b_pairs: &[i32]) {
+        let m = acc.len();
+        debug_assert_eq!(b_pairs.len(), a_pairs.len() * m);
+        for (p, &ap) in a_pairs.iter().enumerate() {
+            madd_pairs_avx2(acc, ap, &b_pairs[p * m..(p + 1) * m]);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn i64_mac_row_avx2(acc: &mut [i64], a_row: &[i32], b: &[i32]) {
+        i64_mac_row_body(acc, a_row, b)
+    }
+
+    pub fn axpy(acc: &mut [f32], a: f32, x: &[f32]) {
+        debug_assert!(native_available());
+        unsafe { axpy_avx2(acc, a, x) }
+    }
+    pub fn scale(values: &mut [f32], factor: f32) {
+        debug_assert!(native_available());
+        unsafe { scale_avx2(values, factor) }
+    }
+    pub fn reduce(values: &[f32]) -> f32 {
+        debug_assert!(native_available());
+        unsafe { reduce_avx2(values) }
+    }
+    pub fn gather_two_tap(flat: &[f32], tap0: &[u32], tap1: &[u32], w0: &[f32], w1: &[f32], out: &mut [f32]) {
+        debug_assert!(native_available());
+        unsafe { gather_two_tap_avx2(flat, tap0, tap1, w0, w1, out) }
+    }
+    pub fn gather_two_tap_interleaved(
+        flat: &[f32],
+        tap0: &[u32],
+        tap1: &[u32],
+        w0: &[f32],
+        w1: &[f32],
+        out: &mut [f32],
+    ) {
+        debug_assert!(native_available());
+        unsafe { gather_two_tap_interleaved_avx2(flat, tap0, tap1, w0, w1, out) }
+    }
+    pub fn das_gather_reduce(
+        flat: &[f32],
+        tap0: &[u32],
+        tap1: &[u32],
+        w0: &[f32],
+        w1: &[f32],
+        apod: &[f32],
+    ) -> f32 {
+        debug_assert!(native_available());
+        unsafe { das_gather_reduce_avx2(flat, tap0, tap1, w0, w1, apod) }
+    }
+    pub fn i64_axpy(acc: &mut [i64], a: i32, x: &[i32]) {
+        debug_assert!(native_available());
+        unsafe { i64_axpy_avx2(acc, a, x) }
+    }
+    pub fn madd_pairs(acc: &mut [i32], a_pair: i32, pairs: &[i32]) {
+        debug_assert!(native_available());
+        unsafe { madd_pairs_avx2(acc, a_pair, pairs) }
+    }
+    pub fn accumulate_i32_into_i64(acc: &mut [i64], add: &[i32]) {
+        debug_assert!(native_available());
+        unsafe { accumulate_i32_into_i64_avx2(acc, add) }
+    }
+    pub fn madd_block(acc: &mut [i32], a_pairs: &[i32], b_pairs: &[i32]) {
+        debug_assert!(native_available());
+        unsafe { madd_block_avx2(acc, a_pairs, b_pairs) }
+    }
+    pub fn i64_mac_row(acc: &mut [i64], a_row: &[i32], b: &[i32]) {
+        debug_assert!(native_available());
+        unsafe { i64_mac_row_avx2(acc, a_row, b) }
+    }
+    pub fn quantize_codes(values: &[f32], inv_step: f32, max_raw: i32, min_raw: i32, out: &mut [i32]) {
+        debug_assert!(native_available());
+        unsafe { quantize_codes_avx2(values, inv_step, max_raw, min_raw, out) }
+    }
+    pub fn codes_to_f32(codes: &[i32], step: f32, out: &mut [f32]) {
+        debug_assert!(native_available());
+        unsafe { codes_to_f32_avx2(codes, step, out) }
+    }
+    pub fn madd_dot(a_pairs: &[i32], b_pairs: &[i32]) -> i64 {
+        debug_assert!(native_available());
+        unsafe { madd_dot_avx2(a_pairs, b_pairs) }
+    }
+    pub fn shift_round_saturate_i32(values: &[i32], shift: u32, min_raw: i32, max_raw: i32, out: &mut [i32]) {
+        debug_assert!(native_available());
+        unsafe { shift_round_saturate_i32_avx2(values, shift, min_raw, max_raw, out) }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod native {
+    use super::*;
+
+    // SAFETY (all wrappers): `native_available()` is unconditionally true on
+    // aarch64 (NEON is baseline), and `#[target_feature(enable = "neon")]`
+    // only re-enables what the target already guarantees — no rounding
+    // behaviour changes, so bitwise identity with the reference holds.
+
+    pub fn axpy(acc: &mut [f32], a: f32, x: &[f32]) {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(acc: &mut [f32], a: f32, x: &[f32]) {
+            axpy_lanes(acc, a, x)
+        }
+        unsafe { go(acc, a, x) }
+    }
+    pub fn scale(values: &mut [f32], factor: f32) {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(values: &mut [f32], factor: f32) {
+            scale_lanes(values, factor)
+        }
+        unsafe { go(values, factor) }
+    }
+    pub fn reduce(values: &[f32]) -> f32 {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(values: &[f32]) -> f32 {
+            reduce_lanes_body(values)
+        }
+        unsafe { go(values) }
+    }
+    pub fn gather_two_tap(flat: &[f32], tap0: &[u32], tap1: &[u32], w0: &[f32], w1: &[f32], out: &mut [f32]) {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(flat: &[f32], tap0: &[u32], tap1: &[u32], w0: &[f32], w1: &[f32], out: &mut [f32]) {
+            gather_two_tap_lanes(flat, tap0, tap1, w0, w1, out)
+        }
+        unsafe { go(flat, tap0, tap1, w0, w1, out) }
+    }
+    pub fn gather_two_tap_interleaved(
+        flat: &[f32],
+        tap0: &[u32],
+        tap1: &[u32],
+        w0: &[f32],
+        w1: &[f32],
+        out: &mut [f32],
+    ) {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(flat: &[f32], tap0: &[u32], tap1: &[u32], w0: &[f32], w1: &[f32], out: &mut [f32]) {
+            gather_two_tap_interleaved_lanes(flat, tap0, tap1, w0, w1, out)
+        }
+        unsafe { go(flat, tap0, tap1, w0, w1, out) }
+    }
+    pub fn das_gather_reduce(
+        flat: &[f32],
+        tap0: &[u32],
+        tap1: &[u32],
+        w0: &[f32],
+        w1: &[f32],
+        apod: &[f32],
+    ) -> f32 {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(flat: &[f32], tap0: &[u32], tap1: &[u32], w0: &[f32], w1: &[f32], apod: &[f32]) -> f32 {
+            das_gather_reduce_body(flat, tap0, tap1, w0, w1, apod)
+        }
+        unsafe { go(flat, tap0, tap1, w0, w1, apod) }
+    }
+    pub fn i64_axpy(acc: &mut [i64], a: i32, x: &[i32]) {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(acc: &mut [i64], a: i32, x: &[i32]) {
+            i64_axpy_body(acc, a, x)
+        }
+        unsafe { go(acc, a, x) }
+    }
+    pub fn madd_pairs(acc: &mut [i32], a_pair: i32, pairs: &[i32]) {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(acc: &mut [i32], a_pair: i32, pairs: &[i32]) {
+            madd_pairs_body(acc, a_pair, pairs)
+        }
+        unsafe { go(acc, a_pair, pairs) }
+    }
+    pub fn accumulate_i32_into_i64(acc: &mut [i64], add: &[i32]) {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(acc: &mut [i64], add: &[i32]) {
+            accumulate_i32_into_i64_body(acc, add)
+        }
+        unsafe { go(acc, add) }
+    }
+    pub fn madd_block(acc: &mut [i32], a_pairs: &[i32], b_pairs: &[i32]) {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(acc: &mut [i32], a_pairs: &[i32], b_pairs: &[i32]) {
+            madd_block_body(acc, a_pairs, b_pairs)
+        }
+        unsafe { go(acc, a_pairs, b_pairs) }
+    }
+    pub fn i64_mac_row(acc: &mut [i64], a_row: &[i32], b: &[i32]) {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(acc: &mut [i64], a_row: &[i32], b: &[i32]) {
+            i64_mac_row_body(acc, a_row, b)
+        }
+        unsafe { go(acc, a_row, b) }
+    }
+    pub fn quantize_codes(values: &[f32], inv_step: f32, max_raw: i32, min_raw: i32, out: &mut [i32]) {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(values: &[f32], inv_step: f32, max_raw: i32, min_raw: i32, out: &mut [i32]) {
+            quantize_codes_body(values, inv_step, max_raw, min_raw, out)
+        }
+        unsafe { go(values, inv_step, max_raw, min_raw, out) }
+    }
+    pub fn codes_to_f32(codes: &[i32], step: f32, out: &mut [f32]) {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(codes: &[i32], step: f32, out: &mut [f32]) {
+            codes_to_f32_body(codes, step, out)
+        }
+        unsafe { go(codes, step, out) }
+    }
+    pub fn madd_dot(a_pairs: &[i32], b_pairs: &[i32]) -> i64 {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(a_pairs: &[i32], b_pairs: &[i32]) -> i64 {
+            madd_dot_body(a_pairs, b_pairs)
+        }
+        unsafe { go(a_pairs, b_pairs) }
+    }
+    pub fn shift_round_saturate_i32(values: &[i32], shift: u32, min_raw: i32, max_raw: i32, out: &mut [i32]) {
+        #[target_feature(enable = "neon")]
+        unsafe fn go(values: &[i32], shift: u32, min_raw: i32, max_raw: i32, out: &mut [i32]) {
+            shift_round_saturate_i32_body(values, shift, min_raw, max_raw, out)
+        }
+        unsafe { go(values, shift, min_raw, max_raw, out) }
+    }
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod native {
+    // `native_available()` is false here, so these aliases are unreachable
+    // through `mode()`; they exist only to keep dispatch uniform.
+    use super::*;
+
+    pub fn axpy(acc: &mut [f32], a: f32, x: &[f32]) {
+        axpy_lanes(acc, a, x)
+    }
+    pub fn scale(values: &mut [f32], factor: f32) {
+        scale_lanes(values, factor)
+    }
+    pub fn reduce(values: &[f32]) -> f32 {
+        reduce_lanes_body(values)
+    }
+    pub fn gather_two_tap(flat: &[f32], tap0: &[u32], tap1: &[u32], w0: &[f32], w1: &[f32], out: &mut [f32]) {
+        gather_two_tap_lanes(flat, tap0, tap1, w0, w1, out)
+    }
+    pub fn gather_two_tap_interleaved(
+        flat: &[f32],
+        tap0: &[u32],
+        tap1: &[u32],
+        w0: &[f32],
+        w1: &[f32],
+        out: &mut [f32],
+    ) {
+        gather_two_tap_interleaved_lanes(flat, tap0, tap1, w0, w1, out)
+    }
+    pub fn das_gather_reduce(
+        flat: &[f32],
+        tap0: &[u32],
+        tap1: &[u32],
+        w0: &[f32],
+        w1: &[f32],
+        apod: &[f32],
+    ) -> f32 {
+        das_gather_reduce_body(flat, tap0, tap1, w0, w1, apod)
+    }
+    pub fn i64_axpy(acc: &mut [i64], a: i32, x: &[i32]) {
+        i64_axpy_body(acc, a, x)
+    }
+    pub fn madd_pairs(acc: &mut [i32], a_pair: i32, pairs: &[i32]) {
+        madd_pairs_body(acc, a_pair, pairs)
+    }
+    pub fn accumulate_i32_into_i64(acc: &mut [i64], add: &[i32]) {
+        accumulate_i32_into_i64_body(acc, add)
+    }
+    pub fn madd_block(acc: &mut [i32], a_pairs: &[i32], b_pairs: &[i32]) {
+        madd_block_body(acc, a_pairs, b_pairs)
+    }
+    pub fn i64_mac_row(acc: &mut [i64], a_row: &[i32], b: &[i32]) {
+        i64_mac_row_body(acc, a_row, b)
+    }
+    pub fn quantize_codes(values: &[f32], inv_step: f32, max_raw: i32, min_raw: i32, out: &mut [i32]) {
+        quantize_codes_body(values, inv_step, max_raw, min_raw, out)
+    }
+    pub fn codes_to_f32(codes: &[i32], step: f32, out: &mut [f32]) {
+        codes_to_f32_body(codes, step, out)
+    }
+    pub fn madd_dot(a_pairs: &[i32], b_pairs: &[i32]) -> i64 {
+        madd_dot_body(a_pairs, b_pairs)
+    }
+    pub fn shift_round_saturate_i32(values: &[i32], shift: u32, min_raw: i32, max_raw: i32, out: &mut [i32]) {
+        shift_round_saturate_i32_body(values, shift, min_raw, max_raw, out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched public kernels
+// ---------------------------------------------------------------------------
+
+/// `acc[i] += a * x[i]`. Element-wise, so every tier is bitwise identical.
+pub fn axpy(acc: &mut [f32], a: f32, x: &[f32]) {
+    match mode() {
+        SimdMode::Scalar => axpy_scalar(acc, a, x),
+        SimdMode::Portable => axpy_lanes(acc, a, x),
+        SimdMode::Native => native::axpy(acc, a, x),
+    }
+}
+
+/// `values[i] *= factor`. Element-wise, so every tier is bitwise identical.
+pub fn scale(values: &mut [f32], factor: f32) {
+    match mode() {
+        SimdMode::Scalar => scale_scalar(values, factor),
+        SimdMode::Portable => scale_lanes(values, factor),
+        SimdMode::Native => native::scale(values, factor),
+    }
+}
+
+/// Sum a slice in the module's lane-order reduction (see the module docs).
+/// The scalar tier is the reference; all tiers match it bit-for-bit.
+pub fn reduce_lanes(values: &[f32]) -> f32 {
+    match mode() {
+        SimdMode::Scalar => reduce_scalar(values),
+        SimdMode::Portable => reduce_lanes_body(values),
+        SimdMode::Native => native::reduce(values),
+    }
+}
+
+/// Two-tap interpolating gather: `out[j] = flat[tap0[j]]*w0[j] +
+/// flat[tap1[j]]*w1[j]`. Element-wise, bitwise identical across tiers.
+pub fn gather_two_tap(flat: &[f32], tap0: &[u32], tap1: &[u32], w0: &[f32], w1: &[f32], out: &mut [f32]) {
+    match mode() {
+        SimdMode::Scalar => gather_two_tap_scalar(flat, tap0, tap1, w0, w1, out),
+        SimdMode::Portable => gather_two_tap_lanes(flat, tap0, tap1, w0, w1, out),
+        SimdMode::Native => native::gather_two_tap(flat, tap0, tap1, w0, w1, out),
+    }
+}
+
+/// Two-tap gather over interleaved complex data (`flat[2t]`, `flat[2t+1]` are
+/// the re/im of element `t`); writes `2 * tap0.len()` floats. Element-wise,
+/// bitwise identical across tiers.
+pub fn gather_two_tap_interleaved(
+    flat: &[f32],
+    tap0: &[u32],
+    tap1: &[u32],
+    w0: &[f32],
+    w1: &[f32],
+    out: &mut [f32],
+) {
+    match mode() {
+        SimdMode::Scalar => gather_two_tap_interleaved_scalar(flat, tap0, tap1, w0, w1, out),
+        SimdMode::Portable => gather_two_tap_interleaved_lanes(flat, tap0, tap1, w0, w1, out),
+        SimdMode::Native => native::gather_two_tap_interleaved(flat, tap0, tap1, w0, w1, out),
+    }
+}
+
+/// Fused planned-DAS kernel: gathers both taps, applies apodization and
+/// reduces in the module's lane order. Equivalent to materialising
+/// `apod[e] * (flat[tap0[e]]*w0[e] + flat[tap1[e]]*w1[e])` and calling
+/// [`reduce_lanes`], without the intermediate buffer.
+pub fn das_gather_reduce(
+    flat: &[f32],
+    tap0: &[u32],
+    tap1: &[u32],
+    w0: &[f32],
+    w1: &[f32],
+    apod: &[f32],
+) -> f32 {
+    match mode() {
+        SimdMode::Scalar => das_gather_reduce_scalar(flat, tap0, tap1, w0, w1, apod),
+        SimdMode::Portable => das_gather_reduce_body(flat, tap0, tap1, w0, w1, apod),
+        SimdMode::Native => native::das_gather_reduce(flat, tap0, tap1, w0, w1, apod),
+    }
+}
+
+/// `acc[i] += a * x[i]` in exact 64-bit integer arithmetic. The generic
+/// fixed-point MAC row kernel; identical across tiers by exactness.
+pub fn i64_axpy(acc: &mut [i64], a: i32, x: &[i32]) {
+    match mode() {
+        SimdMode::Scalar | SimdMode::Portable => i64_axpy_body(acc, a, x),
+        SimdMode::Native => native::i64_axpy(acc, a, x),
+    }
+}
+
+/// Dual-MAC over packed i16 pairs: with `a_pair = pack(a0, a1)` and
+/// `pairs[i] = pack(w0_i, w1_i)`, computes `acc[i] += a0*w0_i + a1*w1_i`.
+/// The native tier maps this to `_mm256_madd_epi16` (16 MACs/instruction);
+/// callers must bound `2 * max|a| * max|w|` below `i32::MAX` so the i32
+/// accumulator cannot overflow (see `core::quantized`). Exact across tiers.
+pub fn madd_pairs(acc: &mut [i32], a_pair: i32, pairs: &[i32]) {
+    match mode() {
+        SimdMode::Scalar | SimdMode::Portable => madd_pairs_body(acc, a_pair, pairs),
+        SimdMode::Native => native::madd_pairs(acc, a_pair, pairs),
+    }
+}
+
+/// Spill an i32 accumulator tile into the i64 row accumulator:
+/// `acc[i] += add[i]`. Exact across tiers.
+pub fn accumulate_i32_into_i64(acc: &mut [i64], add: &[i32]) {
+    match mode() {
+        SimdMode::Scalar | SimdMode::Portable => accumulate_i32_into_i64_body(acc, add),
+        SimdMode::Native => native::accumulate_i32_into_i64(acc, add),
+    }
+}
+
+/// [`madd_pairs`] over a whole packed panel in one dispatch: `a_pairs[p]`
+/// against the `p`-th row of `b_pairs` (layout `a_pairs.len() × acc.len()`).
+/// The caller's overflow bound must cover the entire panel. Exact across
+/// tiers.
+pub fn madd_block(acc: &mut [i32], a_pairs: &[i32], b_pairs: &[i32]) {
+    match mode() {
+        SimdMode::Scalar | SimdMode::Portable => madd_block_body(acc, a_pairs, b_pairs),
+        SimdMode::Native => native::madd_block(acc, a_pairs, b_pairs),
+    }
+}
+
+/// [`i64_axpy`] over a whole row-major panel in one dispatch: accumulates
+/// `a_row[p] * b[p][..]` for every `p` (layout `a_row.len() × acc.len()`).
+/// Exact across tiers.
+pub fn i64_mac_row(acc: &mut [i64], a_row: &[i32], b: &[i32]) {
+    match mode() {
+        SimdMode::Scalar | SimdMode::Portable => i64_mac_row_body(acc, a_row, b),
+        SimdMode::Native => native::i64_mac_row(acc, a_row, b),
+    }
+}
+
+/// Dot product over packed i16 pairs: with `a_pairs[i] = pack(a0_i, a1_i)`
+/// and `b_pairs[i] = pack(w0_i, w1_i)`, returns `Σ a0_i*w0_i + a1_i*w1_i` as
+/// exact `i64`. The native tier keeps its i32 lane accumulator in a register
+/// (no memory round-trip), so callers must bound
+/// `2 * ceil(len/8) * max|a| * max|w| < i32::MAX` — each of the eight lanes
+/// absorbs `ceil(len/8)` dual-products. Exact across tiers (integer sums in
+/// any order are identical when no intermediate overflows).
+pub fn madd_dot(a_pairs: &[i32], b_pairs: &[i32]) -> i64 {
+    match mode() {
+        SimdMode::Scalar | SimdMode::Portable => madd_dot_body(a_pairs, b_pairs),
+        SimdMode::Native => native::madd_dot(a_pairs, b_pairs),
+    }
+}
+
+/// Quantize a float slice onto a fixed-point grid:
+/// `out[i] = clamp(round(values[i] * inv_step))` with round half away from
+/// zero, saturation to `[min_raw, max_raw]` and NaN mapping to code 0.
+/// `inv_step` must be the exact power of two `2^frac` of the target grid.
+/// Element-wise with one rounding per element; the native tier's rounding
+/// construction is proven bitwise identical in `quantize_codes_avx2`.
+pub fn quantize_codes(values: &[f32], inv_step: f32, max_raw: i32, min_raw: i32, out: &mut [i32]) {
+    match mode() {
+        SimdMode::Scalar => quantize_codes_scalar(values, inv_step, max_raw, min_raw, out),
+        SimdMode::Portable => quantize_codes_body(values, inv_step, max_raw, min_raw, out),
+        SimdMode::Native => native::quantize_codes(values, inv_step, max_raw, min_raw, out),
+    }
+}
+
+/// Dequantize fixed-point codes back to floats: `out[i] = codes[i] as f32 *
+/// step`. With `step` a power of two both operations are exactly rounded the
+/// same way in every tier, so the result is bitwise identical.
+pub fn codes_to_f32(codes: &[i32], step: f32, out: &mut [f32]) {
+    match mode() {
+        SimdMode::Scalar => codes_to_f32_scalar(codes, step, out),
+        SimdMode::Portable => codes_to_f32_body(codes, step, out),
+        SimdMode::Native => native::codes_to_f32(codes, step, out),
+    }
+}
+
+/// Requantize exact i32 accumulators onto a narrower fixed-point grid:
+/// `out[i] = clamp(round_half_away(values[i] / 2^shift))`, saturating to
+/// `[min_raw, max_raw]`. Pure integer arithmetic, so every tier is bitwise
+/// identical. Callers must keep accumulators strictly above `i32::MIN`
+/// (the integer-matmul overflow bounds already guarantee this).
+pub fn shift_round_saturate_i32(values: &[i32], shift: u32, min_raw: i32, max_raw: i32, out: &mut [i32]) {
+    match mode() {
+        SimdMode::Scalar => shift_round_saturate_i32_scalar(values, shift, min_raw, max_raw, out),
+        SimdMode::Portable => shift_round_saturate_i32_body(values, shift, min_raw, max_raw, out),
+        SimdMode::Native => native::shift_round_saturate_i32(values, shift, min_raw, max_raw, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contributions(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.173).collect()
+    }
+
+    #[test]
+    fn reduce_matches_scalar_reference_on_ragged_lengths() {
+        for n in [0, 1, 7, 8, 9, 15, 16, 17, 64, 129] {
+            let vals = contributions(n);
+            let reference = reduce_scalar(&vals);
+            for m in available_modes() {
+                force_mode(Some(m));
+                assert_eq!(reduce_lanes(&vals).to_bits(), reference.to_bits(), "mode {:?} n {}", m, n);
+            }
+            force_mode(None);
+        }
+    }
+
+    #[test]
+    fn das_reduce_is_fused_reduce_of_contributions() {
+        let n = 43;
+        let flat: Vec<f32> = contributions(97);
+        let tap0: Vec<u32> = (0..n).map(|i| (i * 13 % 97) as u32).collect();
+        let tap1: Vec<u32> = (0..n).map(|i| (i * 29 % 97) as u32).collect();
+        let w0: Vec<f32> = (0..n).map(|i| (i % 7) as f32 * 0.11).collect();
+        let w1: Vec<f32> = (0..n).map(|i| 1.0 - (i % 7) as f32 * 0.11).collect();
+        let apod: Vec<f32> = (0..n).map(|i| (i % 5) as f32 * 0.21).collect();
+        let contrib: Vec<f32> = (0..n)
+            .map(|e| apod[e] * (flat[tap0[e] as usize] * w0[e] + flat[tap1[e] as usize] * w1[e]))
+            .collect();
+        let reference = reduce_scalar(&contrib);
+        for m in available_modes() {
+            force_mode(Some(m));
+            let fused = das_gather_reduce(&flat, &tap0, &tap1, &w0, &w1, &apod);
+            assert_eq!(fused.to_bits(), reference.to_bits(), "mode {:?}", m);
+        }
+        force_mode(None);
+    }
+
+    #[test]
+    fn madd_pairs_decomposes_packed_products_exactly() {
+        let acc_init: Vec<i32> = (0..37).map(|i| i * 1000 - 18000).collect();
+        let pairs: Vec<i32> = (0..37).map(|i| pack_i16_pair(i * 7 - 128, -i * 3 + 40)).collect();
+        let a_pair = pack_i16_pair(-300, 522);
+        let mut expect = acc_init.clone();
+        for (o, &p) in expect.iter_mut().zip(&pairs) {
+            let w0 = p as i16 as i32;
+            let w1 = (p >> 16) as i16 as i32;
+            *o += -300 * w0 + 522 * w1;
+        }
+        for m in available_modes() {
+            force_mode(Some(m));
+            let mut acc = acc_init.clone();
+            madd_pairs(&mut acc, a_pair, &pairs);
+            assert_eq!(acc, expect, "mode {:?}", m);
+        }
+        force_mode(None);
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for m in [SimdMode::Scalar, SimdMode::Portable, SimdMode::Native] {
+            assert!(["scalar", "portable", "native"].contains(&m.label()));
+        }
+    }
+}
