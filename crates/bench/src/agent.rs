@@ -26,6 +26,7 @@ use runtime::json::Json;
 use serve::router::{FaultPolicy, Router, StreamSpec};
 use serve::{
     BatchConfig, ChaosBeamformer, ChaosSchedule, DegradeConfig, ServeError, ServeResult,
+    TrySubmitError,
 };
 use std::collections::HashSet;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
@@ -221,7 +222,7 @@ pub fn build_router(config: &ScenarioConfig) -> Result<Router, String> {
     let batch_config = BatchConfig {
         max_batch: config.max_batch,
         linger: Duration::from_micros(config.linger_us),
-        queue_capacity: 1024,
+        queue_capacity: config.queue_capacity.unwrap_or(1024),
         ..BatchConfig::default()
     };
     let threads = (runtime::default_threads() / batch_config.workers.max(1)).max(1);
@@ -299,6 +300,12 @@ impl Default for ShardView {
 /// assigns to this shard are answered `status:"wrong_epoch"` instead of
 /// being served — the client's signal to refresh its routing table and
 /// fail over.
+///
+/// With `shed_on_full`, submissions that find the router's queue at
+/// capacity are refused immediately with `status:"shed"` (a typed,
+/// accounted outcome) instead of blocking the reader thread — the fan-in
+/// scenario's backpressure contract: overload must surface as data, not
+/// as a hung socket.
 pub fn serve_connection(
     stream: TcpStream,
     router: Arc<Router>,
@@ -306,6 +313,7 @@ pub fn serve_connection(
     pools: Arc<Vec<Vec<ChannelData>>>,
     deadline: Option<Duration>,
     shard_view: Option<ShardView>,
+    shed_on_full: bool,
 ) {
     // Satellite hardening: both socket directions are time-bounded, so a
     // dead or silent peer can never pin this connection's threads forever.
@@ -377,9 +385,11 @@ pub fn serve_connection(
             }
         }
         let frame = pools[stream_idx][seed as usize % FRAME_POOL].clone();
-        let submitted = match deadline {
-            Some(d) => router.submit_with_deadline(&specs[stream_idx], frame, d),
-            None => router.submit(&specs[stream_idx], frame),
+        let submitted = match (deadline, shed_on_full) {
+            (Some(d), false) => router.submit_with_deadline(&specs[stream_idx], frame, d),
+            (None, false) => router.submit(&specs[stream_idx], frame),
+            (Some(d), true) => router.try_submit_with_deadline(&specs[stream_idx], frame, d),
+            (None, true) => router.try_submit(&specs[stream_idx], frame),
         };
         match submitted {
             Ok(handle) => {
@@ -387,10 +397,15 @@ pub fn serve_connection(
                     break;
                 }
             }
-            Err(_) => {
-                // Shutting down: answer directly so the agent can account
-                // for the request instead of counting it lost.
-                let line = Json::obj([("id", Json::num(id as f64)), ("status", Json::str("error"))])
+            Err(e) => {
+                // Queue full (shed mode) or shutting down: answer directly
+                // so the agent can account for the request instead of
+                // counting it lost.
+                let status = match e {
+                    TrySubmitError::Full(_) => "shed",
+                    TrySubmitError::ShuttingDown(_) => "error",
+                };
+                let line = Json::obj([("id", Json::num(id as f64)), ("status", Json::str(status))])
                     .to_string_compact();
                 let mut writer = writer.lock().expect("response writer");
                 if writeln!(writer, "{line}").and_then(|_| writer.flush()).is_err() {

@@ -71,6 +71,7 @@ fn main() {
     let specs = Arc::new(specs);
     let pools = Arc::new(pools);
     let deadline = config.deadline_ms.map(Duration::from_millis);
+    let shed_on_full = config.shed_on_full;
     let stats_router = Arc::clone(&router);
     std::thread::spawn(move || {
         for stream in listener.incoming() {
@@ -80,7 +81,7 @@ fn main() {
             let specs = Arc::clone(&specs);
             let pools = Arc::clone(&pools);
             std::thread::spawn(move || {
-                agent::serve_connection(stream, router, specs, pools, deadline, None)
+                agent::serve_connection(stream, router, specs, pools, deadline, None, shed_on_full)
             });
         }
     });

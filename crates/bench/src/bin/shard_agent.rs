@@ -177,6 +177,7 @@ fn main() {
     let specs = Arc::new(specs);
     let pools = Arc::new(pools);
     let deadline = scenario.deadline_ms.map(Duration::from_millis);
+    let shed_on_full = scenario.shed_on_full;
     let stats_router = Arc::clone(&router);
     {
         let view = view.clone();
@@ -189,7 +190,7 @@ fn main() {
                 let pools = Arc::clone(&pools);
                 let view = view.clone();
                 std::thread::spawn(move || {
-                    agent::serve_connection(stream, router, specs, pools, deadline, Some(view))
+                    agent::serve_connection(stream, router, specs, pools, deadline, Some(view), shed_on_full)
                 });
             }
         });

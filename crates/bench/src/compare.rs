@@ -33,14 +33,25 @@ const HIGHER_IS_WORSE: &[&str] = &[
     "mean_us",
     "expired",
     "panicked",
+    "errors",
     "lost",
     "retries",
     "failovers",
     "server_rss_kb",
+    // Image-quality gate (eval_quality summaries): resolution blurs upward.
+    "fwhm_mm",
 ];
 
 /// Metrics where a smaller value is a regression.
-const LOWER_IS_WORSE: &[&str] = &["throughput_rps", "success_rate", "tail_success_rate"];
+const LOWER_IS_WORSE: &[&str] = &[
+    "throughput_rps",
+    "success_rate",
+    "tail_success_rate",
+    // Image-quality gate (eval_quality summaries): contrast fades downward.
+    "cr_db",
+    "cnr",
+    "gcnr",
+];
 
 /// Allowed movement of one metric in its bad direction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -397,6 +408,50 @@ mod tests {
         assert_eq!(t.lookup("hot", "p99_us").rel, 0.5);
         assert_eq!(t.lookup("cold", "p99_us").rel, 0.1);
         assert_eq!(t.lookup("cold", "lost"), Tolerance::default());
+    }
+
+    /// An eval_quality rung summary with the image-quality gate metrics.
+    fn quality_summary(name: &str, cr_db: f64, gcnr: f64, fwhm_mm: f64) -> Json {
+        Json::obj([
+            ("schema_version", Json::num(SCHEMA_VERSION as f64)),
+            ("scenario", Json::str(name)),
+            (
+                "quality",
+                Json::obj([
+                    ("cr_db", Json::num(cr_db)),
+                    ("cnr", Json::num(1.2)),
+                    ("gcnr", Json::num(gcnr)),
+                    ("fwhm_mm", Json::num(fwhm_mm)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn quality_metrics_gate_in_their_own_directions() {
+        let tolerances = Tolerances::from_json(
+            &Json::parse(
+                r#"{"defaults": {"cr_db": {"abs": 0.5}, "cnr": {"abs": 10}, "gcnr": {"abs": 0.05}, "fwhm_mm": {"abs": 0.1}}}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let base =
+            baseline_from_summaries("fast", &[quality_summary("quality_fx16", 10.0, 0.85, 0.6)]).unwrap();
+
+        // Contrast falling and resolution blurring beyond slack both fail.
+        let faded =
+            compare(&base, &[quality_summary("quality_fx16", 9.0, 0.85, 0.6)], &tolerances).unwrap();
+        assert!(faded.regressions().any(|d| d.metric == "cr_db"), "{}", faded.render());
+        let blurred =
+            compare(&base, &[quality_summary("quality_fx16", 10.0, 0.85, 0.8)], &tolerances).unwrap();
+        assert!(blurred.regressions().any(|d| d.metric == "fwhm_mm"), "{}", blurred.render());
+
+        // Sharper and higher-contrast images are improvements, never failures.
+        let better =
+            compare(&base, &[quality_summary("quality_fx16", 12.0, 0.95, 0.4)], &tolerances).unwrap();
+        assert!(!better.regressed(), "{}", better.render());
+        assert!(better.deltas.iter().any(|d| d.improved));
     }
 
     #[test]

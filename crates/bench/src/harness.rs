@@ -212,6 +212,14 @@ pub struct ScenarioConfig {
     /// in milliseconds; `None` keeps engines forever. Drives the mid-run
     /// churn scenario's eviction half.
     pub engine_ttl_ms: Option<u64>,
+    /// Router submission-queue capacity override; `None` keeps the serving
+    /// default (1024). Small values make queue overflow reachable at bench
+    /// scale, which is what the fan-in scenario measures.
+    pub queue_capacity: Option<usize>,
+    /// Shed instead of blocking when the submission queue is full: the
+    /// server answers `status:"shed"` immediately (a typed, accounted
+    /// refusal) rather than exerting backpressure through the socket.
+    pub shed_on_full: bool,
 }
 
 impl ScenarioConfig {
@@ -240,6 +248,8 @@ impl ScenarioConfig {
             heartbeat_ms: 60,
             kill_shard_at_ms: None,
             engine_ttl_ms: None,
+            queue_capacity: None,
+            shed_on_full: false,
         }
     }
 
@@ -347,6 +357,9 @@ impl ScenarioConfig {
         if self.engine_ttl_ms == Some(0) {
             return Err("a zero engine TTL would evict every engine instantly".into());
         }
+        if self.queue_capacity == Some(0) {
+            return Err("a zero queue capacity would shed or block every request".into());
+        }
         if self.shards > 0 {
             if !matches!(self.load, LoadModel::ClosedLoop { .. }) {
                 return Err("sharded scenarios require a closed-loop load model".into());
@@ -453,6 +466,12 @@ impl ScenarioConfig {
         }
         if let Some(ttl) = self.engine_ttl_ms {
             pairs.push(("engine_ttl_ms".to_string(), Json::num(ttl as f64)));
+        }
+        if let Some(capacity) = self.queue_capacity {
+            pairs.push(("queue_capacity".to_string(), Json::num(capacity as f64)));
+        }
+        if self.shed_on_full {
+            pairs.push(("shed_on_full".to_string(), Json::Bool(true)));
         }
         if let Some(chaos) = &self.chaos {
             pairs.push((
@@ -591,6 +610,8 @@ impl ScenarioConfig {
             heartbeat_ms: value.get("heartbeat_ms").and_then(Json::as_u64).unwrap_or(60),
             kill_shard_at_ms: value.get("kill_shard_at_ms").and_then(Json::as_u64),
             engine_ttl_ms: value.get("engine_ttl_ms").and_then(Json::as_u64),
+            queue_capacity: value.get("queue_capacity").and_then(Json::as_usize),
+            shed_on_full: value.get("shed_on_full").and_then(Json::as_bool).unwrap_or(false),
         };
         config.validate()?;
         Ok(config)
@@ -1421,6 +1442,7 @@ pub fn summary_metrics(summary: &Json) -> Vec<(String, f64)> {
     let requests = summary.get("requests");
     push("expired", requests.and_then(|r| r.get("expired")).and_then(Json::as_f64));
     push("panicked", requests.and_then(|r| r.get("panicked")).and_then(Json::as_f64));
+    push("errors", requests.and_then(|r| r.get("errors")).and_then(Json::as_f64));
     push("lost", requests.and_then(|r| r.get("lost")).and_then(Json::as_f64));
     push(
         "server_rss_kb",
@@ -1433,6 +1455,13 @@ pub fn summary_metrics(summary: &Json) -> Vec<(String, f64)> {
         "tail_success_rate",
         summary.get("tail").and_then(|t| t.get("success_rate")).and_then(Json::as_f64),
     );
+    // Image-quality summaries (eval_quality) carry their gate metrics under
+    // a `quality` object; flatten them into the shared vocabulary.
+    let quality = summary.get("quality");
+    push("cr_db", quality.and_then(|q| q.get("cr_db")).and_then(Json::as_f64));
+    push("cnr", quality.and_then(|q| q.get("cnr")).and_then(Json::as_f64));
+    push("gcnr", quality.and_then(|q| q.get("gcnr")).and_then(Json::as_f64));
+    push("fwhm_mm", quality.and_then(|q| q.get("fwhm_mm")).and_then(Json::as_f64));
     metrics
 }
 
@@ -1660,5 +1689,36 @@ mod tests {
         assert_eq!(lookup("tail_success_rate"), 1.0);
         assert_eq!(lookup("retries"), 3.0);
         assert_eq!(lookup("server_rss_kb"), 4096.0);
+    }
+
+    #[test]
+    fn summary_metrics_flatten_quality_summaries() {
+        // eval_quality summaries carry only a `quality` object; the gate
+        // vocabulary must pick its four metrics up (and nothing else).
+        let summary = Json::obj([
+            ("schema_version", Json::num(SCHEMA_VERSION as f64)),
+            ("scenario", Json::str("quality_tiny-vbf-fx16")),
+            ("profile", Json::str("fast")),
+            (
+                "quality",
+                Json::obj([
+                    ("cr_db", Json::num(11.5)),
+                    ("cnr", Json::num(1.4)),
+                    ("gcnr", Json::num(0.87)),
+                    ("fwhm_mm", Json::num(0.62)),
+                    ("sqnr_db", Json::num(64.0)),
+                ]),
+            ),
+        ]);
+        let metrics = summary_metrics(&summary);
+        assert_eq!(
+            metrics,
+            vec![
+                ("cr_db".to_string(), 11.5),
+                ("cnr".to_string(), 1.4),
+                ("gcnr".to_string(), 0.87),
+                ("fwhm_mm".to_string(), 0.62),
+            ]
+        );
     }
 }

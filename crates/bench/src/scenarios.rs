@@ -14,6 +14,8 @@
 //! | `simd_kernels` | bench_pr9 | float vs fx16 integer datapath under serve load |
 //! | `poisson_openloop` | new | open-loop offered load (queueing, not capacity) |
 //! | `chaos_availability` | bench_pr6 | success rate under injected faults + ladder |
+//! | `stream_fanin` | new | many agents on one stream key: typed shedding, not backpressure hangs |
+//! | `shard_chaos` | new | shard kill compounded with injected panics/latency |
 //!
 //! Both profiles describe the *same* scenarios; [`Profile::Fast`] shrinks
 //! grids and durations to CI-smoke scale (~a second per scenario) while
@@ -34,6 +36,8 @@ pub fn scenario_names() -> Vec<&'static str> {
         "chaos_availability",
         "stream_churn",
         "shard_failover",
+        "stream_fanin",
+        "shard_chaos",
     ]
 }
 
@@ -217,6 +221,64 @@ pub fn scenario(name: &str, profile: Profile) -> Option<ScenarioConfig> {
             }
             config.seed = 0x5A8D;
         }
+        "stream_fanin" => {
+            // Fan-in overload: four agent processes all offering the *same*
+            // stream key into a deliberately tiny submission queue. With
+            // the blocking submit path, overload would surface as unbounded
+            // socket backpressure (reader threads parked on a full queue);
+            // `shed_on_full` turns it into `status:"shed"` — a typed,
+            // gate-visible outcome (`errors`) — while accepted requests
+            // keep bounded queueing delay. Chaos pins the per-call service
+            // time so capacity, and therefore the overflow, is
+            // machine-independent.
+            config.streams = vec![StreamLoad::new("chaos:das-planned")];
+            config.chaos =
+                Some(ChaosSpec { seed: 0xFA11, panic_one_in: 0, delay_one_in: 1, delay_ms: 2 });
+            config.agents = 4;
+            config.load = LoadModel::OpenLoopPoisson { rate_hz: if fast { 300.0 } else { 250.0 } };
+            config.queue_capacity = Some(8);
+            config.shed_on_full = true;
+            config.deadline_ms = Some(if fast { 100 } else { 200 });
+            config.max_batch = 4;
+            config.seed = 0xFA11;
+        }
+        "shard_chaos" => {
+            // Compound fault: both shards serve chaos-wrapped engines
+            // (seeded injected panics and latency) while the harness
+            // SIGKILLs the second shard mid-window. The bar compounds the
+            // failover scenario's: zero lost requests, panics surface as
+            // typed outcomes, clients retry and fail over through the
+            // blackout, and the tail window recovers to the chaos-limited
+            // steady state.
+            //
+            // The panic rate is deliberately far below the engine's
+            // consecutive-panic quarantine threshold (see the catalogue
+            // test): this scenario measures fault *transparency* — typed
+            // outcomes plus retry/failover riding through the kill — not
+            // circuit-breaker storms, which would drown the tail in
+            // `Quarantined` rejections a closed loop turns into a spin.
+            config.streams =
+                vec![StreamLoad::new("chaos:das-planned"), StreamLoad::new("chaos:das-planned")];
+            config.chaos = Some(ChaosSpec {
+                seed: 0xC0C5,
+                panic_one_in: 100,
+                delay_one_in: 2,
+                delay_ms: if fast { 2 } else { 4 },
+            });
+            config.max_batch = 2;
+            config.shards = 2;
+            config.lease_ttl_ms = 250;
+            config.heartbeat_ms = 80;
+            config.load = LoadModel::ClosedLoop { inflight: 4 };
+            config.deadline_ms = Some(500);
+            if fast {
+                config.duration_ms = 1_600;
+                config.kill_shard_at_ms = Some(700);
+            } else {
+                config.kill_shard_at_ms = Some(2_500);
+            }
+            config.seed = 0xC0C5;
+        }
         _ => return None,
     }
     Some(config)
@@ -285,6 +347,67 @@ mod tests {
             let recovery_bound = config.lease_ttl_ms + config.lease_ttl_ms / 4 + 100;
             assert!(kill_at > config.warmup_ms);
             assert!(kill_at + recovery_bound < tail_start, "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn fanin_scenario_overflows_a_tiny_queue_with_typed_shedding() {
+        for profile in [Profile::Fast, Profile::Full] {
+            let config = scenario("stream_fanin", profile).unwrap();
+            assert!(config.shed_on_full, "fan-in must shed, not block");
+            let capacity = config.queue_capacity.expect("tiny queue") as f64;
+            assert!(config.agents >= 4, "fan-in needs many agents on the one key");
+            assert_eq!(config.streams.len(), 1, "all agents share one stream key");
+            // The offered rate must exceed the chaos-pinned service
+            // capacity (1 worker × 1/delay) or the queue never overflows
+            // and the scenario stops measuring shedding.
+            let chaos = config.chaos.as_ref().expect("service time is chaos-pinned");
+            assert_eq!(chaos.delay_one_in, 1);
+            let capacity_rps = 1_000.0 / chaos.delay_ms as f64;
+            let LoadModel::OpenLoopPoisson { rate_hz } = config.load else {
+                panic!("fan-in must offer open-loop load");
+            };
+            let offered = rate_hz * config.agents as f64;
+            assert!(
+                offered > 1.5 * capacity_rps,
+                "{profile:?}: offered {offered} rps cannot overflow {capacity_rps} rps capacity"
+            );
+            // Queued wait is bounded by capacity × service time — the
+            // deadline must clear it, so accepted requests succeed and the
+            // only typed refusals are sheds.
+            assert!((capacity * chaos.delay_ms as f64) < config.deadline_ms.unwrap() as f64);
+        }
+    }
+
+    #[test]
+    fn shard_chaos_compounds_the_kill_with_seeded_faults() {
+        for profile in [Profile::Fast, Profile::Full] {
+            let config = scenario("shard_chaos", profile).unwrap();
+            assert_eq!(config.shards, 2);
+            assert!(config.kill_shard_at_ms.is_some());
+            let chaos = config.chaos.as_ref().expect("chaos schedule");
+            // The seeded panic schedule fires with probability 1/N per
+            // call, so a whole dispatch of `max_batch` calls panics with
+            // probability ≈ max_batch/N — and three *consecutive* panicked
+            // dispatches quarantine the engine, turning the closed loop
+            // into a 250 ms spin of typed rejections. Keep the per-dispatch
+            // panic probability low enough (N ≥ 20 × max_batch ⇒ cube
+            // ≤ 1.25e-4) that quarantine is out of the measured dynamics.
+            assert!(
+                chaos.panic_one_in >= 20 * config.max_batch as u64,
+                "panic cadence {} risks quarantine storms at batch {}",
+                chaos.panic_one_in,
+                config.max_batch
+            );
+            for stream in &config.streams {
+                assert!(stream.backend.starts_with("chaos:"), "both shards serve chaos engines");
+            }
+            // Same recovery arithmetic as shard_failover: the kill plus the
+            // blackout bound must land before the tail window starts.
+            let measured = config.duration_ms - config.warmup_ms;
+            let tail_start = config.warmup_ms + 3 * measured / 4;
+            let recovery_bound = config.lease_ttl_ms + config.lease_ttl_ms / 4 + 100;
+            assert!(config.kill_shard_at_ms.unwrap() + recovery_bound < tail_start, "{profile:?}");
         }
     }
 

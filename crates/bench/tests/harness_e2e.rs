@@ -116,6 +116,47 @@ fn stream_churn_spins_up_and_evicts_under_traffic() {
     );
 }
 
+/// Fan-in overload: four agents hammer one stream key into a tiny
+/// submission queue with `shed_on_full`. The backpressure contract: the
+/// overflow surfaces as typed `status:"shed"` refusals (the `errors`
+/// bucket) with zero lost requests — never as reader threads hanging on a
+/// blocking submit.
+#[test]
+fn stream_fanin_sheds_typed_errors_instead_of_hanging() {
+    let mut config =
+        bench::scenarios::scenario("stream_fanin", Profile::Fast).expect("catalogue scenario");
+    // Debug-scale geometry; the chaos-pinned 2 ms service time (not
+    // beamforming cost) stays the capacity limit.
+    config.channels = 8;
+    config.grid_rows = 8;
+    config.grid_cols = 4;
+    config.num_samples = 64;
+    config.duration_ms = 700;
+    config.warmup_ms = 150;
+    let outcome = run_scenario(&config, Profile::Fast).expect("fan-in scenario runs");
+
+    // Every request resolved, and resolved *typed*: ok, expired, or shed.
+    assert_eq!(outcome.lost, 0, "fan-in lost requests");
+    assert_eq!(
+        outcome.measured,
+        outcome.ok + outcome.expired + outcome.panicked + outcome.errors
+    );
+    assert_eq!(outcome.panicked, 0, "no panics are injected in this scenario");
+    // The tiny queue demonstrably overflowed (typed sheds in the errors
+    // bucket) while accepted traffic kept being served.
+    assert!(
+        outcome.errors > 0,
+        "offered load never overflowed the {}-slot queue into sheds",
+        config.queue_capacity.unwrap()
+    );
+    assert!(outcome.ok > 0, "shedding must not starve accepted requests");
+    // All four agents got answers — none was left hanging on backpressure.
+    assert_eq!(outcome.agent_summaries.len(), 4);
+    for agent in &outcome.agent_summaries {
+        assert!(agent.measured > 0, "agent {} saw no measured traffic", agent.agent);
+    }
+}
+
 #[test]
 fn invalid_configs_never_reach_the_process_spawn() {
     let mut config = tiny_scenario();

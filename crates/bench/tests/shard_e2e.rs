@@ -99,3 +99,60 @@ fn shard_kill_failover_recovers_and_matches_the_single_process_router() {
     }
     assert!(compared > 0, "no overlapping frames to compare — seeds out of sync?");
 }
+
+/// Compound fault: the shard kill of the failover scenario plus seeded
+/// injected panics and latency on *both* shards' engines. The bar
+/// compounds accordingly — zero lost requests, panics surfacing as typed
+/// outcomes, clients retrying and failing over through the blackout, and a
+/// tail window recovered to the chaos-limited steady state.
+#[test]
+fn shard_chaos_kill_recovers_with_typed_panics_and_zero_lost_requests() {
+    let mut config =
+        bench::scenarios::scenario("shard_chaos", Profile::Fast).expect("catalogue scenario");
+    // Debug-scale geometry; fault cadence, kill point and lease timings
+    // stay exactly the gated scenario's.
+    config.channels = 8;
+    config.grid_rows = 8;
+    config.grid_cols = 4;
+    config.num_samples = 64;
+    let outcome = run_scenario(&config, Profile::Fast).expect("shard-chaos scenario runs");
+
+    // Accounting: every request resolved, panics as typed outcomes.
+    assert_eq!(outcome.lost, 0, "requests were lost under compound faults");
+    assert_eq!(
+        outcome.measured,
+        outcome.ok + outcome.expired + outcome.panicked + outcome.errors
+    );
+    assert!(outcome.ok > 0, "no successful requests measured");
+    assert!(outcome.panicked >= 1, "the seeded panic schedule never surfaced");
+
+    // The kill happened and was survivable: the victim is marked, the
+    // registry evicted its lease, and clients retried/failed over.
+    let killed: Vec<usize> =
+        outcome.shards.iter().filter(|s| s.killed).map(|s| s.shard).collect();
+    assert_eq!(killed, vec![1]);
+    let registry = outcome.registry.as_ref().expect("registry stats");
+    let evictions =
+        registry.get("evictions").and_then(runtime::json::Json::as_u64).unwrap_or(0);
+    assert!(evictions >= 1, "registry never evicted the killed shard: {registry:?}");
+    assert!(outcome.retries >= 1, "no retries despite a shard kill");
+    assert!(outcome.failovers >= 1, "no failovers despite a shard kill");
+
+    // Tail recovery: past the blackout, success returns to the
+    // chaos-limited steady state (a small fraction of calls still panic by
+    // design, so full recovery is slightly below 1.0).
+    assert!(outcome.tail_measured > 0, "tail window saw no traffic");
+    assert!(
+        outcome.tail_success_rate() >= 0.80,
+        "tail did not recover: {}/{} ok",
+        outcome.tail_ok,
+        outcome.tail_measured
+    );
+
+    // Injected latency and panics must not break bitwise determinism of
+    // the frames that did serve.
+    assert!(!outcome.checks.is_empty(), "no response checksums collected");
+    for (key, sum) in &outcome.checks {
+        assert_ne!(sum, "!conflict", "checksum conflict for frame {key}");
+    }
+}

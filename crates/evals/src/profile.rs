@@ -1,0 +1,243 @@
+//! The [`QualityProfile`] document: measured per-rung image quality with a
+//! stable JSON schema.
+//!
+//! This is the contract between the offline evaluation pass, the committed
+//! `QUALITY_baseline.json` gate, and the calibration consumer — field names
+//! and nesting are part of the schema and only change with
+//! [`PROFILE_SCHEMA_VERSION`].
+
+use runtime::json::Json;
+
+/// Schema version of the [`QualityProfile`] wire form.
+pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+
+/// Measured image quality of one router backend rung.
+///
+/// Contrast metrics are means over every evaluated cyst of the contrast
+/// scenes (in-silico and in-vitro); resolution metrics are means over the
+/// central point targets of the resolution scene. `sqnr_db` is read from
+/// the serving adapter's own quality counters after rendering —
+/// `f64::INFINITY` for the exact float backend (serialized as JSON `null`,
+/// parsed back to `+inf`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungQuality {
+    /// Router backend label (e.g. `tiny-vbf-fx16`).
+    pub backend: String,
+    /// Paper scheme name (e.g. `16 bits`).
+    pub scheme: String,
+    /// Contrast ratio in dB, higher is better.
+    pub cr_db: f64,
+    /// Contrast-to-noise ratio, higher is better.
+    pub cnr: f64,
+    /// Generalized CNR in `[0, 1]`, higher is better.
+    pub gcnr: f64,
+    /// Axial full-width-half-maximum in mm, lower is better.
+    pub axial_mm: f64,
+    /// Lateral full-width-half-maximum in mm, lower is better.
+    pub lateral_mm: f64,
+    /// Condensed FWHM scalar (mean of axial and lateral), the gate metric.
+    pub fwhm_mm: f64,
+    /// Measured signal-to-quantization-noise ratio in dB.
+    pub sqnr_db: f64,
+}
+
+impl RungQuality {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("backend", Json::str(&self.backend)),
+            ("scheme", Json::str(&self.scheme)),
+            ("cr_db", Json::num(self.cr_db)),
+            ("cnr", Json::num(self.cnr)),
+            ("gcnr", Json::num(self.gcnr)),
+            ("axial_mm", Json::num(self.axial_mm)),
+            ("lateral_mm", Json::num(self.lateral_mm)),
+            ("fwhm_mm", Json::num(self.fwhm_mm)),
+            // `Json::num` maps non-finite to `null`; the float rung's
+            // infinite SQNR round-trips through that path.
+            ("sqnr_db", Json::num(self.sqnr_db)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        let field = |key: &str| -> Result<f64, String> {
+            match value.get(key) {
+                // Absent or null numeric fields read back as +inf (the only
+                // non-finite value the serializer can have dropped).
+                None => Err(format!("rung is missing `{key}`")),
+                Some(v) if v.is_null() => Ok(f64::INFINITY),
+                Some(v) => v.as_f64().ok_or_else(|| format!("rung `{key}` must be a number")),
+            }
+        };
+        Ok(Self {
+            backend: value
+                .get("backend")
+                .and_then(Json::as_str)
+                .ok_or("rung is missing `backend`")?
+                .to_string(),
+            scheme: value
+                .get("scheme")
+                .and_then(Json::as_str)
+                .ok_or("rung is missing `scheme`")?
+                .to_string(),
+            cr_db: field("cr_db")?,
+            cnr: field("cnr")?,
+            gcnr: field("gcnr")?,
+            axial_mm: field("axial_mm")?,
+            lateral_mm: field("lateral_mm")?,
+            fwhm_mm: field("fwhm_mm")?,
+            sqnr_db: field("sqnr_db")?,
+        })
+    }
+}
+
+/// The full evaluation result: one [`RungQuality`] per router backend, in
+/// ladder-catalogue order (`QuantScheme::all()`), plus the scene geometry
+/// that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityProfile {
+    /// Evaluation profile label (`fast` / `full`).
+    pub profile: String,
+    /// Base RNG seed every scene and the trained model derive from.
+    pub seed: u64,
+    /// Probe channel count of the evaluation scenes.
+    pub channels: usize,
+    /// Reconstruction-grid rows.
+    pub grid_rows: usize,
+    /// Reconstruction-grid columns.
+    pub grid_cols: usize,
+    /// Per-rung measurements, one per router backend.
+    pub rungs: Vec<RungQuality>,
+}
+
+impl QualityProfile {
+    /// The stable wire form (see module docs).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::num(PROFILE_SCHEMA_VERSION as f64)),
+            ("kind", Json::str("quality_profile")),
+            ("profile", Json::str(&self.profile)),
+            ("seed", Json::num(self.seed as f64)),
+            ("channels", Json::num(self.channels as f64)),
+            (
+                "grid",
+                Json::obj([
+                    ("rows", Json::num(self.grid_rows as f64)),
+                    ("cols", Json::num(self.grid_cols as f64)),
+                ]),
+            ),
+            ("rungs", Json::arr(self.rungs.iter().map(RungQuality::to_json))),
+        ])
+    }
+
+    /// Parses the wire form.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first missing or mistyped field, or a schema
+    /// version this library does not understand.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        match value.get("schema_version").and_then(Json::as_u64) {
+            Some(PROFILE_SCHEMA_VERSION) => {}
+            Some(other) => {
+                return Err(format!(
+                    "quality profile schema v{other} does not match this library (v{PROFILE_SCHEMA_VERSION})"
+                ))
+            }
+            None => return Err("quality profile is missing `schema_version`".into()),
+        }
+        let grid = value.get("grid").ok_or("quality profile is missing `grid`")?;
+        let rungs = value
+            .get("rungs")
+            .and_then(Json::as_arr)
+            .ok_or("quality profile is missing `rungs`")?
+            .iter()
+            .map(RungQuality::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            profile: value
+                .get("profile")
+                .and_then(Json::as_str)
+                .ok_or("quality profile is missing `profile`")?
+                .to_string(),
+            seed: value.get("seed").and_then(Json::as_u64).ok_or("quality profile is missing `seed`")?,
+            channels: value
+                .get("channels")
+                .and_then(Json::as_usize)
+                .ok_or("quality profile is missing `channels`")?,
+            grid_rows: grid.get("rows").and_then(Json::as_usize).ok_or("grid is missing `rows`")?,
+            grid_cols: grid.get("cols").and_then(Json::as_usize).ok_or("grid is missing `cols`")?,
+            rungs,
+        })
+    }
+
+    /// The rung measured for `backend`, if any.
+    pub fn rung(&self, backend: &str) -> Option<&RungQuality> {
+        self.rungs.iter().find(|r| r.backend == backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_profile() -> QualityProfile {
+        let rung = |backend: &str, scheme: &str, q: f64, sqnr: f64| RungQuality {
+            backend: backend.into(),
+            scheme: scheme.into(),
+            cr_db: 10.0 * q,
+            cnr: 1.5 * q,
+            gcnr: 0.9 * q,
+            axial_mm: 0.8 / q,
+            lateral_mm: 1.2 / q,
+            fwhm_mm: 1.0 / q,
+            sqnr_db: sqnr,
+        };
+        QualityProfile {
+            profile: "tiny".into(),
+            seed: 7,
+            channels: 16,
+            grid_rows: 40,
+            grid_cols: 16,
+            rungs: vec![
+                rung("tiny-vbf-fp", "Float", 1.0, f64::INFINITY),
+                rung("tiny-vbf-fx24", "24 bits", 0.99, 113.0),
+                rung("tiny-vbf-fx16", "16 bits", 0.80, 64.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn wire_form_round_trips_including_infinite_sqnr() {
+        let profile = sample_profile();
+        let text = profile.to_json().to_string_pretty();
+        let back = QualityProfile::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, profile);
+        assert!(back.rung("tiny-vbf-fp").unwrap().sqnr_db.is_infinite());
+    }
+
+    #[test]
+    fn schema_is_stable() {
+        // Field names are a wire contract: renaming one must fail this test.
+        let json = sample_profile().to_json();
+        assert_eq!(json.get("schema_version").and_then(Json::as_u64), Some(PROFILE_SCHEMA_VERSION));
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("quality_profile"));
+        let rung = &json.get("rungs").and_then(Json::as_arr).unwrap()[0];
+        for key in
+            ["backend", "scheme", "cr_db", "cnr", "gcnr", "axial_mm", "lateral_mm", "fwhm_mm", "sqnr_db"]
+        {
+            assert!(rung.get(key).is_some(), "rung field `{key}` missing from the wire form");
+        }
+    }
+
+    #[test]
+    fn version_and_field_errors_are_typed() {
+        let mut json = sample_profile().to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs[0].1 = Json::num(99.0);
+        }
+        assert!(QualityProfile::from_json(&json).unwrap_err().contains("schema v99"));
+        assert!(QualityProfile::from_json(&Json::obj([("schema_version", Json::num(1.0))]))
+            .unwrap_err()
+            .contains("missing"));
+    }
+}

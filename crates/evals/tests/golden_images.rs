@@ -1,0 +1,89 @@
+//! Golden-image regression: every rung's rendered phantom frame is bitwise
+//! pinned. A seeded, untrained Tiny-VBF model (weight init is fully
+//! deterministic in the config seed) renders one tiny contrast scene
+//! through each router backend — float plus the five integer rungs — and
+//! the raw interleaved IQ pixels must match the committed goldens bit for
+//! bit. Any change to the integer inference path (requantization order,
+//! rounding mode, accumulator width) shows up here before it shows up as a
+//! drifting quality metric.
+//!
+//! To bless new goldens after an *intentional* numerics change:
+//! `BLESS_GOLDENS=1 cargo test -p evals --test golden_images`.
+
+use beamforming::pipeline::Beamformer;
+use beamforming::plan::PlanCache;
+use quantize::QuantScheme;
+use std::path::PathBuf;
+use std::sync::Arc;
+use tiny_vbf::config::TinyVbfConfig;
+use tiny_vbf::evaluation::EvaluationConfig;
+use tiny_vbf::model::TinyVbf;
+use tiny_vbf::quantized::{QuantizedTinyVbf, QuantizedTinyVbfBeamformer};
+use ultrasound::picmus::PicmusKind;
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("goldens")
+}
+
+/// One 8-hex-digit `f32::to_bits` word per line: bit-exact, diffable, and
+/// byte-order independent.
+fn encode(pixels: &[f32]) -> String {
+    let mut out = String::with_capacity(pixels.len() * 9);
+    for p in pixels {
+        out.push_str(&format!("{:08x}\n", p.to_bits()));
+    }
+    out
+}
+
+#[test]
+fn rendered_frames_match_committed_goldens_bit_for_bit() {
+    // Tinier than the eval pass's fast profile: goldens pin numerics, not
+    // image quality, so the grid only needs enough pixels to exercise the
+    // whole pipeline.
+    let eval = EvaluationConfig { grid_rows: 24, grid_cols: 16, ..EvaluationConfig::test_size() };
+    let array = eval.array();
+    let grid = eval.grid();
+    let frame = eval.contrast_frame(PicmusKind::InSilico).expect("contrast scene");
+
+    // Untrained but fully seeded: TinyVbf::new derives every weight from
+    // the config seed, so the quantized rungs below are reproducible
+    // without a (slow) training pass.
+    let model_config = TinyVbfConfig::paper().for_frame(array.num_elements(), grid.num_cols());
+    let model = TinyVbf::new(&model_config).expect("seeded model");
+
+    let bless = std::env::var_os("BLESS_GOLDENS").is_some();
+    let tof_plans = Arc::new(PlanCache::new(8));
+    let mut blessed = Vec::new();
+    for scheme in QuantScheme::all() {
+        let backend = QuantizedTinyVbfBeamformer::with_tof_cache(
+            QuantizedTinyVbf::from_model(&model, scheme),
+            Arc::clone(&tof_plans),
+        );
+        let iq = backend
+            .beamform(&frame.channel_data, &frame.array, &grid, eval.sound_speed)
+            .expect("beamform");
+        let rendered = encode(&iq.to_interleaved());
+
+        let path = goldens_dir().join(format!("{}.hex", scheme.backend_label()));
+        if bless {
+            std::fs::create_dir_all(goldens_dir()).expect("goldens dir");
+            std::fs::write(&path, &rendered).expect("write golden");
+            blessed.push(scheme.backend_label());
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); run with BLESS_GOLDENS=1 to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            golden,
+            "rung {} drifted from its golden image — if the numerics change \
+             is intentional, re-bless with BLESS_GOLDENS=1",
+            scheme.backend_label()
+        );
+    }
+    assert!(!bless, "goldens blessed for {blessed:?} — rerun without BLESS_GOLDENS to verify");
+}

@@ -1,0 +1,74 @@
+//! End-to-end quality evaluation: render every router backend over the
+//! fast-profile phantom scenes, check the emitted profile's shape and determinism,
+//! and calibrate a degrade ladder from it.
+
+use evals::{calibrate, evaluate, EvalConfig, QualityProfile};
+use runtime::json::Json;
+
+#[test]
+fn fast_evaluation_covers_all_six_backends_and_calibrates() {
+    let profile = evaluate(&EvalConfig::fast()).expect("fast evaluation must succeed");
+
+    // One rung per router backend, in catalogue order.
+    let backends: Vec<&str> = profile.rungs.iter().map(|r| r.backend.as_str()).collect();
+    assert_eq!(
+        backends,
+        vec![
+            "tiny-vbf-fp",
+            "tiny-vbf-fx24",
+            "tiny-vbf-fx20",
+            "tiny-vbf-fx16",
+            "tiny-vbf-w8a20",
+            "tiny-vbf-w8a16"
+        ]
+    );
+    for rung in &profile.rungs {
+        assert!(rung.cr_db.is_finite(), "{}: CR {:?}", rung.backend, rung.cr_db);
+        assert!(rung.cnr.is_finite(), "{}: CNR {:?}", rung.backend, rung.cnr);
+        assert!(
+            (0.0..=1.0).contains(&rung.gcnr),
+            "{}: gCNR {:?} outside [0, 1]",
+            rung.backend,
+            rung.gcnr
+        );
+    }
+    // The float rung is exact: infinite SQNR; every quantized rung measures
+    // a finite one.
+    assert!(profile.rung("tiny-vbf-fp").unwrap().sqnr_db.is_infinite());
+    for backend in ["tiny-vbf-fx24", "tiny-vbf-fx20", "tiny-vbf-fx16", "tiny-vbf-w8a20", "tiny-vbf-w8a16"]
+    {
+        let sqnr = profile.rung(backend).unwrap().sqnr_db;
+        assert!(sqnr.is_finite() && sqnr > 0.0, "{backend}: SQNR {sqnr}");
+    }
+
+    // Wire form round-trips.
+    let text = profile.to_json().to_string_pretty();
+    let back = QualityProfile::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, profile);
+
+    // Calibration: a valid ladder over all six backends whose ordering
+    // matches the measured quality scores, descending.
+    let calibration = calibrate(&profile).expect("calibration from a measured profile");
+    assert_eq!(calibration.degrade.ladders[0].len(), 6);
+    assert!(calibration.degrade.validate().is_ok());
+    let scores: Vec<f64> = calibration.costs.iter().map(|c| c.quality_score).collect();
+    assert!(
+        scores.windows(2).all(|w| w[0] >= w[1]),
+        "ladder ordering must match measured quality: {scores:?}"
+    );
+    assert_eq!(calibration.costs[0].quality_cost, 0.0, "the head rung costs nothing");
+    // The measured SQNR floor sits below every rung's own measurement, so a
+    // freshly calibrated ladder never immediately trips its own floor.
+    if let Some(floor) = calibration.degrade.sqnr_floor_db {
+        for rung in &profile.rungs {
+            assert!(rung.sqnr_db > floor, "{}: measured {} <= floor {floor}", rung.backend, rung.sqnr_db);
+        }
+    }
+}
+
+#[test]
+fn evaluation_is_deterministic_for_a_fixed_seed() {
+    let a = evaluate(&EvalConfig::fast()).unwrap();
+    let b = evaluate(&EvalConfig::fast()).unwrap();
+    assert_eq!(a, b, "same config, same seed: the profile must be bit-identical");
+}

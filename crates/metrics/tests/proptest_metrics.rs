@@ -1,0 +1,148 @@
+//! Property-based tests for the image-quality metrics: the invariances the
+//! eval subsystem's gates lean on. Contrast metrics must not care about
+//! global gain (a beamformer that scales every pixel is neither better nor
+//! worse), FWHM must grow when the point spread genuinely widens, and no
+//! ROI placement — however far outside the field of view — may panic.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ultrasound::LinearArray;
+use usmetrics::contrast::contrast_metrics;
+use usmetrics::region::CircularRoi;
+use usmetrics::resolution::{fwhm, resolution_metrics};
+use beamforming::ImagingGrid;
+
+fn grid() -> ImagingGrid {
+    ImagingGrid::for_array(&LinearArray::l11_5v(), 0.005, 0.035, 120, 64)
+}
+
+/// Rayleigh-like speckle with a suppressed disc, the same construction the
+/// unit tests use — but parameterized by seed and suppression level.
+fn speckle_envelope(grid: &ImagingGrid, cyst: CircularRoi, inside_level: f32, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![0.0f32; grid.num_pixels()];
+    for row in 0..grid.num_rows() {
+        for col in 0..grid.num_cols() {
+            let u: f32 = rng.gen_range(1e-6..1.0);
+            let speckle = (-2.0 * u.ln()).sqrt();
+            let value =
+                if cyst.contains(grid.x(col), grid.z(row)) { inside_level * speckle } else { speckle };
+            out[row * grid.num_cols() + col] = value;
+        }
+    }
+    out
+}
+
+/// A discretely sampled Gaussian profile peaking at `centre`.
+fn gaussian_profile(n: usize, centre: f32, sigma: f32) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let d = i as f32 - centre;
+            (-(d * d) / (2.0 * sigma * sigma)).exp()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CR, CNR and GCNR are ratios of the envelope against itself: a global
+    /// gain applied to every pixel must leave all three unchanged (up to
+    /// histogram-bin rounding for GCNR).
+    #[test]
+    fn contrast_metrics_are_invariant_under_global_gain(
+        exponent in -2.5f32..2.5,
+        level in 0.02f32..0.8,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = grid();
+        let cyst = CircularRoi::new(0.0, 0.02, 0.004);
+        let envelope = speckle_envelope(&g, cyst, level, seed);
+        let gain = 10.0f32.powf(exponent);
+        let scaled: Vec<f32> = envelope.iter().map(|v| v * gain).collect();
+
+        let base = contrast_metrics(&envelope, &g, cyst).unwrap();
+        let after = contrast_metrics(&scaled, &g, cyst).unwrap();
+
+        prop_assert!((base.cr_db - after.cr_db).abs() <= 1e-2 * base.cr_db.max(1.0));
+        prop_assert!((base.cnr - after.cnr).abs() <= 1e-2 * base.cnr.max(0.1));
+        prop_assert!((base.gcnr - after.gcnr).abs() <= 0.02);
+        // Range sanity regardless of gain.
+        prop_assert!(after.gcnr >= 0.0 && after.gcnr <= 1.0);
+        prop_assert!(after.cnr >= 0.0 && after.cr_db >= 0.0);
+    }
+
+    /// A genuinely wider point spread must measure a larger FWHM — the
+    /// direction the `fwhm_mm` regression gate depends on.
+    #[test]
+    fn fwhm_grows_when_the_profile_widens(
+        sigma in 1.0f32..8.0,
+        widen in 1.05f32..2.0,
+        centre_jitter in -0.5f32..0.5,
+    ) {
+        let n = 101;
+        let centre = 50.0 + centre_jitter;
+        let narrow = gaussian_profile(n, centre, sigma);
+        let wide = gaussian_profile(n, centre, sigma * widen);
+        let w_narrow = fwhm(&narrow, 50).unwrap();
+        let w_wide = fwhm(&wide, 50).unwrap();
+        prop_assert!(
+            w_wide > w_narrow,
+            "widening by {widen} shrank FWHM: {w_narrow} -> {w_wide}"
+        );
+        // And both track the analytic 2.355·sigma within a sample.
+        prop_assert!((w_narrow - 2.355 * sigma).abs() <= 1.0);
+    }
+
+    /// Any cyst placement — including entirely outside the field of view,
+    /// or degenerate radii — resolves to `Ok` or a typed error, never a
+    /// panic or a non-finite metric.
+    #[test]
+    fn arbitrary_roi_placement_never_panics(
+        cx in -0.5f32..0.5,
+        cz in -0.5f32..0.5,
+        radius in 0.0f32..0.1,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = grid();
+        let probe = CircularRoi::new(0.0, 0.02, 0.004);
+        let envelope = speckle_envelope(&g, probe, 0.2, seed);
+        let cyst = CircularRoi::new(cx, cz, radius);
+        if let Ok(m) = contrast_metrics(&envelope, &g, cyst) {
+            prop_assert!(m.cr_db.is_finite() && m.cnr.is_finite());
+            prop_assert!(m.gcnr >= 0.0 && m.gcnr <= 1.0);
+        }
+    }
+
+    /// Same robustness bar for the resolution path: nominal target
+    /// positions anywhere (on-grid, off-grid, at the edges) never panic,
+    /// and successful measurements are finite and positive.
+    #[test]
+    fn arbitrary_target_position_never_panics(
+        tx in -0.5f32..0.5,
+        tz in -0.5f32..0.5,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = grid();
+        let probe = CircularRoi::new(0.0, 0.02, 0.004);
+        let envelope = speckle_envelope(&g, probe, 0.2, seed);
+        if let Ok(m) = resolution_metrics(&envelope, &g, tx, tz) {
+            prop_assert!(m.axial_mm.is_finite() && m.axial_mm > 0.0);
+            prop_assert!(m.lateral_mm.is_finite() && m.lateral_mm > 0.0);
+        }
+    }
+
+    /// `fwhm` is total on any profile/index pair: out-of-bounds peaks,
+    /// empty profiles, negative or non-monotone values all yield `None` or
+    /// a finite non-negative width.
+    #[test]
+    fn fwhm_is_total_on_arbitrary_profiles(
+        values in prop::collection::vec(-10.0f32..10.0, 0..64),
+        peak_idx in 0usize..80,
+    ) {
+        if let Some(w) = fwhm(&values, peak_idx) {
+            prop_assert!(w.is_finite() && w >= 0.0, "fwhm {w}");
+        }
+    }
+}

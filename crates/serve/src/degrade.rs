@@ -111,6 +111,58 @@ impl DegradeConfig {
         Self { ladders: vec![ladder], ..Self::default() }
     }
 
+    /// Builds a calibrated single-ladder config from measured per-rung image
+    /// quality (the offline `crates/evals` pass) instead of hand-picked
+    /// constants.
+    ///
+    /// The ladder is ordered by **measured** quality, best first — a stable
+    /// sort on [`RungMeasurement::quality_score`] descending, so rungs the
+    /// evaluation cannot distinguish keep their given relative order. The
+    /// SQNR floor is set `3 dB` below the worst rung's *measured* SQNR:
+    /// window-to-window jitter of a healthy bottom rung stays above it,
+    /// while a genuine quality collapse (kernel drift, poisoned counters)
+    /// still trips the upshift. Rungs whose SQNR is non-finite (exact
+    /// backends report `+inf`) don't constrain the floor; when no rung
+    /// reports a finite SQNR the floor is disabled.
+    ///
+    /// Requests on rung 0 are routed untouched (the controller only
+    /// rewrites the effective backend below rung 0), so calibration never
+    /// perturbs full-quality traffic — asserted by `serve/tests/degrade.rs`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when fewer than two rungs are measured,
+    /// a quality score is NaN, or two measurements share a backend label.
+    pub fn from_quality_profile(measurements: &[RungMeasurement]) -> ServeResult<Self> {
+        if measurements.len() < 2 {
+            return Err(ServeError::InvalidConfig(
+                "calibration needs at least two measured rungs".into(),
+            ));
+        }
+        if let Some(bad) = measurements.iter().find(|m| m.quality_score.is_nan()) {
+            return Err(ServeError::InvalidConfig(format!(
+                "rung `{}` has a NaN quality score",
+                bad.backend
+            )));
+        }
+        let mut ordered: Vec<&RungMeasurement> = measurements.iter().collect();
+        ordered.sort_by(|a, b| {
+            b.quality_score.partial_cmp(&a.quality_score).expect("scores checked non-NaN")
+        });
+        let ladder: Vec<String> = ordered.iter().map(|m| m.backend.clone()).collect();
+        let floor = ordered
+            .iter()
+            .map(|m| m.sqnr_db)
+            .filter(|db| db.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        let config = Self {
+            sqnr_floor_db: floor.is_finite().then_some(floor - 3.0),
+            ..Self::with_ladder(ladder)
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -166,6 +218,27 @@ impl DegradeConfig {
             quality_bar_windows: self.quality_bar_windows,
         }
     }
+}
+
+/// One backend rung's measured image quality — the input row of
+/// [`DegradeConfig::from_quality_profile`].
+///
+/// Produced offline by the `crates/evals` subsystem from phantom-scene
+/// renders: `quality_score` condenses the paper's Table I/II metrics
+/// (CR/CNR/gCNR and FWHM resolution) into one comparable scalar where
+/// **higher is better**, and `sqnr_db` is the rung's measured
+/// signal-to-quantization-noise ratio on the same scenes (`+inf` for exact
+/// backends). `serve` deliberately knows nothing about how the score is
+/// computed — only that its ordering is the measured quality ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungMeasurement {
+    /// Backend label of the rung (e.g. `tiny-vbf-fx16`).
+    pub backend: String,
+    /// Condensed image-quality score, higher is better. NaN is rejected.
+    pub quality_score: f64,
+    /// Measured SQNR in dB on the evaluation scenes; non-finite values
+    /// (exact backends) don't constrain the calibrated floor.
+    pub sqnr_db: f64,
 }
 
 /// The shift thresholds of a [`DegradeConfig`], detached from the ladder
@@ -614,6 +687,58 @@ mod tests {
         let mut poisoned = cur;
         poisoned.noise_energy = f64::NAN;
         assert_eq!(window_sqnr_db(Some(poisoned), Some(prev)), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn calibration_orders_the_ladder_by_measured_quality() {
+        let rung = |backend: &str, quality_score: f64, sqnr_db: f64| RungMeasurement {
+            backend: backend.into(),
+            quality_score,
+            sqnr_db,
+        };
+        // Deliberately shuffled input: the ladder must come out sorted by
+        // the measured score, not the given order.
+        let config = DegradeConfig::from_quality_profile(&[
+            rung("tiny-vbf-fx16", 0.61, 64.0),
+            rung("tiny-vbf-fp", 0.93, f64::INFINITY),
+            rung("tiny-vbf-fx24", 0.91, 113.0),
+        ])
+        .unwrap();
+        assert_eq!(config.ladders, vec![vec![
+            "tiny-vbf-fp".to_string(),
+            "tiny-vbf-fx24".to_string(),
+            "tiny-vbf-fx16".to_string(),
+        ]]);
+        // Floor: worst *finite* measured SQNR minus the 3 dB jitter margin.
+        assert_eq!(config.sqnr_floor_db, Some(61.0));
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn calibration_ties_keep_given_order_and_infinite_sqnr_disables_floor() {
+        let rung = |backend: &str, quality_score: f64| RungMeasurement {
+            backend: backend.into(),
+            quality_score,
+            sqnr_db: f64::INFINITY,
+        };
+        let config =
+            DegradeConfig::from_quality_profile(&[rung("a", 0.5), rung("b", 0.5)]).unwrap();
+        assert_eq!(config.ladders, vec![vec!["a".to_string(), "b".to_string()]]);
+        assert_eq!(config.sqnr_floor_db, None);
+    }
+
+    #[test]
+    fn calibration_rejects_bad_measurements() {
+        let rung = |backend: &str, quality_score: f64| RungMeasurement {
+            backend: backend.into(),
+            quality_score,
+            sqnr_db: 60.0,
+        };
+        assert!(DegradeConfig::from_quality_profile(&[rung("a", 1.0)]).is_err());
+        assert!(DegradeConfig::from_quality_profile(&[rung("a", 1.0), rung("a", 0.5)]).is_err());
+        assert!(
+            DegradeConfig::from_quality_profile(&[rung("a", f64::NAN), rung("b", 0.5)]).is_err()
+        );
     }
 
     #[test]

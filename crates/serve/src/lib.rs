@@ -68,7 +68,7 @@ pub mod wire;
 
 pub use batcher::{BatchConfig, BatchEngine, LatencyHistogram, ResponseHandle, Server, ServerStats, TrySubmitError};
 pub use chaos::{ChaosBeamformer, ChaosFactory, ChaosFactoryProbe, ChaosFault, ChaosSchedule, ChaosStats};
-pub use degrade::{DegradeConfig, DegradeStats};
+pub use degrade::{DegradeConfig, DegradeStats, RungMeasurement};
 pub use router::{EngineFactory, EngineStats, FaultPolicy, ResilienceStats, Router, RouterStats, StreamSpec};
 pub use wire::{EngineStatsWire, RouterStatsWire};
 

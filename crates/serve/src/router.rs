@@ -840,6 +840,23 @@ impl Router {
         self.server.try_submit(self.routed(spec, frame)).map_err(strip_routing)
     }
 
+    /// Non-blocking [`Router::submit_with_deadline`]: sheds load instead
+    /// of waiting when the shared queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Router::try_submit`].
+    pub fn try_submit_with_deadline(
+        &self,
+        spec: &StreamSpec,
+        frame: ChannelData,
+        deadline: Duration,
+    ) -> Result<ResponseHandle<IqImage>, TrySubmitError<ChannelData>> {
+        self.server
+            .try_submit_with_deadline(self.routed(spec, frame), deadline)
+            .map_err(strip_routing)
+    }
+
     fn routed(&self, spec: &StreamSpec, frame: ChannelData) -> RoutedRequest {
         RoutedRequest { spec: spec.clone(), frame, submitted_at: Instant::now() }
     }

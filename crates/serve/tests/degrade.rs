@@ -170,6 +170,46 @@ fn ladder_downshifts_under_deadline_pressure_and_recovers() {
 }
 
 #[test]
+fn calibrated_ladder_is_bitwise_unchanged_for_unmanaged_and_rung0_traffic() {
+    // Acceptance gate of the quality-calibration subsystem: a DegradeConfig
+    // derived from measured per-rung quality (rather than hand-picked
+    // constants) must still be invisible for full-quality traffic — the
+    // measured ordering picks "slow" as the head, and rung-0 responses stay
+    // bitwise identical to direct inference.
+    let measurement = |backend: &str, quality_score: f64, sqnr_db: f64| serve::RungMeasurement {
+        backend: backend.into(),
+        quality_score,
+        sqnr_db,
+    };
+    let calibrated = DegradeConfig::from_quality_profile(&[
+        measurement("das", 0.72, 41.0),
+        measurement("slow", 0.95, f64::INFINITY),
+    ])
+    .unwrap();
+    assert_eq!(calibrated.ladders, vec![vec!["slow".to_string(), "das".to_string()]]);
+    assert_eq!(calibrated.sqnr_floor_db, Some(38.0));
+
+    let router = Router::with_degrade(
+        BatchConfig { max_batch: 2, linger: Duration::ZERO, workers: 1, ..BatchConfig::default() },
+        two_rung_factory(Duration::from_micros(200)),
+        calibrated,
+    )
+    .unwrap();
+    let managed = small_spec("slow");
+    let unmanaged = small_spec("das");
+    let frames: Vec<ChannelData> = (0..8).map(|i| synthetic_frame(&managed.array, 256, 401 + i)).collect();
+    for frame in &frames {
+        let image = router.submit(&managed, frame.clone()).unwrap().wait().unwrap();
+        assert_eq!(image, direct_das(&managed, frame), "calibrated rung-0 responses must be bitwise identical");
+        let image = router.submit(&unmanaged, frame.clone()).unwrap().wait().unwrap();
+        assert_eq!(image, direct_das(&unmanaged, frame), "unmanaged responses must be bitwise identical");
+    }
+    let stats = router.shutdown();
+    assert_eq!(stats.degrade[0].rung, 0, "no pressure, no movement");
+    assert_eq!(stats.downshifts_total() + stats.upshifts_total(), 0);
+}
+
+#[test]
 fn unpressured_streams_stay_at_full_quality_and_bitwise_identical() {
     // With no deadline pressure the ladder must never move, and every
     // response must be bitwise identical to direct inference — degradation
